@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Where does a cache line live, and what does moving it cost?
+
+The paper's latency benchmark descends from Molka et al.'s coherence
+study; this example walks the simulated Rome topology measuring
+core-to-core transfer latencies by distance (same CCX, across the I/O
+die, across sockets) and by line state, and shows how the §V-C/§V-D
+clock domains and the §VI sleep states reach into coherence traffic:
+
+* downclocking the CCX raises intra-CCX transfer cost;
+* the I/O-die P-state taxes every cross-CCX transfer;
+* a sleeping xGMI link turns the first cross-socket transfer into a
+  25 µs retrain event.
+
+Run:  python examples/coherence_explorer.py
+"""
+
+from repro import FclkMode, Machine
+from repro.core.analysis.tables import format_table
+from repro.cstate.package import XgmiLinkState
+from repro.memory.coherence import CoherenceModel, LineState
+from repro.units import ghz
+from repro.workloads import SPIN
+
+
+def main() -> None:
+    m = Machine("EPYC 7502", seed=12)
+    model = CoherenceModel()
+    m.os.set_all_frequencies(ghz(2.5))
+    m.os.run(SPIN, [0, 1, 8, 32])
+
+    rows = []
+    for label, dst in [("same CCX", 1), ("same package, other CCD", 8),
+                       ("other socket", 32)]:
+        dirty = model.transfer_ns(m, 0, dst, LineState.MODIFIED)
+        clean = model.transfer_ns(m, 0, dst, LineState.SHARED)
+        rows.append((label, clean, dirty))
+    print("transfer latency from cpu0 (ns), awake machine at 2.5 GHz:")
+    print(format_table(["destination", "shared line", "modified line"], rows,
+                       float_fmt="{:.1f}"))
+
+    # clock-domain coupling — remember §V-A: the idle SMT siblings also
+    # vote, so downclocking a core means downclocking its sibling too.
+    for cpu in (0, 1):
+        m.os.set_frequency(cpu, ghz(1.5))
+        m.os.set_frequency(m.topology.thread(cpu).sibling.cpu_id, ghz(1.5))
+    slow_ccx = model.transfer_ns(m, 0, 1, LineState.MODIFIED)
+    print(f"\nsame-CCX modified transfer with the CCX at 1.5 GHz: "
+          f"{slow_ccx:.1f} ns (clock domains matter, §V-C)")
+
+    m.set_fclk_mode(FclkMode.P2)
+    taxed = model.transfer_ns(m, 0, 8, LineState.SHARED)
+    print(f"cross-CCD shared transfer at fclk P2: {taxed:.1f} ns "
+          f"(the I/O-die P-state taxes coherence, §V-D)")
+    m.set_fclk_mode(FclkMode.AUTO)
+
+    # the sleeping link
+    cold = model.cross_package_ns(
+        LineState.SHARED, ghz(2.5), ghz(2.5), ghz(1.467),
+        xgmi=XgmiLinkState.LOW_POWER,
+    )
+    print(f"\nfirst cross-socket transfer over a low-power xGMI link: "
+          f"{cold / 1000:.1f} us (link retrain - the memory-side face of §VI)")
+    m.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Frequency-control pitfalls for per-core DVFS tuning (§V).
+
+A DVFS-based energy-efficiency optimizer (Adagio-style) assumes that
+setting a core's frequency actually controls that core.  On Rome, three
+mechanisms break the assumption; this example triggers each one:
+
+1. **sibling votes** — an idle SMT sibling whose cpufreq request is
+   higher raises the core's clock (§V-A);
+2. **CCX coupling** — neighbours on the same CCX at a higher clock
+   *reduce* the tuned core's effective frequency (Table I);
+3. **transition latency** — a frequency change takes 0.4-1.4 ms to land
+   (Fig 3), far above Intel's tens of microseconds, which bounds how
+   fine-grained per-region DVFS can be.
+
+Run:  python examples/frequency_pitfalls.py
+"""
+
+from repro import Machine
+from repro.core import ExperimentConfig, FrequencyTransitionExperiment
+from repro.units import ghz
+from repro.workloads import SPIN
+
+
+def main() -> None:
+    machine = Machine("EPYC 7502", seed=3)
+    perf = machine.os.perf
+
+    # --- pitfall 1: the idle sibling votes ---------------------------------
+    machine.os.run(SPIN, [0])
+    machine.os.set_frequency(0, ghz(1.5))
+    sibling = machine.topology.thread(0).sibling.cpu_id
+    machine.os.set_frequency(sibling, ghz(2.5))  # sibling is *idle*
+    print(f"tuned core set to 1.5 GHz, idle sibling requests 2.5 GHz")
+    print(f"  -> observed: {perf.mean_freq_hz(0) / 1e9:.3f} GHz (sibling wins)")
+    machine.os.set_frequency(sibling, ghz(1.5))
+    print(f"  -> after fixing the sibling request: {perf.mean_freq_hz(0) / 1e9:.3f} GHz")
+
+    # --- pitfall 2: CCX neighbours -------------------------------------------
+    ccx_cpus = machine.os.cpus_of_ccx(0)
+    machine.os.run(SPIN, ccx_cpus)
+    machine.os.set_frequency(ccx_cpus[0], ghz(2.2))
+    for cpu in ccx_cpus[1:]:
+        machine.os.set_frequency(cpu, ghz(2.5))
+    print("\ntuned core at 2.2 GHz, three CCX neighbours at 2.5 GHz")
+    print(f"  -> observed: {perf.mean_freq_hz(ccx_cpus[0]) / 1e9:.3f} GHz "
+          "(200 MHz lost to CCX coupling)")
+    machine.shutdown()
+
+    # --- pitfall 3: transition latency ----------------------------------------
+    exp = FrequencyTransitionExperiment(ExperimentConfig(seed=3))
+    res = exp.measure_pair(ghz(2.2), ghz(1.5), n_samples=400)
+    print("\nfrequency switch 2.2 -> 1.5 GHz, request-to-effect latency:")
+    print(f"  min {res.min_us:.0f} us / mean {res.mean_us:.0f} us / max {res.max_us:.0f} us")
+    print("  (1 ms SMU update slots + ~0.4 ms execution: don't re-tune "
+          "faster than every few ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""An operator's eye view: turbostat-style status through a scenario.
+
+Walks the simulated machine through a day-in-the-life sequence — idle,
+a partial HPC job, a full FIRESTARTER burn, a power cap, a misbehaving
+interrupt source — printing the turbostat-style summary after each step
+plus the machine's own self-check at the end.
+
+Run:  python examples/operator_dashboard.py
+"""
+
+from repro import Machine
+from repro.core.selfcheck import selfcheck
+from repro.oslayer import turbostat
+from repro.units import ghz
+from repro.workloads import FIRESTARTER, STREAM_TRIAD
+
+
+def show(title: str, machine: Machine) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+    print(turbostat.report(machine, max_cores=4))
+
+
+def main() -> None:
+    m = Machine("EPYC 7502", seed=8)
+    show("idle, all C2", m)
+
+    m.os.set_all_frequencies(ghz(2.5))
+    m.os.run(STREAM_TRIAD, m.os.cpus_of_ccx(0))
+    show("STREAM on CCX 0", m)
+
+    m.os.run(FIRESTARTER, m.os.all_cpus())
+    m.preheat()
+    show("FIRESTARTER everywhere (watch the EDC throttle)", m)
+
+    m.set_power_limit_w(130.0)
+    show("operator sets a 130 W package cap", m)
+    m.set_power_limit_w(1000.0)
+
+    m.os.stop()
+    m.os.register_interrupt("chatty_nic", 3, 50_000.0)
+    show("idle again - but a 50 kHz NIC queue pins cpu3 at C1", m)
+    report = m.sleep.report()
+    print(f"\nsleep blockers: {report.blockers} "
+          f"(package states: {[s.value for s in report.package_states]})")
+    m.os.unregister_interrupt("chatty_nic")
+
+    print("\n=== machine self-check " + "=" * 37)
+    print(selfcheck(m).render())
+    m.shutdown()
+
+
+if __name__ == "__main__":
+    main()

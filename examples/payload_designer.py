@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Design a stress payload and see what the machine does with it.
+
+FIRESTARTER 2 (the paper's stress tool, §V-E) generates its payload
+dynamically from instruction groups. This example uses the analogous
+:class:`repro.workloads.PayloadSpec` generator to explore the design
+space: how the FMA/memory mix and loop sizing determine sustained IPC,
+EDC throttling, and power — and reproduces why FIRESTARTER's specific
+choices (past the op cache, inside L1I, FMA-saturated) maximize stress.
+
+Run:  python examples/payload_designer.py
+"""
+
+from repro import Machine
+from repro.core.analysis.tables import format_table
+from repro.units import ghz
+from repro.workloads import PayloadSpec, firestarter_spec
+
+
+def evaluate(spec: PayloadSpec) -> tuple:
+    wl = spec.generate()
+    m = Machine("EPYC 7502", seed=5)
+    m.os.set_all_frequencies(ghz(2.5))
+    m.os.run(wl, m.os.all_cpus())
+    m.preheat()
+    rec = m.measure(10.0)
+    freq = m.topology.thread(0).core.applied_freq_hz / 1e9
+    m.shutdown()
+    return (spec.name, wl.ipc_2t, wl.edc_weight, freq, rec.ac_mean_w)
+
+
+def main() -> None:
+    candidates = [
+        firestarter_spec(),
+        PayloadSpec(name="op_cache_resident", fma_fraction=0.5,
+                    load_store_fraction=0.25, integer_fraction=0.25,
+                    mem_level="L1", unrolled_instructions=1000),
+        PayloadSpec(name="fma_only", fma_fraction=1.0,
+                    load_store_fraction=0.0, integer_fraction=0.0),
+        PayloadSpec(name="l3_stream", fma_fraction=0.25,
+                    load_store_fraction=0.5, integer_fraction=0.25,
+                    mem_level="L3"),
+        PayloadSpec(name="ram_stream", fma_fraction=0.1,
+                    load_store_fraction=0.7, integer_fraction=0.2,
+                    mem_level="RAM"),
+        PayloadSpec(name="integer_mix", fma_fraction=0.0,
+                    load_store_fraction=0.3, integer_fraction=0.7),
+    ]
+    rows = [evaluate(spec) for spec in candidates]
+    rows.sort(key=lambda r: (r[3], -r[4]))
+    print(format_table(
+        ["payload", "IPC/core", "EDC weight", "applied GHz", "system AC W"],
+        rows,
+        float_fmt="{:.2f}",
+    ))
+    print("\nonly the FIRESTARTER-class mixes trip the EDC manager (applied")
+    print("clock drops below the 2.5 GHz request): maximum stress needs FMA")
+    print("pressure *and* a full 4-wide instruction stream, which is exactly")
+    print("why FIRESTARTER interleaves integer and load/store fillers (§V-E).")
+    print("A pure-FMA loop issues too few instructions to hit the current")
+    print("limit and keeps the full clock - the EDC manager throttles on")
+    print("activity-driven current, not on power.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Can RAPL leak operand data on Zen 2?  (§VII-B / Fig 10, PLATYPUS-style)
+
+Lipp et al. showed RAPL-based power side channels on Intel and hinted at
+AMD.  The paper's measurement: operand Hamming weight moves *wall* power
+by 21 W for 256-bit vxorps — trivially distinguishable — while the RAPL
+readings barely move and overlap heavily.  This probe reproduces the
+analysis, including the ten-random-subset ECDF stability check, and
+estimates how many samples an attacker would need on each channel.
+
+Run:  python examples/sidechannel_probe.py
+"""
+
+import numpy as np
+
+from repro.core import DataPowerExperiment, ExperimentConfig
+from repro.core.analysis.stats import overlap_fraction
+
+
+def samples_to_distinguish(a: np.ndarray, b: np.ndarray) -> float:
+    """Samples per class for ~95 % accuracy distinguishing two means."""
+    gap = abs(a.mean() - b.mean())
+    if gap == 0:
+        return float("inf")
+    pooled = np.sqrt((a.var() + b.var()) / 2)
+    # two-class threshold test: n ~ (z * sigma / (gap/2))^2
+    return float((1.96 * pooled / (gap / 2)) ** 2)
+
+
+def main() -> None:
+    exp = DataPowerExperiment(ExperimentConfig(seed=23, scale=0.1))
+    res = exp.measure("vxorps")
+
+    w0, w1 = res.samples[0.0], res.samples[1.0]
+    print("vxorps, operand Hamming weight 0 vs 1 (all threads):\n")
+    print(f"  wall power:   {w0.ac_w.mean():.1f} W vs {w1.ac_w.mean():.1f} W "
+          f"(spread {res.ac_spread_w():.1f} W, overlap "
+          f"{overlap_fraction(w0.ac_w, w1.ac_w):.2f})")
+    print(f"  RAPL package: {w0.rapl_pkg_w.mean():.2f} W vs {w1.rapl_pkg_w.mean():.2f} W "
+          f"(spread {100 * res.rapl_pkg_spread_rel():.3f} %, overlap "
+          f"{overlap_fraction(w0.rapl_pkg_w, w1.rapl_pkg_w):.2f})")
+
+    n_ac = samples_to_distinguish(w0.ac_w, w1.ac_w)
+    n_rapl = samples_to_distinguish(w0.rapl_pkg_w, w1.rapl_pkg_w)
+    print(f"\n  samples needed to distinguish weights:")
+    print(f"    physical measurement: ~{max(1, round(n_ac))}")
+    print(f"    RAPL:                 ~{round(n_rapl)}  "
+          f"({n_rapl / max(n_ac, 1):.0f}x more)")
+
+    # ECDF stability (the Fig 10 ten-subset check).
+    subsets = res.ecdf_subsets(1.0, channel="pkg")
+    meds = [float(vals[np.searchsorted(probs, 0.5)]) for vals, probs in subsets]
+    print(f"\n  RAPL ECDF medians across 10 random subsets: "
+          f"{min(meds):.3f}..{max(meds):.3f} W (stable distribution)")
+
+    print("\nconclusion: the modelled RAPL implementation hides operand data;")
+    print("the tiny residual signal is thermal (leakage follows temperature).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Energy Efficiency Aspects of the AMD Zen 2
+Architecture" (Schöne et al., IEEE CLUSTER 2021).
+
+The package provides a behavioural simulator of the Zen 2 "Rome"
+power-management architecture (:class:`repro.machine.Machine`) plus the
+paper's measurement methodology (:mod:`repro.core`), reproducing every
+figure and table of the paper's evaluation (see DESIGN.md and
+EXPERIMENTS.md).
+
+Quick start::
+
+    from repro import Machine
+    from repro.workloads import FIRESTARTER
+
+    m = Machine("EPYC 7502", seed=42)
+    m.os.set_all_frequencies(2.5e9)
+    m.os.run(FIRESTARTER, m.os.all_cpus())
+    m.preheat()
+    rec = m.measure(10.0)
+    print(f"AC power: {rec.ac_mean_w:.1f} W, RAPL: {rec.rapl_pkg_total_w:.1f} W")
+"""
+
+from repro.machine import Machine, MeasurementRecord, Quirks
+from repro.iodie.fclk import FclkMode
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.topology.skus import SKU, SKUS, sku_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "MeasurementRecord",
+    "Quirks",
+    "FclkMode",
+    "CALIBRATION",
+    "Calibration",
+    "SKU",
+    "SKUS",
+    "sku_by_name",
+    "__version__",
+]

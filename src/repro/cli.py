@@ -1,0 +1,215 @@
+"""Command-line entry point: ``repro-zen2 <experiment>``.
+
+Runs any of the paper's experiments at a configurable scale and prints
+the paper-vs-measured comparison table.  ``repro-zen2 all`` runs the
+whole evaluation (the EXPERIMENTS.md content).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import (
+    CStateLatencyExperiment,
+    DataPowerExperiment,
+    ExperimentConfig,
+    FrequencyTransitionExperiment,
+    IdlePowerExperiment,
+    IdleSiblingExperiment,
+    MemoryPerformanceExperiment,
+    MixedFrequencyExperiment,
+    RaplQualityExperiment,
+    RaplUpdateRateExperiment,
+    ThroughputLimitExperiment,
+)
+from repro.core.analysis.tables import format_table
+from repro.datasets.green500 import architecture_summary, synthesize_green500
+from repro.units import ghz
+
+
+def _run_fig1(cfg: ExperimentConfig) -> str:
+    entries = synthesize_green500(cfg.seed)
+    summary = architecture_summary(entries)
+    rows = [
+        (name, int(s["n"]), s["q1"], s["median"], s["q3"])
+        for name, s in summary.items()
+    ]
+    table = format_table(
+        ["architecture", "n", "q1", "median", "q3"], rows, float_fmt="{:.2f}"
+    )
+    return f"== Fig 1: Green500 2021/07 x86 efficiency (GFlops/W) ==\n{table}"
+
+
+def _run_sec5a(cfg: ExperimentConfig) -> str:
+    exp = IdleSiblingExperiment(cfg)
+    return exp.compare_with_paper(exp.measure()).render()
+
+
+def _run_fig3(cfg: ExperimentConfig) -> str:
+    exp = FrequencyTransitionExperiment(cfg)
+    res = exp.measure_pair(ghz(2.2), ghz(1.5))
+    out = exp.compare_with_paper(res).render()
+    out += "\n\nhistogram (25 us bins):\n" + res.histogram.render_ascii(40)
+    return out
+
+
+def _run_tab1(cfg: ExperimentConfig) -> str:
+    exp = MixedFrequencyExperiment(cfg)
+    return exp.compare_with_paper(exp.measure_applied_frequencies()).render()
+
+
+def _run_fig4(cfg: ExperimentConfig) -> str:
+    exp = MixedFrequencyExperiment(cfg)
+    res = exp.measure_l3_latencies()
+    rows = [
+        (f"set {s} GHz", *(res.cell(s, o) for o in exp.FREQS_GHZ))
+        for s in exp.FREQS_GHZ
+    ]
+    table = format_table(
+        ["", *(f"others {o} GHz" for o in exp.FREQS_GHZ)], rows, float_fmt="{:.2f}"
+    )
+    mono = exp.check_l3_monotonicity(res)
+    return (
+        "== Fig 4: L3 latency, mixed-frequency CCX (ns) ==\n"
+        f"{table}\nL3 latency falls with faster neighbours (1.5 GHz row): {mono}"
+    )
+
+
+def _run_fig5(cfg: ExperimentConfig) -> str:
+    exp = MemoryPerformanceExperiment(cfg)
+    bw = exp.measure_bandwidth()
+    lat = exp.measure_latency()
+    out = exp.compare_with_paper(bw, lat).render()
+    rows = []
+    for (mode, dram), series in sorted(bw.series.items()):
+        rows.append((f"{mode} {dram}", *(f"{v:.1f}" for v in series)))
+    table = format_table(["config", *map(str, bw.core_counts)], rows)
+    return out + "\n\nbandwidth (GB/s) vs cores:\n" + table
+
+
+def _run_fig6(cfg: ExperimentConfig) -> str:
+    exp = ThroughputLimitExperiment(cfg)
+    two = exp.measure(smt=True)
+    one = exp.measure(smt=False)
+    out = exp.compare_with_paper(two, one).render()
+    scaling = exp.core_count_scaling()
+    out += "\n\nfuture work (throttled GHz by SKU): " + ", ".join(
+        f"{k}={v:.2f}" for k, v in scaling.items()
+    )
+    return out
+
+
+def _run_fig7(cfg: ExperimentConfig) -> str:
+    exp = IdlePowerExperiment(cfg)
+    c1 = exp.sweep_c1(step_cpus=list(range(16)))
+    c0 = exp.sweep_c0(step_cpus=list(range(16)))
+    out = exp.compare_with_paper(c1, c0).render()
+    anomaly = exp.offline_anomaly()
+    out += (
+        "\n\n§VI-B offline anomaly: baseline "
+        f"{anomaly['baseline_w']:.1f} W -> offline {anomaly['offline_w']:.1f} W "
+        f"-> re-onlined {anomaly['restored_w']:.1f} W"
+    )
+    return out
+
+
+def _run_fig8(cfg: ExperimentConfig) -> str:
+    exp = CStateLatencyExperiment(cfg)
+    return exp.compare_with_paper(exp.measure()).render()
+
+
+def _run_fig9(cfg: ExperimentConfig) -> str:
+    exp = RaplQualityExperiment(cfg)
+    return exp.compare_with_paper(exp.measure()).render()
+
+
+def _run_fig10(cfg: ExperimentConfig) -> str:
+    exp = DataPowerExperiment(cfg)
+    vx = exp.measure("vxorps")
+    shr = exp.measure("shr")
+    return exp.compare_with_paper(vx, shr).render()
+
+
+def _run_rapl_rate(cfg: ExperimentConfig) -> str:
+    exp = RaplUpdateRateExperiment(cfg)
+    return exp.compare_with_paper(exp.measure()).render()
+
+
+EXPERIMENTS = {
+    "fig1": _run_fig1,
+    "sec5a": _run_sec5a,
+    "fig3": _run_fig3,
+    "tab1": _run_tab1,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "rapl-rate": _run_rapl_rate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-zen2",
+        description="Reproduce the CLUSTER 2021 Zen 2 energy-efficiency paper",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "suite", "selfcheck"],
+        help="which figure/table to reproduce ('suite' runs everything "
+        "through the structured runner; 'selfcheck' verifies the "
+        "calibration anchors in seconds)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="fraction of the paper's sample counts (1.0 = full scale)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="with 'suite': also write the structured report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    cfg = ExperimentConfig(seed=args.seed, scale=args.scale)
+
+    if args.experiment == "selfcheck":
+        from repro.core.selfcheck import selfcheck
+        from repro.machine import Machine
+
+        machine = Machine(cfg.sku, n_packages=cfg.n_packages, seed=cfg.seed)
+        table = selfcheck(machine)
+        machine.shutdown()
+        print(table.render())
+        return 0 if table.all_ok else 1
+
+    if args.experiment == "suite":
+        from repro.core.serialize import dump_json
+        from repro.core.suite import run_suite, suite_to_dict
+
+        result = run_suite(cfg)
+        print(result.render())
+        print(f"\nsuite verdict: {'OK' if result.all_ok else 'FAILURES'}")
+        if args.json:
+            dump_json(suite_to_dict(result), args.json)
+            print(f"structured report written to {args.json}")
+        return 0 if result.all_ok else 1
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        print(EXPERIMENTS[name](cfg))
+        print(f"[{name}: {time.time() - t0:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's measurement methodology — the primary contribution.
+
+One module per experiment, each implementing the paper's procedure
+against the simulated machine's OS/MSR interfaces and returning a typed
+result object.  ``repro.core.report`` compares results against the
+paper's published values (consumed by EXPERIMENTS.md and the benches).
+"""
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.report import Comparison, ComparisonTable
+from repro.core.freq_transition import FrequencyTransitionExperiment, TransitionDelayResult
+from repro.core.mixed_freq import (
+    MixedFrequencyExperiment,
+    MixedFrequencyResult,
+    L3LatencyResult,
+    PAPER_TABLE_I,
+)
+from repro.core.memperf import (
+    MemoryPerformanceExperiment,
+    BandwidthSweepResult,
+    LatencySweepResult,
+)
+from repro.core.throughput import ThroughputLimitExperiment, ThroughputResult
+from repro.core.idle_power import IdlePowerExperiment, IdleStaircaseResult
+from repro.core.cstate_latency import CStateLatencyExperiment, CStateLatencyResult
+from repro.core.rapl_quality import RaplQualityExperiment, RaplQualityResult
+from repro.core.data_power import DataPowerExperiment, DataPowerResult
+from repro.core.rapl_rate import RaplUpdateRateExperiment, RaplRateResult
+from repro.core.idle_sibling import IdleSiblingExperiment, IdleSiblingResult
+from repro.core.latency_curve import LatencyCurve, LatencyCurveExperiment
+
+__all__ = [
+    "ExperimentConfig",
+    "Comparison",
+    "ComparisonTable",
+    "FrequencyTransitionExperiment",
+    "TransitionDelayResult",
+    "MixedFrequencyExperiment",
+    "MixedFrequencyResult",
+    "L3LatencyResult",
+    "PAPER_TABLE_I",
+    "MemoryPerformanceExperiment",
+    "BandwidthSweepResult",
+    "LatencySweepResult",
+    "ThroughputLimitExperiment",
+    "ThroughputResult",
+    "IdlePowerExperiment",
+    "IdleStaircaseResult",
+    "CStateLatencyExperiment",
+    "CStateLatencyResult",
+    "RaplQualityExperiment",
+    "RaplQualityResult",
+    "DataPowerExperiment",
+    "DataPowerResult",
+    "RaplUpdateRateExperiment",
+    "RaplRateResult",
+    "IdleSiblingExperiment",
+    "IdleSiblingResult",
+    "LatencyCurve",
+    "LatencyCurveExperiment",
+]

@@ -1,0 +1,19 @@
+"""Statistical helpers shared by the experiments."""
+
+from repro.core.analysis.stats import (
+    confidence_interval,
+    ecdf,
+    mean_std,
+    within_interval,
+)
+from repro.core.analysis.histogram import Histogram
+from repro.core.analysis.tables import format_table
+
+__all__ = [
+    "confidence_interval",
+    "within_interval",
+    "mean_std",
+    "ecdf",
+    "Histogram",
+    "format_table",
+]

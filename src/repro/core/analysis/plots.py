@@ -1,0 +1,89 @@
+"""Terminal plotting: scatter and line charts for bench output.
+
+The paper's figures are scatter plots (Fig 9), line series (Fig 5) and
+ECDFs (Fig 10); these renderers let the benches show the same shapes in
+plain text next to the comparison tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+def _scale(values: np.ndarray, n_bins: int) -> tuple[np.ndarray, float, float]:
+    lo = float(values.min())
+    hi = float(values.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    idx = ((values - lo) / (hi - lo) * (n_bins - 1)).round().astype(int)
+    return np.clip(idx, 0, n_bins - 1), lo, hi
+
+
+def ascii_scatter(
+    x, y, *, width: int = 60, height: int = 20,
+    x_label: str = "x", y_label: str = "y", marker: str = "o",
+) -> str:
+    """A scatter plot on a character grid (origin bottom-left)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size == 0 or x.shape != y.shape:
+        raise MeasurementError("scatter needs equal, non-empty x/y")
+    xi, xlo, xhi = _scale(x, width)
+    yi, ylo, yhi = _scale(y, height)
+    grid = [[" "] * width for _ in range(height)]
+    for cx, cy in zip(xi, yi):
+        grid[height - 1 - cy][cx] = marker
+    lines = [f"{y_label}  {yhi:.1f}"]
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append(f"  {ylo:.1f}" + " " * 3 + "-" * (width - 4))
+    lines.append(f"   {xlo:.1f} .. {xhi:.1f}  ({x_label})")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: dict[str, tuple], *, width: int = 60, height: int = 16,
+    x_label: str = "x", y_label: str = "y",
+) -> str:
+    """Overlaid line series; each entry is name -> (x, y).
+
+    Each series gets a distinct marker (a..z); a legend follows the grid.
+    """
+    if not series:
+        raise MeasurementError("no series to plot")
+    all_x = np.concatenate([np.asarray(v[0], dtype=float) for v in series.values()])
+    all_y = np.concatenate([np.asarray(v[1], dtype=float) for v in series.values()])
+    _, xlo, xhi = _scale(all_x, width)
+    _, ylo, yhi = _scale(all_y, height)
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for marker, (name, (xs, ys)) in zip("abcdefghijklmnopqrstuvwxyz", series.items()):
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        xi = np.clip(((xs - xlo) / (xhi - xlo + 1e-12) * (width - 1)).round().astype(int), 0, width - 1)
+        yi = np.clip(((ys - ylo) / (yhi - ylo + 1e-12) * (height - 1)).round().astype(int), 0, height - 1)
+        for cx, cy in zip(xi, yi):
+            grid[height - 1 - cy][cx] = marker
+        legend.append(f"  {marker} = {name}")
+    lines = [f"{y_label}  {yhi:.1f}"]
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append(f"  {ylo:.1f}" + " " * 3 + "-" * (width - 4))
+    lines.append(f"   {xlo:.1f} .. {xhi:.1f}  ({x_label})")
+    lines += legend
+    return "\n".join(lines)
+
+
+def ascii_ecdf(
+    groups: dict[str, np.ndarray], *, width: int = 60, height: int = 16,
+    x_label: str = "value",
+) -> str:
+    """Overlaid empirical CDFs (the Fig 10 presentation)."""
+    series = {}
+    for name, samples in groups.items():
+        arr = np.sort(np.asarray(samples, dtype=float))
+        probs = np.arange(1, arr.size + 1) / arr.size
+        series[name] = (arr, probs)
+    return ascii_series(
+        series, width=width, height=height, x_label=x_label, y_label="P"
+    )

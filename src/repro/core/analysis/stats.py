@@ -1,0 +1,115 @@
+"""Statistics used by the measurement methodology.
+
+The frequency-transition methodology (§V-B) validates performance levels
+with a 95 % confidence interval; the data-power experiment (§VII-B) uses
+empirical cumulative distributions.  Implementations are numpy-only so
+the hot loops stay allocation-light.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+#: Two-sided 97.5 % standard-normal quantile (95 % CI half-width factor).
+_Z975 = 1.959963984540054
+
+
+def mean_std(samples: np.ndarray) -> tuple[float, float]:
+    """Sample mean and (ddof=1) standard deviation."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise MeasurementError("no samples")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    return float(arr.mean()), float(arr.std(ddof=1))
+
+
+def confidence_interval(samples: np.ndarray, level: float = 0.95) -> tuple[float, float]:
+    """Normal-approximation CI for the mean of ``samples``.
+
+    The methodology takes 100 validation samples per step (§V-B), large
+    enough that the normal approximation matches the t interval to well
+    under the measurement noise.
+    """
+    if not 0.0 < level < 1.0:
+        raise MeasurementError(f"confidence level must be in (0,1), got {level}")
+    mean, std = mean_std(samples)
+    n = np.asarray(samples).size
+    if n < 2:
+        return mean, mean
+    # Quantile for the requested level via the error function.
+    z = math.sqrt(2.0) * _erfinv(level)
+    half = z * std / math.sqrt(n)
+    return mean - half, mean + half
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function (Winitzki's approximation, <2e-3 rel err)."""
+    a = 0.147
+    ln1my2 = math.log(1.0 - y * y)
+    term = 2.0 / (math.pi * a) + ln1my2 / 2.0
+    return math.copysign(math.sqrt(math.sqrt(term * term - ln1my2 / a) - term), y)
+
+
+def within_interval(value: float, samples: np.ndarray, level: float = 0.95) -> bool:
+    """The §V-B validation predicate: does ``value`` sit in the CI?"""
+    lo, hi = confidence_interval(samples, level)
+    return lo <= value <= hi
+
+
+def ecdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: (sorted values, cumulative probabilities].
+
+    Matches the plotting convention of Fig 10 ("empirical cumulative
+    distribution plots ... to avoid smoothing").
+    """
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size == 0:
+        raise MeasurementError("no samples")
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def ecdf_quantile(samples: np.ndarray, q: float) -> float:
+    """Quantile of the empirical distribution."""
+    return float(np.quantile(np.asarray(samples, dtype=float), q))
+
+
+def ks_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (max ECDF gap).
+
+    The sharp version of the Fig 10 separation claims: ~1.0 for the AC
+    distributions of different operand weights (fully separated), small
+    for the strongly-overlapping RAPL distributions.
+    """
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise MeasurementError("ks_distance needs non-empty samples")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def overlap_fraction(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of distribution overlap in [0, 1].
+
+    1.0 = identical supports, 0.0 = fully separated.  Used to state the
+    Fig 10 findings quantitatively: AC distributions for different
+    operand weights have *no* overlap; RAPL distributions overlap
+    strongly.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    lo = max(a.min(), b.min())
+    hi = min(a.max(), b.max())
+    if hi <= lo:
+        return 0.0
+    frac_a = float(np.mean((a >= lo) & (a <= hi)))
+    frac_b = float(np.mean((b >= lo) & (b <= hi)))
+    return min(1.0, (frac_a + frac_b) / 2.0)

@@ -1,0 +1,31 @@
+"""Plain-text table formatting for experiment outputs and benches."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Align columns; floats use ``float_fmt``, everything else ``str``."""
+
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "  "
+    out = [sep.join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        out.append(sep.join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

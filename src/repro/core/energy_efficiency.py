@@ -1,0 +1,101 @@
+"""Energy-to-solution and optimal-frequency study.
+
+The paper's introduction frames all its mechanisms as "the foundation to
+improve the complex interactions between applications, operating
+systems, and independent hardware control for performance and energy
+efficiency".  This study closes that loop on the simulated machine: for
+a fixed amount of work, sweep the core frequency and record runtime,
+energy-to-solution and energy-delay product (EDP).
+
+Expected structure (textbook, but here with the paper's calibrated
+constants): compute-bound work minimizes energy near the top frequency
+on this machine — the ~180 W awake floor dominates, so finishing fast
+wins; memory-bound work barely slows down when downclocked, so its
+optimum sits at the bottom frequency.  The crossover is exactly the
+knowledge a DVFS runtime needs (`examples/dvfs_tuner.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig
+from repro.units import ghz
+from repro.workloads import SPIN, STREAM_TRIAD, Workload
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One (workload, frequency) run over a fixed work quantum."""
+
+    workload: str
+    freq_ghz: float
+    runtime_s: float
+    energy_j: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product."""
+        return self.energy_j * self.runtime_s
+
+
+@dataclass
+class EfficiencyResult:
+    points: list[EfficiencyPoint] = field(default_factory=list)
+
+    def of_workload(self, name: str) -> list[EfficiencyPoint]:
+        return sorted(
+            (p for p in self.points if p.workload == name), key=lambda p: p.freq_ghz
+        )
+
+    def optimal_freq_ghz(self, name: str, metric: str = "energy_j") -> float:
+        pts = self.of_workload(name)
+        if not pts:
+            raise KeyError(f"no points for {name!r}")
+        best = min(pts, key=lambda p: getattr(p, metric))
+        return best.freq_ghz
+
+
+class EnergyEfficiencyExperiment:
+    """Frequency sweep at fixed work."""
+
+    FREQS_GHZ = (1.5, 2.2, 2.5)
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+
+    def measure(
+        self,
+        workloads: tuple[Workload, ...] = (SPIN, STREAM_TRIAD),
+        *,
+        n_cores: int = 64,
+        work_units: float = 1.0,
+    ) -> EfficiencyResult:
+        """Sweep; ``work_units`` is runtime in seconds at nominal clock."""
+        result = EfficiencyResult()
+        for wl in workloads:
+            for f_ghz in self.FREQS_GHZ:
+                machine = self.config.build_machine()
+                cpus = machine.os.first_thread_cpus(n_cores)
+                machine.os.set_all_frequencies(ghz(f_ghz))
+                machine.os.run(wl, cpus)
+                machine.preheat()
+                applied = machine.topology.thread(cpus[0]).core.applied_freq_hz
+                # runtime scales with the frequency-sensitive share only
+                speed = wl.freq_scaling * (applied / ghz(2.5)) + (
+                    1.0 - wl.freq_scaling
+                )
+                runtime = work_units / speed
+                power = machine.power_model.system_power_w(
+                    machine, machine.thermal_state.temps_c
+                )
+                result.points.append(
+                    EfficiencyPoint(
+                        workload=wl.name,
+                        freq_ghz=f_ghz,
+                        runtime_s=runtime,
+                        energy_j=power * runtime,
+                    )
+                )
+                machine.shutdown()
+        return result

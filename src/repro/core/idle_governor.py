@@ -1,0 +1,64 @@
+"""Idle-governor study: wake-up rate vs. system power.
+
+§VI-A established the cost of shallow idle states; the menu governor
+(:mod:`repro.oslayer.cpuidle`) decides *when* a CPU idles shallowly.
+This experiment sweeps the wake-up rate of a single pinned interrupt
+source and records system power, exposing the break-even cliff: below
+the C2 target-residency rate the system keeps its deep-sleep level,
+above it one CPU holds C1 and the full +81 W wake penalty lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig
+
+
+@dataclass
+class GovernorSweepResult:
+    rates_hz: list[float] = field(default_factory=list)
+    power_w: list[float] = field(default_factory=list)
+    selected_state: list[str] = field(default_factory=list)
+
+    def cliff_rate_hz(self) -> float:
+        """First swept rate at which the CPU stops reaching C2."""
+        for rate, state in zip(self.rates_hz, self.selected_state):
+            if state != "C2":
+                return rate
+        raise LookupError("no cliff within the swept range")
+
+
+class IdleGovernorExperiment:
+    """Sweeps a pinned wake-up source's rate."""
+
+    DEFAULT_RATES_HZ = (10.0, 100.0, 1_000.0, 5_000.0, 9_000.0, 11_000.0,
+                        20_000.0, 100_000.0)
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+
+    def measure(self, rates_hz: tuple[float, ...] | None = None, cpu_id: int = 5) -> GovernorSweepResult:
+        rates = rates_hz or self.DEFAULT_RATES_HZ
+        result = GovernorSweepResult()
+        for rate in rates:
+            machine = self.config.build_machine()
+            machine.os.register_interrupt("swept_source", cpu_id, rate)
+            rec = machine.measure(self.config.interval_s)
+            result.rates_hz.append(rate)
+            result.power_w.append(rec.ac_mean_w)
+            result.selected_state.append(
+                machine.topology.thread(cpu_id).effective_cstate
+            )
+            machine.shutdown()
+        return result
+
+    def breakeven_matches_governor_table(self, result: GovernorSweepResult) -> bool:
+        """The observed cliff must sit at the governor's C2 residency."""
+        from repro.oslayer.cpuidle import MenuGovernor
+        from repro.oslayer.interrupts import InterruptModel
+
+        nominal = MenuGovernor(InterruptModel()).breakeven_rate_hz("C2")
+        cliff = result.cliff_rate_hz()
+        below = [r for r in result.rates_hz if r < nominal]
+        return (not below) or cliff >= max(below)

@@ -1,0 +1,105 @@
+"""§V-A: influence of idling hardware threads on core frequencies.
+
+Procedure: thread 0 of a core runs ``while(1);`` with its cpufreq
+request at the minimum (1.5 GHz); the sibling thread idles (or is taken
+offline) with its request at nominal (2.5 GHz); ``perf stat -e cycles
+-I 1000`` observes both.
+
+Findings reproduced:
+
+* the idling sibling reports under 60 000 cycles/s and uses idle states;
+* the active thread nevertheless runs at the *sibling's* 2.5 GHz;
+* the effect persists with the sibling offline;
+* setting the sibling's request to the minimum restores control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.report import ComparisonTable
+from repro.units import ghz
+from repro.workloads import SPIN
+
+
+@dataclass
+class IdleSiblingResult:
+    """Observed frequencies/cycle rates in the §V-A scenarios."""
+
+    active_freq_with_idle_sibling_ghz: float
+    idle_sibling_cycles_per_s: float
+    active_freq_with_offline_sibling_ghz: float
+    active_freq_with_low_sibling_ghz: float
+
+
+class IdleSiblingExperiment:
+    """Runs the §V-A scenario."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+
+    def measure(self, n_intervals: int = 10) -> IdleSiblingResult:
+        machine = self.config.build_machine()
+        active_cpu = 0
+        sibling_cpu = machine.topology.thread(0).sibling.cpu_id
+
+        machine.os.run(SPIN, [active_cpu])
+        machine.os.set_frequency(active_cpu, ghz(1.5))
+        machine.os.set_frequency(sibling_cpu, ghz(2.5))
+
+        f_idle = machine.os.perf.mean_freq_hz(active_cpu, count=n_intervals)
+        idle_cycles = machine.os.perf.mean_freq_hz(sibling_cpu, count=n_intervals)
+
+        # Sibling offline: the core still honours the offline request.
+        machine.os.sysfs.write(
+            f"/sys/devices/system/cpu/cpu{sibling_cpu}/online", "0"
+        )
+        f_offline = machine.os.perf.mean_freq_hz(active_cpu, count=n_intervals)
+        machine.os.sysfs.write(
+            f"/sys/devices/system/cpu/cpu{sibling_cpu}/online", "1"
+        )
+
+        # Remedy: set the unused thread to the minimum frequency.
+        machine.os.set_frequency(sibling_cpu, ghz(1.5))
+        f_low = machine.os.perf.mean_freq_hz(active_cpu, count=n_intervals)
+        machine.shutdown()
+
+        return IdleSiblingResult(
+            active_freq_with_idle_sibling_ghz=f_idle / 1e9,
+            idle_sibling_cycles_per_s=idle_cycles,
+            active_freq_with_offline_sibling_ghz=f_offline / 1e9,
+            active_freq_with_low_sibling_ghz=f_low / 1e9,
+        )
+
+    def compare_with_paper(self, result: IdleSiblingResult) -> ComparisonTable:
+        table = ComparisonTable("§V-A: idle sibling elevates core frequency")
+        table.add(
+            "active thread runs at sibling's 2.5 GHz",
+            2.5,
+            result.active_freq_with_idle_sibling_ghz,
+            "GHz",
+            0.01,
+        )
+        table.add(
+            "idle sibling cycles/s < 60000",
+            1.0,
+            1.0 if result.idle_sibling_cycles_per_s < 60_000 else 0.0,
+            "",
+            0.0,
+        )
+        table.add(
+            "offline sibling still defines frequency",
+            2.5,
+            result.active_freq_with_offline_sibling_ghz,
+            "GHz",
+            0.01,
+        )
+        table.add(
+            "low sibling request restores 1.5 GHz",
+            1.5,
+            result.active_freq_with_low_sibling_ghz,
+            "GHz",
+            0.01,
+        )
+        return table

@@ -1,0 +1,87 @@
+"""Working-set latency curve (the Molka et al. pointer-chase sweep).
+
+Not a numbered figure of this paper, but the instrument behind Fig 4 and
+Fig 5's latency panel: a dependent-load chain over an increasing working
+set traces out the L1 / L2 / L3 / DRAM plateaus.  The curve makes the
+cache geometry (§III-A) directly visible and is what the paper's future
+work ("analyze the memory architecture ... in higher detail") would
+start from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.experiment import ExperimentConfig
+from repro.memory.hierarchy import level_for_footprint
+from repro.units import ghz
+from repro.workloads import pointer_chase
+
+KIB = 1024
+
+
+@dataclass
+class LatencyCurve:
+    """Latency (ns) per working-set size (bytes)."""
+
+    sizes_bytes: list[int] = field(default_factory=list)
+    latencies_ns: list[float] = field(default_factory=list)
+    levels: list[str] = field(default_factory=list)
+
+    def plateau_ns(self, level: str) -> float:
+        """Median latency over the sizes resolved to ``level``."""
+        vals = [l for l, lev in zip(self.latencies_ns, self.levels) if lev == level]
+        if not vals:
+            raise KeyError(f"no sizes landed in {level}")
+        return float(np.median(vals))
+
+
+class LatencyCurveExperiment:
+    """Sweeps the pointer chase over working-set sizes."""
+
+    #: Default sweep: 8 KiB .. 256 MiB, factor ~2 per step.
+    DEFAULT_SIZES = [
+        8 * KIB, 16 * KIB, 24 * KIB, 48 * KIB, 96 * KIB, 192 * KIB,
+        384 * KIB, 768 * KIB, 1536 * KIB, 3 * 1024 * KIB, 6 * 1024 * KIB,
+        12 * 1024 * KIB, 24 * 1024 * KIB, 64 * 1024 * KIB, 256 * 1024 * KIB,
+    ]
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+
+    def measure(
+        self,
+        sizes_bytes: list[int] | None = None,
+        core_freq_ghz: float = 2.5,
+        n_repeats: int = 7,
+    ) -> LatencyCurve:
+        sizes = sizes_bytes or self.DEFAULT_SIZES
+        machine = self.config.build_machine()
+        rng = machine.rng.child("latency-curve")
+        cpu = machine.os.compact_cpus(1)[0]
+        machine.os.run(pointer_chase("L3"), [cpu])
+        machine.os.set_frequency(cpu, ghz(core_freq_ghz))
+        core = machine.topology.thread(cpu).core
+        fc = machine.fclk_controllers[0]
+
+        curve = LatencyCurve()
+        for size in sizes:
+            level = level_for_footprint(size)
+            if level is None:
+                base = machine.latency_model.dram_latency_ns(
+                    core.applied_freq_hz, fc, l3_freq_hz=core.ccx.l3_freq_hz
+                )
+                name = "DRAM"
+            else:
+                base = machine.latency_model.cache_latency_ns(
+                    level, core.applied_freq_hz, core.ccx.l3_freq_hz
+                )
+                name = level.name
+            noise = rng.lognormal(0.0, 0.04, size=n_repeats)
+            curve.sizes_bytes.append(size)
+            curve.latencies_ns.append(float((base * np.maximum(1.0, noise)).min()))
+            curve.levels.append(name)
+        machine.shutdown()
+        return curve

@@ -1,0 +1,104 @@
+"""Power-capping study (extension of §II-B + §VII).
+
+Rountree et al. (cited §II-B) studied "performance under a
+hardware-enforced power bound".  On Zen 2 the bound is enforced by the
+SMU against its *modelled* power — the same model §VII shows to be
+inaccurate.  This experiment sweeps cap levels and workloads and records
+four quantities per point:
+
+* the frequency the PPT loop settles at,
+* the modelled (RAPL-visible) package power — always within the cap,
+* the *true* package power — which can exceed the cap for workloads the
+  model under-states (the §VII findings as an operational risk),
+* relative performance (throughput vs. the uncapped run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig
+from repro.units import ghz
+from repro.workloads import FIRESTARTER, Workload, instruction_block
+
+
+@dataclass(frozen=True)
+class CapPoint:
+    """One (workload, cap) measurement."""
+
+    workload: str
+    cap_w: float
+    applied_ghz: float
+    modelled_pkg_w: float
+    true_pkg_w: float
+    relative_performance: float
+
+    @property
+    def cap_violation_w(self) -> float:
+        """True power above the cap (0 when the cap holds at the wall)."""
+        return max(0.0, self.true_pkg_w - self.cap_w)
+
+
+@dataclass
+class PowerCappingResult:
+    points: list[CapPoint] = field(default_factory=list)
+
+    def of_workload(self, name: str) -> list[CapPoint]:
+        return sorted(
+            (p for p in self.points if p.workload == name), key=lambda p: p.cap_w
+        )
+
+    def worst_violation(self) -> CapPoint:
+        return max(self.points, key=lambda p: p.cap_violation_w)
+
+
+class PowerCappingExperiment:
+    """Sweeps PPT limits across workloads."""
+
+    DEFAULT_CAPS_W = (90.0, 110.0, 130.0, 150.0, 170.0)
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+
+    def measure(
+        self,
+        workloads: tuple[Workload, ...] | None = None,
+        caps_w: tuple[float, ...] | None = None,
+    ) -> PowerCappingResult:
+        wls = workloads or (FIRESTARTER, instruction_block("vxorps", 1.0))
+        caps = caps_w or self.DEFAULT_CAPS_W
+        result = PowerCappingResult()
+        for wl in wls:
+            baseline = self._run_point(wl, cap_w=None)
+            for cap in caps:
+                point = self._run_point(wl, cap_w=cap, baseline_ghz=baseline[0])
+                result.points.append(
+                    CapPoint(
+                        workload=wl.name,
+                        cap_w=cap,
+                        applied_ghz=point[0],
+                        modelled_pkg_w=point[1],
+                        true_pkg_w=point[2],
+                        relative_performance=point[3],
+                    )
+                )
+        return result
+
+    def _run_point(self, wl, cap_w=None, baseline_ghz=None):
+        machine = self.config.build_machine()
+        machine.os.set_all_frequencies(ghz(2.5))
+        machine.os.run(wl, machine.os.all_cpus())
+        machine.preheat()
+        if cap_w is not None:
+            machine.set_power_limit_w(cap_w)
+            machine.preheat()
+        rec = machine.measure(self.config.interval_s)
+        freq_ghz = machine.topology.thread(0).core.applied_freq_hz / 1e9
+        modelled = rec.rapl_pkg_w[0]
+        true_pkg = machine.power_model.package_power_w(
+            machine, machine.topology.packages[0], machine.thermal_state.temps_c
+        )
+        # throughput ~ ipc x f; ipc is frequency-independent here
+        perf = 1.0 if baseline_ghz is None else freq_ghz / baseline_ghz
+        machine.shutdown()
+        return freq_ghz, modelled, true_pkg, perf

@@ -1,0 +1,78 @@
+"""Paper-vs-measured comparison records.
+
+Each experiment emits :class:`Comparison` rows; the benches print them
+and EXPERIMENTS.md archives them.  ``tolerance_rel`` encodes the
+acceptance band from DESIGN.md §5 (shape/ratio fidelity, not absolute
+silicon values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One quantity: what the paper reports vs. what we measured."""
+
+    quantity: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+    tolerance_rel: float = 0.05
+
+    @property
+    def deviation_rel(self) -> float:
+        if self.paper_value == 0.0:
+            return abs(self.measured_value)
+        return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def ok(self) -> bool:
+        return self.deviation_rel <= self.tolerance_rel
+
+
+@dataclass
+class ComparisonTable:
+    """A named collection of comparisons for one experiment."""
+
+    experiment: str
+    comparisons: list[Comparison] = field(default_factory=list)
+
+    def add(
+        self,
+        quantity: str,
+        paper_value: float,
+        measured_value: float,
+        unit: str = "",
+        tolerance_rel: float = 0.05,
+    ) -> Comparison:
+        comp = Comparison(quantity, paper_value, measured_value, unit, tolerance_rel)
+        self.comparisons.append(comp)
+        return comp
+
+    @property
+    def all_ok(self) -> bool:
+        return all(c.ok for c in self.comparisons)
+
+    def failures(self) -> list[Comparison]:
+        return [c for c in self.comparisons if not c.ok]
+
+    def render(self) -> str:
+        rows = [
+            (
+                c.quantity,
+                c.paper_value,
+                c.measured_value,
+                c.unit,
+                f"{100 * c.deviation_rel:.1f}%",
+                "ok" if c.ok else "DEVIATES",
+            )
+            for c in self.comparisons
+        ]
+        table = format_table(
+            ["quantity", "paper", "measured", "unit", "dev", "status"], rows
+        )
+        return f"== {self.experiment} ==\n{table}"

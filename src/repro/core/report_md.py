@@ -1,0 +1,67 @@
+"""Render a suite run as Markdown (the EXPERIMENTS.md generator).
+
+``render_markdown(suite_result)`` produces a paper-vs-measured document
+in the same shape as the repository's EXPERIMENTS.md, so a re-run at a
+different seed/scale can regenerate the archive mechanically.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import ComparisonTable
+from repro.core.suite import SuiteResult
+
+_TITLES = {
+    "sec5a_idle_sibling": "§V-A — idle sibling threads raise the core clock",
+    "fig3_transition_delay": "Fig 3 — frequency-transition delays",
+    "tab1_mixed_frequencies": "Table I — mixed frequencies on one CCX",
+    "fig5_memory_performance": "Fig 5 — I/O-die P-state & DRAM frequency",
+    "fig6_firestarter": "Fig 6 — FIRESTARTER frequency limits (EDC)",
+    "fig7_idle_power": "Fig 7 — idle power staircase",
+    "fig8_cstate_latency": "Fig 8 — C-state wake-up latencies",
+    "fig9_rapl_quality": "Fig 9 — RAPL quality (vs AC reference)",
+    "fig10_data_power": "Fig 10 — operand Hamming weight vs power",
+    "sec7_rapl_update_rate": "§VII — RAPL update rate",
+}
+
+
+def _table_md(table: ComparisonTable) -> str:
+    lines = [
+        "| quantity | paper | measured | unit | deviation | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    for c in table.comparisons:
+        status = "ok" if c.ok else "**DEVIATES**"
+        lines.append(
+            f"| {c.quantity} | {c.paper_value:g} | {c.measured_value:.4g} "
+            f"| {c.unit} | {100 * c.deviation_rel:.1f} % | {status} |"
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(result: SuiteResult) -> str:
+    """The full Markdown document for one suite run."""
+    head = [
+        "# Reproduction report — paper vs. measured",
+        "",
+        f"Configuration: seed {result.config.seed}, scale "
+        f"{result.config.scale:g}, SKU {result.config.sku}, "
+        f"{result.config.n_packages} package(s).",
+        "",
+        f"Overall verdict: **{'all experiments within bands' if result.all_ok else 'DEVIATIONS PRESENT'}**.",
+        "",
+    ]
+    body = []
+    for name, table in result.tables.items():
+        title = _TITLES.get(name, name)
+        body.append(f"## {title}")
+        body.append("")
+        body.append(_table_md(table))
+        body.append("")
+    return "\n".join(head + body)
+
+
+def write_markdown(result: SuiteResult, path: str) -> None:
+    """Render and write the report."""
+    with open(path, "w") as fh:
+        fh.write(render_markdown(result))
+        fh.write("\n")

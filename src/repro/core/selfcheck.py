@@ -1,0 +1,112 @@
+"""Machine self-check: fast verification of the calibration anchors.
+
+``selfcheck(machine)`` exercises the cheapest observable for each
+calibrated mechanism (no sampling loops, no instruments) and returns a
+:class:`~repro.core.report.ComparisonTable`.  Intended for users who
+modify the calibration or port it to another SKU: a failing row points
+at the broken anchor before any full experiment runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import ComparisonTable
+from repro.units import ghz
+from repro.workloads import FIRESTARTER, PAUSE_LOOP, SPIN
+
+
+def selfcheck(machine) -> ComparisonTable:
+    """Run the anchor checks on a freshly built machine.
+
+    The machine must be idle (newly constructed); the check reconfigures
+    it repeatedly and leaves it stopped.
+    """
+    table = ComparisonTable(f"selfcheck: {machine.sku.name}")
+    cal = machine.cal
+
+    # --- idle floor (Fig 7) -------------------------------------------------
+    machine.os.stop()
+    table.add(
+        "idle floor (all C2)",
+        cal.ac_all_c2_w,
+        machine.power_model.breakdown(machine).total_w,
+        "W",
+        0.01,
+    )
+
+    # --- wake penalty (§VI-A) -------------------------------------------------
+    machine.cstates.disable_state(0, "C2")
+    machine.reconfigured()
+    table.add(
+        "first C1 thread",
+        cal.ac_all_c2_w + cal.ac_first_c1_delta_w,
+        machine.power_model.breakdown(machine).total_w,
+        "W",
+        0.01,
+    )
+    machine.cstates.enable_state(0, "C2")
+    machine.reconfigured()
+
+    # --- first active core (Fig 7) ----------------------------------------------
+    machine.os.set_all_frequencies(cal.nominal_freq_hz)
+    machine.os.run(PAUSE_LOOP, [0])
+    table.add(
+        "first active thread (pause)",
+        cal.ac_first_active_w,
+        machine.power_model.breakdown(machine).total_w,
+        "W",
+        0.01,
+    )
+
+    # --- sibling vote (§V-A) ---------------------------------------------------------
+    machine.os.run(SPIN, [0])
+    machine.os.set_frequency(0, ghz(1.5))
+    sibling = machine.topology.thread(0).sibling.cpu_id
+    machine.os.set_frequency(sibling, cal.nominal_freq_hz)
+    table.add(
+        "sibling vote lifts core",
+        cal.nominal_freq_hz / 1e9,
+        machine.topology.thread(0).core.applied_freq_hz / 1e9,
+        "GHz",
+        0.001,
+    )
+    machine.os.set_frequency(sibling, ghz(1.5))
+    machine.os.stop()
+
+    # --- EDC operating point (Fig 6) --------------------------------------------------
+    machine.os.set_all_frequencies(cal.nominal_freq_hz)
+    machine.os.run(FIRESTARTER, machine.os.all_cpus())
+    table.add(
+        "FIRESTARTER throttle (SMT)",
+        cal.firestarter_freq_2t_hz / 1e9,
+        machine.topology.thread(0).core.applied_freq_hz / 1e9,
+        "GHz",
+        0.001,
+    )
+    machine.os.stop()
+
+    # --- memory latency anchor (Fig 5) -----------------------------------------------------
+    fc = machine.fclk_controllers[0]
+    table.add(
+        "DRAM latency, fclk auto",
+        92.0,
+        machine.latency_model.dram_latency_ns(cal.nominal_freq_hz, fc),
+        "ns",
+        0.01,
+    )
+
+    # --- transition constants (Fig 3) ----------------------------------------------------------
+    table.add(
+        "SMU slot period",
+        1.0,
+        machine.cal.smu_slot_period_ns / 1e6,
+        "ms",
+        0.0,
+    )
+    table.add(
+        "down-transition execution",
+        390.0,
+        machine.cal.transition_down_ns / 1e3,
+        "us",
+        0.0,
+    )
+    return table

@@ -1,0 +1,81 @@
+"""Calibration sensitivity analysis.
+
+Perturb each load-bearing calibration constant by a relative amount and
+re-run the fast anchor self-check (:mod:`repro.core.selfcheck`).  The
+outcome tells a porter two things:
+
+* which observables each constant feeds (the broken selfcheck rows);
+* which constants the reproduction is *insensitive* to — the
+  decomposition choices that only matter through their sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.selfcheck import selfcheck
+from repro.machine import Machine
+from repro.power.calibration import CALIBRATION, Calibration
+
+#: Constants worth perturbing, with a short note on what should break.
+DEFAULT_TARGETS: dict[str, str] = {
+    "system_wake_w": "first-C1 and first-active anchors",
+    "platform_base_w": "every absolute power anchor",
+    "pause_core_nominal_w": "first-active anchor",
+    "edc_dyn_a_per_ipcghz_2t": "FIRESTARTER throttle point",
+    "mem_sync_penalty_coeff_ns": "fclk-auto latency anchor",
+    "mem_latency_core_path_ns": "DRAM latency anchors",
+    "transition_down_ns": "transition execution constant",
+    "dram_idle_w": "idle floor",
+    "c1_per_core_w": "nothing in the fast check (slope-only constant)",
+}
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Result of one perturbation."""
+
+    constant: str
+    perturbation_rel: float
+    broke: tuple[str, ...]  # names of failing selfcheck rows
+
+    @property
+    def sensitive(self) -> bool:
+        return bool(self.broke)
+
+
+@dataclass
+class SensitivityResult:
+    rows: list[SensitivityRow] = field(default_factory=list)
+
+    def sensitive_constants(self) -> list[str]:
+        return sorted({r.constant for r in self.rows if r.sensitive})
+
+    def insensitive_constants(self) -> list[str]:
+        sensitive = set(self.sensitive_constants())
+        return sorted({r.constant for r in self.rows} - sensitive)
+
+
+def run_sensitivity(
+    targets: dict[str, str] | None = None,
+    *,
+    perturbation_rel: float = 0.10,
+    seed: int = 0,
+    base: Calibration = CALIBRATION,
+) -> SensitivityResult:
+    """Perturb each target constant up by ``perturbation_rel``."""
+    result = SensitivityResult()
+    for name in (targets or DEFAULT_TARGETS):
+        value = getattr(base, name)
+        perturbed = replace(base, **{name: value * (1.0 + perturbation_rel)})
+        machine = Machine("EPYC 7502", seed=seed, calibration=perturbed)
+        table = selfcheck(machine)
+        machine.shutdown()
+        result.rows.append(
+            SensitivityRow(
+                constant=name,
+                perturbation_rel=perturbation_rel,
+                broke=tuple(c.quantity for c in table.failures()),
+            )
+        )
+    return result

@@ -1,0 +1,94 @@
+"""JSON-friendly serialization of experiment artifacts.
+
+Benches archive rendered text; downstream tooling (regression tracking,
+notebooks) wants structured data.  Everything here is plain-dict based
+so the output feeds ``json.dump`` directly, and loaders round-trip the
+types the comparison machinery uses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.report import Comparison, ComparisonTable
+
+SCHEMA_VERSION = 1
+
+
+def comparison_to_dict(comp: Comparison) -> dict[str, Any]:
+    """One comparison row as a plain dict.
+
+    Measured values frequently arrive as numpy scalars; everything is
+    coerced to builtins so the dict feeds ``json.dump`` directly.
+    """
+    return {
+        "quantity": str(comp.quantity),
+        "paper_value": float(comp.paper_value),
+        "measured_value": float(comp.measured_value),
+        "unit": str(comp.unit),
+        "tolerance_rel": float(comp.tolerance_rel),
+        "deviation_rel": float(comp.deviation_rel),
+        "ok": bool(comp.ok),
+    }
+
+
+def comparison_from_dict(data: dict[str, Any]) -> Comparison:
+    """Inverse of :func:`comparison_to_dict` (derived fields ignored)."""
+    return Comparison(
+        quantity=data["quantity"],
+        paper_value=data["paper_value"],
+        measured_value=data["measured_value"],
+        unit=data.get("unit", ""),
+        tolerance_rel=data.get("tolerance_rel", 0.05),
+    )
+
+
+def table_to_dict(table: ComparisonTable) -> dict[str, Any]:
+    """A full comparison table, with the aggregate verdict."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": str(table.experiment),
+        "all_ok": bool(table.all_ok),
+        "comparisons": [comparison_to_dict(c) for c in table.comparisons],
+    }
+
+
+def table_from_dict(data: dict[str, Any]) -> ComparisonTable:
+    """Rebuild a :class:`ComparisonTable` from its dict form."""
+    if data.get("schema_version", 1) != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {data.get('schema_version')!r}"
+        )
+    table = ComparisonTable(experiment=data["experiment"])
+    table.comparisons.extend(
+        comparison_from_dict(c) for c in data["comparisons"]
+    )
+    return table
+
+
+def series_to_dict(name: str, values, **metadata) -> dict[str, Any]:
+    """A named 1-D series (histogram counts, sweep results, ...)."""
+    arr = np.asarray(values)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "values": arr.tolist(),
+        "n": int(arr.size),
+        "metadata": metadata,
+    }
+
+
+def dump_json(data: dict[str, Any], path: str) -> None:
+    """Write a serialized artifact to disk."""
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_json(path: str) -> dict[str, Any]:
+    """Read a serialized artifact."""
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,143 @@
+"""Run the full evaluation as one suite and emit a structured report.
+
+``run_suite`` executes every paper artifact's experiment at a chosen
+scale and collects the :class:`~repro.core.report.ComparisonTable` of
+each; ``suite_to_dict`` turns the lot into a JSON document for
+regression tracking (the structured sibling of EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.cstate_latency import CStateLatencyExperiment
+from repro.core.data_power import DataPowerExperiment
+from repro.core.experiment import ExperimentConfig
+from repro.core.freq_transition import FrequencyTransitionExperiment
+from repro.core.idle_power import IdlePowerExperiment
+from repro.core.idle_sibling import IdleSiblingExperiment
+from repro.core.memperf import MemoryPerformanceExperiment
+from repro.core.mixed_freq import MixedFrequencyExperiment
+from repro.core.rapl_quality import RaplQualityExperiment
+from repro.core.rapl_rate import RaplUpdateRateExperiment
+from repro.core.report import ComparisonTable
+from repro.core.serialize import table_to_dict
+from repro.core.throughput import ThroughputLimitExperiment
+from repro.units import ghz
+
+
+def _run_sec5a(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = IdleSiblingExperiment(cfg)
+    return exp.compare_with_paper(exp.measure())
+
+
+def _run_fig3(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = FrequencyTransitionExperiment(cfg)
+    return exp.compare_with_paper(exp.measure_pair(ghz(2.2), ghz(1.5)))
+
+
+def _run_tab1(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = MixedFrequencyExperiment(cfg)
+    return exp.compare_with_paper(exp.measure_applied_frequencies())
+
+
+def _run_fig5(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = MemoryPerformanceExperiment(cfg)
+    return exp.compare_with_paper(exp.measure_bandwidth(), exp.measure_latency())
+
+
+def _run_fig6(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = ThroughputLimitExperiment(cfg)
+    return exp.compare_with_paper(exp.measure(smt=True), exp.measure(smt=False))
+
+
+def _run_fig7(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = IdlePowerExperiment(cfg)
+    return exp.compare_with_paper(
+        exp.sweep_c1(step_cpus=list(range(8))),
+        exp.sweep_c0(step_cpus=list(range(8))),
+    )
+
+
+def _run_fig8(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = CStateLatencyExperiment(cfg)
+    return exp.compare_with_paper(exp.measure())
+
+
+def _run_fig9(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = RaplQualityExperiment(cfg)
+    return exp.compare_with_paper(exp.measure(placements=("all", "half")))
+
+
+def _run_fig10(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = DataPowerExperiment(cfg)
+    return exp.compare_with_paper(exp.measure("vxorps"), exp.measure("shr"))
+
+
+def _run_rapl_rate(cfg: ExperimentConfig) -> ComparisonTable:
+    exp = RaplUpdateRateExperiment(cfg)
+    return exp.compare_with_paper(exp.measure())
+
+
+SUITE: dict[str, Callable[[ExperimentConfig], ComparisonTable]] = {
+    "sec5a_idle_sibling": _run_sec5a,
+    "fig3_transition_delay": _run_fig3,
+    "tab1_mixed_frequencies": _run_tab1,
+    "fig5_memory_performance": _run_fig5,
+    "fig6_firestarter": _run_fig6,
+    "fig7_idle_power": _run_fig7,
+    "fig8_cstate_latency": _run_fig8,
+    "fig9_rapl_quality": _run_fig9,
+    "fig10_data_power": _run_fig10,
+    "sec7_rapl_update_rate": _run_rapl_rate,
+}
+
+
+@dataclass
+class SuiteResult:
+    """All comparison tables plus the aggregate verdict."""
+
+    config: ExperimentConfig
+    tables: dict[str, ComparisonTable] = field(default_factory=dict)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(t.all_ok for t in self.tables.values())
+
+    def failures(self) -> dict[str, list]:
+        return {
+            name: t.failures() for name, t in self.tables.items() if not t.all_ok
+        }
+
+    def render(self) -> str:
+        return "\n\n".join(t.render() for t in self.tables.values())
+
+
+def run_suite(
+    config: ExperimentConfig | None = None,
+    only: list[str] | None = None,
+) -> SuiteResult:
+    """Execute the (optionally filtered) suite."""
+    cfg = config or ExperimentConfig(scale=0.02)
+    names = list(SUITE) if only is None else only
+    unknown = set(names) - set(SUITE)
+    if unknown:
+        raise KeyError(f"unknown suite entries: {sorted(unknown)}")
+    result = SuiteResult(config=cfg)
+    for name in names:
+        result.tables[name] = SUITE[name](cfg)
+    return result
+
+
+def suite_to_dict(result: SuiteResult) -> dict[str, Any]:
+    """The JSON document for regression tracking."""
+    return {
+        "seed": int(result.config.seed),
+        "scale": float(result.config.scale),
+        "sku": str(result.config.sku),
+        "all_ok": bool(result.all_ok),
+        "experiments": {
+            name: table_to_dict(table) for name, table in result.tables.items()
+        },
+    }

@@ -1,0 +1,34 @@
+"""C-states (idle power states), §VI of the paper.
+
+* :mod:`repro.cstate.states` — the three states of the test system
+  (C0 active, C1 clock-gate via mwait, C2 via the C-state base-address
+  I/O port) with their ACPI-reported properties.
+* :mod:`repro.cstate.controller` — requested vs. effective state
+  resolution, core clock gating, the whole-system deep-sleep criterion,
+  and the §VI-B offline-thread anomaly.
+* :mod:`repro.cstate.wakeup` — wake-up latency model (Fig 8).
+"""
+
+from repro.cstate.states import CState, CSTATES, cstate_by_name, deeper, depth_of
+from repro.cstate.controller import CStateController
+from repro.cstate.package import (
+    PackageSleepResolver,
+    PackageSleepState,
+    SystemSleepReport,
+    XgmiLinkState,
+)
+from repro.cstate.wakeup import WakeupModel
+
+__all__ = [
+    "CState",
+    "CSTATES",
+    "cstate_by_name",
+    "deeper",
+    "depth_of",
+    "CStateController",
+    "PackageSleepResolver",
+    "PackageSleepState",
+    "SystemSleepReport",
+    "XgmiLinkState",
+    "WakeupModel",
+]

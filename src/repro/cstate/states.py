@@ -1,0 +1,73 @@
+"""C-state definitions for the test system (§VI).
+
+The paper's machine exposes three states (OS numbering): C0 (active), C1
+(entered with monitor/mwait) and C2 (entered through I/O address 0x814 in
+the C-state base-address range, §III-B).  ACPI reports transition
+latencies of 1 µs and 400 µs — the latter wildly pessimistic versus the
+measured 20–25 µs — and useless power values (UINT_MAX for C0, 0 for the
+idle states), "which cannot contribute towards an informed selection".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CStateError
+from repro.units import us
+
+#: The value ACPI reports as C0 "power" on the test system.
+UINT_MAX = 2**32 - 1
+
+#: C-state base I/O-port address (C-state address range, §III-B/§VI).
+CSTATE_BASE_IO_ADDRESS = 0x813
+#: C2 is entered by reading base+1 (the paper names IO address 0x814).
+C2_IO_ADDRESS = 0x814
+
+
+@dataclass(frozen=True)
+class CState:
+    """One idle state as presented to the OS."""
+
+    name: str
+    depth: int
+    entry_method: str  # "active" | "mwait" | "ioport"
+    acpi_latency_ns: int
+    acpi_power_w: float  # the (useless) ACPI-reported value
+    #: True when entering gates the core clock (counters halt, §VI-A).
+    gates_core_clock: bool
+
+
+CSTATES: tuple[CState, ...] = (
+    CState("C0", 0, "active", 0, float(UINT_MAX), gates_core_clock=False),
+    CState("C1", 1, "mwait", us(1), 0.0, gates_core_clock=True),
+    CState("C2", 2, "ioport", us(400), 0.0, gates_core_clock=True),
+)
+
+_BY_NAME = {c.name: c for c in CSTATES}
+_DEPTH = {c.name: c.depth for c in CSTATES}
+
+
+def cstate_by_name(name: str) -> CState:
+    """Look up a C-state by its OS name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise CStateError(f"unknown C-state {name!r}") from None
+
+
+def depth_of(name: str) -> int:
+    """Numeric depth of a state name (C0=0 < C1=1 < C2=2)."""
+    try:
+        return _DEPTH[name]
+    except KeyError:
+        raise CStateError(f"unknown C-state {name!r}") from None
+
+
+def deeper(a: str, b: str) -> str:
+    """The deeper of two states."""
+    return a if depth_of(a) >= depth_of(b) else b
+
+
+def shallower(a: str, b: str) -> str:
+    """The shallower of two states."""
+    return a if depth_of(a) <= depth_of(b) else b

@@ -1,0 +1,79 @@
+"""Wake-up latency model (§VI-C, Fig 8).
+
+Measured behaviour reproduced:
+
+* C1 wake is dominated by a core-clock-speed-dependent component —
+  ~1 µs at 2.2/2.5 GHz, 1.5 µs at 1.5 GHz.
+* C2 wake is 20–25 µs, far below the ACPI-reported 400 µs; it has a fixed
+  part (power-gate ramp) plus a clocked part.
+* Remote wake-ups (caller on the other socket) add only ~1 µs.
+* Distributions show outliers "attributed to the measurement, which runs
+  on the same resources as the test workload" — modelled as a small
+  probability of an inflated sample.
+* The requested state is not always the realized one: package-level
+  sleep would add latency, but an active caller prevents package sleep
+  (§VI-C), so these paths never trigger in the caller/callee setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CStateError
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.units import NS_PER_S
+
+
+class WakeupModel:
+    """Samples wake-up latencies for a (state, frequency, locality) tuple."""
+
+    def __init__(self, calibration: Calibration = CALIBRATION, rng: np.random.Generator | None = None) -> None:
+        self.cal = calibration
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def nominal_latency_ns(self, state: str, freq_hz: float, *, remote: bool = False) -> float:
+        """Deterministic centre of the latency distribution."""
+        cal = self.cal
+        if state == "C1":
+            lat = cal.c1_wake_fixed_ns + cal.c1_wake_cycles * NS_PER_S / freq_hz
+        elif state == "C2":
+            lat = cal.c2_wake_fixed_ns + cal.c2_wake_cycles * NS_PER_S / freq_hz
+        elif state == "C0":
+            # Callee polling in C0: only the signalling cost remains.
+            lat = 300.0
+        else:
+            raise CStateError(f"unknown C-state {state!r}")
+        if remote:
+            lat += cal.remote_wake_extra_ns
+        return lat
+
+    def entry_latency_ns(self, state: str, freq_hz: float) -> float:
+        """Time to *enter* an idle state (Ilsche et al. [6] companion
+        quantity to the wake-up latency): instruction path plus state
+        save; clock-speed dependent like the exit."""
+        cal = self.cal
+        if state == "C1":
+            return cal.c1_entry_cycles * NS_PER_S / freq_hz
+        if state == "C2":
+            return cal.c2_entry_fixed_ns + cal.c2_entry_cycles * NS_PER_S / freq_hz
+        if state == "C0":
+            return 0.0
+        raise CStateError(f"unknown C-state {state!r}")
+
+    def sample_entry_ns(self, state: str, freq_hz: float, n: int = 1) -> np.ndarray:
+        """Entry-latency samples with the usual measurement jitter."""
+        centre = self.entry_latency_ns(state, freq_hz)
+        jitter = self.rng.normal(1.0, self.cal.wake_jitter_rel_sigma, size=n)
+        return centre * np.clip(jitter, 0.85, None)
+
+    def sample_ns(self, state: str, freq_hz: float, *, remote: bool = False, n: int = 1) -> np.ndarray:
+        """Draw ``n`` latency samples including measurement perturbation."""
+        centre = self.nominal_latency_ns(state, freq_hz, remote=remote)
+        jitter = self.rng.normal(1.0, self.cal.wake_jitter_rel_sigma, size=n)
+        samples = centre * np.clip(jitter, 0.85, None)
+        # Outlier tail: the measurement infrastructure occasionally
+        # perturbs a sample (Fig 8 outliers).
+        outliers = self.rng.random(n) < self.cal.wake_outlier_prob
+        scales = 1.0 + self.rng.exponential(self.cal.wake_outlier_scale, size=n)
+        samples = np.where(outliers, samples * scales, samples)
+        return samples

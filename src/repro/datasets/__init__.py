@@ -1,0 +1,15 @@
+"""Embedded datasets."""
+
+from repro.datasets.green500 import (
+    ARCHITECTURE_BANDS,
+    Green500Entry,
+    architecture_summary,
+    synthesize_green500,
+)
+
+__all__ = [
+    "Green500Entry",
+    "ARCHITECTURE_BANDS",
+    "synthesize_green500",
+    "architecture_summary",
+]

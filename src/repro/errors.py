@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so applications can
+catch everything from this package with a single ``except`` clause.  The
+OS-layer errors deliberately mirror the errno semantics of the real Linux
+interfaces they emulate (e.g. writing an invalid value to a sysfs file
+raises :class:`SysfsError`, like the ``EINVAL`` a real write would return).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A machine or experiment was configured inconsistently."""
+
+
+class TopologyError(ConfigurationError):
+    """Invalid topology construction or component lookup."""
+
+
+class PStateError(ReproError):
+    """Invalid P-state definition, request, or MSR encoding."""
+
+
+class CStateError(ReproError):
+    """Invalid C-state request or transition."""
+
+
+class SysfsError(ReproError):
+    """Invalid access to the emulated sysfs tree (bad path or value)."""
+
+    def __init__(self, path: str, message: str):
+        super().__init__(f"{path}: {message}")
+        self.path = path
+
+
+class MsrError(ReproError):
+    """Access to an unimplemented or read-only MSR."""
+
+    def __init__(self, address: int, message: str):
+        super().__init__(f"MSR {address:#x}: {message}")
+        self.address = address
+
+
+class SimulationError(ReproError):
+    """Discrete-event engine misuse (e.g. scheduling in the past)."""
+
+
+class MeasurementError(ReproError):
+    """An experiment's validation logic rejected its own measurement."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload descriptor or placement."""

@@ -1,0 +1,16 @@
+"""Measurement instruments (§IV).
+
+* :mod:`repro.instruments.lmg670` — the external ZES LMG670 AC power
+  analyzer: 20 Sa/s, accuracy ±(0.015 % + 0.0625 W), out-of-band (it
+  never perturbs the machine).
+* :mod:`repro.instruments.energy` — the ``x86_energy``-style RAPL readout
+  library over the emulated MSR file.
+* :mod:`repro.instruments.timeline` — post-mortem merging and the paper's
+  inner-8-seconds-of-10 averaging rule.
+"""
+
+from repro.instruments.lmg670 import Lmg670
+from repro.instruments.energy import X86EnergyReader
+from repro.instruments.timeline import PowerSeries, inner_window_mean
+
+__all__ = ["Lmg670", "X86EnergyReader", "PowerSeries", "inner_window_mean"]

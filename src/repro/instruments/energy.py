@@ -1,0 +1,63 @@
+"""``x86_energy``-style RAPL readout (§IV footnote 4).
+
+The paper reads RAPL through the tud-zih-energy ``x86_energy`` library
+rather than raw ``msr`` accesses.  This reader wraps the emulated MSR
+file the same way: it converts raw counter values with the unit register,
+and differences two readouts handling 32-bit wrap-around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.msr.definitions import (
+    MSR_CORE_ENERGY_STAT,
+    MSR_PKG_ENERGY_STAT,
+    MSR_RAPL_PWR_UNIT,
+)
+from repro.units import RAPL_COUNTER_WRAP
+
+
+@dataclass(frozen=True)
+class EnergyReading:
+    """A raw counter snapshot plus its decoded value."""
+
+    raw: int
+    joules: float
+
+
+class X86EnergyReader:
+    """Reads package/core energy through the MSR interface."""
+
+    def __init__(self, msr_file) -> None:
+        self.msr = msr_file
+        unit_reg = self.msr.read(0, MSR_RAPL_PWR_UNIT)
+        esu = (unit_reg >> 8) & 0x1F
+        self.energy_unit_j = 2.0 ** (-esu)
+
+    # --- snapshots ---------------------------------------------------------
+
+    def read_package(self, cpu_id: int) -> EnergyReading:
+        """Package energy via any CPU of the package."""
+        raw = self.msr.read(cpu_id, MSR_PKG_ENERGY_STAT)
+        return EnergyReading(raw, raw * self.energy_unit_j)
+
+    def read_core(self, cpu_id: int) -> EnergyReading:
+        """Per-core energy (AMD's core domain is per core, §III-C)."""
+        raw = self.msr.read(cpu_id, MSR_CORE_ENERGY_STAT)
+        return EnergyReading(raw, raw * self.energy_unit_j)
+
+    # --- differencing ----------------------------------------------------------
+
+    def delta_joules(self, before: EnergyReading, after: EnergyReading) -> float:
+        """Energy between two snapshots, handling counter wrap."""
+        raw_delta = (after.raw - before.raw) % RAPL_COUNTER_WRAP
+        return raw_delta * self.energy_unit_j
+
+    def average_power_w(
+        self, before: EnergyReading, after: EnergyReading, duration_s: float
+    ) -> float:
+        """Mean power between two snapshots."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        return self.delta_joules(before, after) / duration_s

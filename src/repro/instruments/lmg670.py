@@ -1,0 +1,60 @@
+"""The ZES LMG670 power analyzer model.
+
+Datasheet behaviour used by the paper (§IV): L60-CH-A1 channels with
+accuracy ±(0.015 % of reading + 0.0625 W), active-power values collected
+at 20 Sa/s by a *separate* system ("out-of-band data collection avoids
+any perturbation") and merged post-mortem.
+
+Error model: a per-instrument systematic component (drawn once per
+instrument, uniform within the accuracy band) plus per-sample noise well
+inside the band.  The systematic part matters: it means repeated
+measurements do not average the error away, exactly like a real analyzer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.instruments.timeline import PowerSeries
+from repro.power.calibration import CALIBRATION, Calibration
+
+
+class Lmg670:
+    """Samples true power into a :class:`PowerSeries` with meter error."""
+
+    def __init__(self, rng: np.random.Generator, calibration: Calibration = CALIBRATION) -> None:
+        self.cal = calibration
+        self.rng = rng
+        # Systematic error: fixed for the life of the instrument.
+        self._sys_gain = 1.0 + rng.uniform(-0.5, 0.5) * calibration.ac_meter_gain_error
+        self._sys_offset_w = rng.uniform(-0.5, 0.5) * calibration.ac_meter_offset_error_w
+
+    @property
+    def sample_rate_hz(self) -> float:
+        return self.cal.ac_meter_sample_rate_hz
+
+    def measure_series(
+        self, true_power_w: np.ndarray, start_s: float = 0.0
+    ) -> PowerSeries:
+        """Convert a true-power trajectory (already at 20 Sa/s) to readings."""
+        true_power_w = np.asarray(true_power_w, dtype=float)
+        n = true_power_w.size
+        # Per-sample noise: 1/4 of the accuracy band each for gain/offset.
+        gain_noise = 1.0 + self.rng.normal(
+            0.0, self.cal.ac_meter_gain_error / 4.0, size=n
+        )
+        offset_noise = self.rng.normal(
+            0.0, self.cal.ac_meter_offset_error_w / 4.0, size=n
+        )
+        readings = (
+            true_power_w * self._sys_gain * gain_noise
+            + self._sys_offset_w
+            + offset_noise
+        )
+        times = start_s + np.arange(n) / self.sample_rate_hz
+        return PowerSeries(times_s=times, power_w=readings)
+
+    def sample_constant(self, true_power_w: float, duration_s: float, start_s: float = 0.0) -> PowerSeries:
+        """Readings for a constant true power over ``duration_s``."""
+        n = max(1, int(round(duration_s * self.sample_rate_hz)))
+        return self.measure_series(np.full(n, true_power_w), start_s)

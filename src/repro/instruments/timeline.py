@@ -1,0 +1,74 @@
+"""Measurement time series and the paper's averaging rules (§IV).
+
+"For quantitative comparisons, we use average power values within the
+inner 8 s of a 10 s interval in which one workload configuration is
+executed continuously.  This approach avoids inaccuracies due to
+misaligned timestamps."  §V-E trims asymmetrically: "We exclude data for
+the first 5 s and last 2 s".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class PowerSeries:
+    """A timestamped power trace from one instrument."""
+
+    times_s: np.ndarray
+    power_w: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.times_s.shape != self.power_w.shape:
+            raise MeasurementError("times and power arrays differ in shape")
+
+    @property
+    def duration_s(self) -> float:
+        if self.times_s.size < 2:
+            return 0.0
+        return float(self.times_s[-1] - self.times_s[0])
+
+    def window(self, t0_s: float, t1_s: float) -> "PowerSeries":
+        """Sub-series with t0 <= t < t1."""
+        mask = (self.times_s >= t0_s) & (self.times_s < t1_s)
+        return PowerSeries(self.times_s[mask], self.power_w[mask])
+
+    def mean_w(self) -> float:
+        if self.power_w.size == 0:
+            raise MeasurementError("empty power series")
+        return float(np.mean(self.power_w))
+
+    def std_w(self) -> float:
+        return float(np.std(self.power_w, ddof=1)) if self.power_w.size > 1 else 0.0
+
+    def concat(self, other: "PowerSeries") -> "PowerSeries":
+        """Append another series (post-mortem merge step)."""
+        return PowerSeries(
+            np.concatenate([self.times_s, other.times_s]),
+            np.concatenate([self.power_w, other.power_w]),
+        )
+
+
+def inner_window_mean(
+    series: PowerSeries,
+    *,
+    skip_head_s: float = 1.0,
+    skip_tail_s: float = 1.0,
+) -> float:
+    """Mean over the series with head/tail trimmed (the inner-8s rule)."""
+    if series.times_s.size == 0:
+        raise MeasurementError("empty power series")
+    t0 = float(series.times_s[0]) + skip_head_s
+    t1 = float(series.times_s[-1]) - skip_tail_s + 1e-12
+    inner = series.window(t0, t1)
+    if inner.power_w.size == 0:
+        raise MeasurementError(
+            f"trim ({skip_head_s}+{skip_tail_s}s) leaves no samples in a "
+            f"{series.duration_s:.1f}s series"
+        )
+    return inner.mean_w()

@@ -1,0 +1,17 @@
+"""Memory-hierarchy performance models (§V-C Fig 4, §V-D Fig 5)."""
+
+from repro.memory.hierarchy import CacheLevel, ZEN2_HIERARCHY, level_for_footprint
+from repro.memory.latency import LatencyModel
+from repro.memory.bandwidth import BandwidthModel, BandwidthResult
+from repro.memory.dram import DramConfig, DRAM_CONFIGS
+
+__all__ = [
+    "CacheLevel",
+    "ZEN2_HIERARCHY",
+    "level_for_footprint",
+    "LatencyModel",
+    "BandwidthModel",
+    "BandwidthResult",
+    "DramConfig",
+    "DRAM_CONFIGS",
+]

@@ -1,0 +1,104 @@
+"""STREAM-Triad bandwidth model (Fig 5 left panel).
+
+Reproduced behaviour (§V-D):
+
+* "two cores on one CCX already reach the maximal main memory bandwidth"
+  — with the paper's compact thread placement and first-touch policy the
+  data lives on one NUMA quadrant, so the ceiling is the min of the CCD's
+  Infinity-Fabric link and the quadrant's two DRAM channels;
+* "additional cores can lead to performance degradation" — a small
+  per-core contention penalty beyond saturation;
+* "higher I/O die P-states reduce power consumption but also lower
+  memory bandwidth" — the IF-link ceiling scales with fclk;
+* "a higher DRAM frequency does not increase memory bandwidth
+  significantly" — at fclk P0 the IF link, not DRAM, is the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iodie.fclk import FclkController
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.units import ghz
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """Outcome of a bandwidth evaluation."""
+
+    bandwidth_gbs: float
+    limiter: str  # "cores" | "if_link" | "dram"
+    saturating_cores: int
+
+
+class BandwidthModel:
+    """Evaluates achievable Triad bandwidth for a placement."""
+
+    def __init__(self, calibration: Calibration = CALIBRATION) -> None:
+        self.cal = calibration
+
+    # --- ceilings ---------------------------------------------------------
+
+    def per_core_gbs(self, core_freq_hz: float, demand_gbs: float | None = None) -> float:
+        """A single core's achievable stream bandwidth.
+
+        Mildly frequency-dependent: the core must issue enough outstanding
+        misses; at 2.5 GHz the calibrated single-core Triad demand applies.
+        """
+        base = self.cal.stream_per_core_gbs if demand_gbs is None else demand_gbs
+        scale = 0.75 + 0.25 * (core_freq_hz / self.cal.nominal_freq_hz)
+        return base * scale
+
+    def if_link_gbs(self, fclk_hz: float) -> float:
+        """Per-CCD Infinity-Fabric link ceiling (read+write payload)."""
+        return self.cal.if_bytes_per_cycle * (fclk_hz / ghz(1)) * self.cal.if_efficiency
+
+    def quadrant_dram_gbs(self, memclk_hz: float) -> float:
+        """Two-channel quadrant DRAM ceiling with stream efficiency."""
+        per_channel = 8.0 * 2.0 * (memclk_hz / ghz(1))  # 8 B, DDR
+        return 2 * per_channel * self.cal.dram_channel_efficiency
+
+    # --- evaluation ----------------------------------------------------------
+
+    def node_bandwidth_gbs(
+        self,
+        n_cores: int,
+        core_freq_hz: float,
+        fclk_ctrl: FclkController,
+        *,
+        memclk_hz: float | None = None,
+        demand_gbs_per_core: float | None = None,
+    ) -> BandwidthResult:
+        """Bandwidth for ``n_cores`` compactly placed, memory on one node.
+
+        This is the Fig 5 configuration: OpenMP threads placed compactly
+        (filling a CCX before spilling to the next), arrays first-touched
+        on NUMA node 0.  All traffic therefore converges on quadrant 0's
+        two channels through at most one CCD link per CCX.
+        """
+        if n_cores < 1:
+            raise ValueError(f"need at least one core, got {n_cores}")
+        io = fclk_ctrl.io_die
+        memclk = io.memclk_hz if memclk_hz is None else memclk_hz
+        fclk = fclk_ctrl.fclk_for(fclk_ctrl.mode, memclk)
+
+        demand = n_cores * self.per_core_gbs(core_freq_hz, demand_gbs_per_core)
+        if_ceiling = self.if_link_gbs(fclk)
+        dram_ceiling = self.quadrant_dram_gbs(memclk)
+
+        ceiling = min(if_ceiling, dram_ceiling)
+        limiter = "if_link" if if_ceiling <= dram_ceiling else "dram"
+        per_core = self.per_core_gbs(core_freq_hz, demand_gbs_per_core)
+        saturating = max(1, int(-(-ceiling // per_core)))  # ceil division
+
+        if demand < ceiling:
+            return BandwidthResult(demand, "cores", saturating)
+
+        # Saturated: contention degrades throughput slightly per extra core
+        # beyond the saturation point (§V-D observation).
+        extra = max(0, n_cores - saturating)
+        degradation = max(
+            0.5, 1.0 - self.cal.contention_degradation_per_core * extra
+        )
+        return BandwidthResult(ceiling * degradation, limiter, saturating)

@@ -1,0 +1,117 @@
+"""Cache-coherence transfer latencies (Molka et al.'s subject matter).
+
+The paper's latency tool comes from Molka et al.'s coherence study; the
+paper itself only exercises the local-L3 and local-DRAM paths, but its
+future work names "the memory architecture and the influence of power
+saving mechanisms on these in higher detail".  This module extends the
+latency model to cache-line transfers between cores in the MOESI
+protocol sense:
+
+* same CCX: the shared L3 holds the shadow tags — a dirty line moves
+  core-to-core at roughly L3 latency;
+* same package, different CCX: the request crosses the I/O die (two IF
+  hops) and returns through the home L3;
+* other package: additionally one xGMI hop each way, whose latency
+  depends on the link state (full width, reduced, retrained from low
+  power — tying the §VI sleep states to observable memory performance).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.cstate.package import XgmiLinkState
+from repro.memory.latency import LatencyModel
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.units import NS_PER_S, ghz
+
+
+class LineState(Enum):
+    """Simplified MOESI source state of the requested line."""
+
+    MODIFIED = "M"  # dirty in the owner's cache
+    SHARED = "S"  # clean copy, home L3 can answer
+    INVALID = "I"  # memory access (DRAM path)
+
+
+#: xGMI per-hop latency by link state (ns).  A low-power link must
+#: retrain before the first transfer — tens of microseconds, the
+#: memory-side face of the §VI wake costs.
+XGMI_HOP_NS = {
+    XgmiLinkState.FULL_WIDTH: 45.0,
+    XgmiLinkState.REDUCED_WIDTH: 60.0,
+    XgmiLinkState.LOW_POWER: 25_000.0,
+}
+
+
+class CoherenceModel:
+    """Core-to-core transfer latencies."""
+
+    #: Extra L3-domain cycles for a dirty-line (M) intervention.
+    M_STATE_EXTRA_L3_CYCLES = 18.0
+
+    def __init__(self, calibration: Calibration = CALIBRATION) -> None:
+        self.cal = calibration
+        self.latency = LatencyModel(calibration)
+
+    # --- intra-CCX ---------------------------------------------------------
+
+    def same_ccx_ns(
+        self, state: LineState, core_freq_hz: float, l3_freq_hz: float
+    ) -> float:
+        """Line transfer between cores sharing an L3."""
+        base = self.latency.l3_latency_ns(core_freq_hz, l3_freq_hz)
+        if state is LineState.MODIFIED:
+            base += self.M_STATE_EXTRA_L3_CYCLES * NS_PER_S / l3_freq_hz
+        return base
+
+    # --- cross-CCX, same package ---------------------------------------------
+
+    def same_package_ns(
+        self,
+        state: LineState,
+        core_freq_hz: float,
+        l3_freq_hz: float,
+        fclk_hz: float,
+    ) -> float:
+        """Transfer crossing the I/O die between two CCXs."""
+        base = self.same_ccx_ns(state, core_freq_hz, l3_freq_hz)
+        if_hop = self.cal.mem_if_hop_cycles * NS_PER_S / fclk_hz
+        return base + 2 * if_hop  # request out, data back
+
+    # --- cross-package ------------------------------------------------------------
+
+    def cross_package_ns(
+        self,
+        state: LineState,
+        core_freq_hz: float,
+        l3_freq_hz: float,
+        fclk_hz: float,
+        xgmi: XgmiLinkState = XgmiLinkState.FULL_WIDTH,
+    ) -> float:
+        """Transfer to the other socket over xGMI."""
+        base = self.same_package_ns(state, core_freq_hz, l3_freq_hz, fclk_hz)
+        return base + 2 * XGMI_HOP_NS[xgmi]
+
+    # --- convenience ---------------------------------------------------------------
+
+    def transfer_ns(
+        self,
+        machine,
+        src_cpu: int,
+        dst_cpu: int,
+        state: LineState = LineState.MODIFIED,
+    ) -> float:
+        """Transfer latency between two logical CPUs on a live machine."""
+        src = machine.topology.thread(src_cpu).core
+        dst = machine.topology.thread(dst_cpu).core
+        f_core = dst.applied_freq_hz
+        l3 = dst.ccx.l3_freq_hz
+        if src.ccx is dst.ccx:
+            return self.same_ccx_ns(state, f_core, l3)
+        fclk = dst.package.io_die.fclk_hz
+        if src.package is dst.package:
+            return self.same_package_ns(state, f_core, l3, fclk)
+        return self.cross_package_ns(
+            state, f_core, l3, fclk, machine.sleep.xgmi_state()
+        )

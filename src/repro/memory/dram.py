@@ -1,0 +1,48 @@
+"""DRAM configurations selectable in the (simulated) BIOS (§IV, §V-D).
+
+The test system defaults to MEMCLK 1.6 GHz (DDR4-3200); the §V-D sweep
+additionally uses a lower DRAM frequency.  We expose the two standard
+speed grades below 3200 as well, so sweeps can explore more of the space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import ghz
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """One DIMM speed grade."""
+
+    name: str
+    memclk_hz: float
+
+    @property
+    def transfer_rate_mts(self) -> float:
+        """DDR transfer rate in MT/s (two transfers per MEMCLK)."""
+        return 2 * self.memclk_hz / 1e6
+
+    @property
+    def channel_peak_gbs(self) -> float:
+        """Peak bandwidth of one 8-byte channel in GB/s."""
+        return 8 * self.transfer_rate_mts / 1e3
+
+
+DRAM_CONFIGS: dict[str, DramConfig] = {
+    "DDR4-3200": DramConfig("DDR4-3200", ghz(1.6)),
+    "DDR4-2933": DramConfig("DDR4-2933", ghz(1.4665)),
+    "DDR4-2666": DramConfig("DDR4-2666", ghz(1.333)),
+    "DDR4-2400": DramConfig("DDR4-2400", ghz(1.2)),
+}
+
+
+def dram_by_name(name: str) -> DramConfig:
+    """Look up a speed grade."""
+    try:
+        return DRAM_CONFIGS[name]
+    except KeyError:
+        known = ", ".join(sorted(DRAM_CONFIGS))
+        raise ConfigurationError(f"unknown DRAM config {name!r}; known: {known}") from None

@@ -1,0 +1,70 @@
+"""Zen 2 cache geometry (§III-A).
+
+Per core: a 4096-op op-cache, 32 KiB L1I, 32 KiB L1D and a unified
+512 KiB L2.  Per CCX: 16 MiB of L3 in four 4 MiB slices.  Load-to-use
+latencies (in cycles of the owning clock domain) follow AMD's published
+figures for Zen 2; the split between core-domain and L3-domain cycles is
+the model input for Fig 4 (see :mod:`repro.memory.latency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the on-die hierarchy."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    #: Load-to-use latency in cycles of the *core* clock domain.
+    core_cycles: float
+    #: Additional cycles spent in the L3 clock domain (zero for core-private
+    #: levels; the L3 runs its own clock, §III-C).
+    l3_cycles: float = 0.0
+    shared_by: str = "core"  # "core" | "ccx"
+
+
+ZEN2_HIERARCHY: tuple[CacheLevel, ...] = (
+    CacheLevel("L1D", 32 * KIB, 64, 8, core_cycles=4.0),
+    CacheLevel("L1I", 32 * KIB, 64, 8, core_cycles=4.0),
+    CacheLevel("L2", 512 * KIB, 64, 8, core_cycles=12.0),
+    CacheLevel(
+        "L3",
+        16 * MIB,
+        64,
+        16,
+        core_cycles=26.0,  # request/response path in the core domain
+        l3_cycles=13.0,  # slice access in the L3 domain
+        shared_by="ccx",
+    ),
+)
+
+_DATA_LEVELS = tuple(l for l in ZEN2_HIERARCHY if l.name != "L1I")
+
+
+def by_name(name: str) -> CacheLevel:
+    """Look up a level by name."""
+    for level in ZEN2_HIERARCHY:
+        if level.name == name:
+            return level
+    raise KeyError(f"no cache level named {name!r}")
+
+
+def level_for_footprint(footprint_bytes: int) -> CacheLevel | None:
+    """Smallest data cache level that holds ``footprint_bytes``.
+
+    Returns None when the footprint exceeds the L3 (i.e. a pointer-chase
+    over it measures DRAM latency).  This mirrors how the Molka et al.
+    benchmark selects the measured level by working-set size.
+    """
+    for level in _DATA_LEVELS:
+        if footprint_bytes <= level.size_bytes:
+            return level
+    return None

@@ -1,0 +1,91 @@
+"""Load-to-use latency model (Fig 4, Fig 5 right panel).
+
+The latency of a dependent-load chain decomposes by clock domain:
+
+* **core domain** — L1/L2 lookup and the request path into the L3,
+  scaling with the *measured core's* clock;
+* **L3 domain** — slice access, scaling with the CCX's L3 clock, which
+  follows the fastest core in the CCX (§V-C);
+* **I/O die** — Infinity-Fabric hops at fclk, plus an
+  asynchronous-crossing penalty when core/fabric/memory domains are not
+  frequency-matched (§V-D: why Auto beats fixed P0);
+* **DRAM** — a fixed device part plus a MEMCLK-scaled part.
+
+Hardware prefetchers are disabled and huge pages used in the paper's
+methodology (§V-C); the model therefore represents raw un-prefetched
+access time (there is no prefetch term to disable).
+"""
+
+from __future__ import annotations
+
+from repro.iodie.fclk import FclkController
+from repro.memory.hierarchy import CacheLevel, by_name
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.units import NS_PER_S, ghz
+
+
+class LatencyModel:
+    """Computes access latencies in nanoseconds."""
+
+    def __init__(self, calibration: Calibration = CALIBRATION) -> None:
+        self.cal = calibration
+
+    # --- on-die ------------------------------------------------------------
+
+    def cache_latency_ns(
+        self, level: CacheLevel | str, core_freq_hz: float, l3_freq_hz: float | None = None
+    ) -> float:
+        """Latency of a hit in ``level`` for a core at ``core_freq_hz``.
+
+        For the L3, ``l3_freq_hz`` is the CCX's L3 clock (defaults to the
+        core clock, i.e. a uniformly-clocked CCX).
+        """
+        if isinstance(level, str):
+            level = by_name(level)
+        if l3_freq_hz is None:
+            l3_freq_hz = core_freq_hz
+        lat = level.core_cycles * NS_PER_S / core_freq_hz
+        if level.l3_cycles:
+            lat += level.l3_cycles * NS_PER_S / l3_freq_hz
+        return lat
+
+    def l3_latency_ns(self, core_freq_hz: float, l3_freq_hz: float) -> float:
+        """Convenience wrapper for the Fig 4 quantity."""
+        return self.cache_latency_ns("L3", core_freq_hz, l3_freq_hz)
+
+    # --- main memory ----------------------------------------------------------
+
+    def dram_latency_ns(
+        self,
+        core_freq_hz: float,
+        fclk_ctrl: FclkController,
+        *,
+        l3_freq_hz: float | None = None,
+        memclk_hz: float | None = None,
+    ) -> float:
+        """Local-node main-memory latency (Fig 5 right panel).
+
+        Anchors (§V-D text): Auto = 92.0 ns vs fixed P0 = 96.0 ns at the
+        default configuration; at the higher DRAM frequency fixed P2 also
+        beats fixed P0 thanks to the 2:1 domain match.
+        """
+        cal = self.cal
+        io = fclk_ctrl.io_die
+        memclk = io.memclk_hz if memclk_hz is None else memclk_hz
+        fclk = fclk_ctrl.fclk_for(fclk_ctrl.mode, memclk)
+        if l3_freq_hz is None:
+            l3_freq_hz = core_freq_hz
+
+        # Core-side path (L1..L3 miss handling); dominated by constants
+        # measured at the nominal core clock, with a small core-clock term.
+        core_part = cal.mem_latency_core_path_ns * (
+            0.65 + 0.35 * (cal.nominal_freq_hz / core_freq_hz)
+        )
+        if_part = cal.mem_if_hop_cycles * NS_PER_S / fclk
+        dram_part = cal.mem_dram_fixed_ns + cal.mem_dram_clk_cycles * NS_PER_S / memclk
+        sync_part = (
+            cal.mem_sync_penalty_coeff_ns
+            * (ghz(1) / fclk + ghz(1) / memclk)
+            * fclk_ctrl.mismatch_factor(memclk)
+        )
+        return core_part + if_part + dram_part + sync_part

@@ -1,0 +1,124 @@
+"""NUMA-mode (NPS) performance model.
+
+The paper's testbed runs "2-Channel Interleaving (per Quadrant)" — NPS4
+(§IV) — which is what the Fig 5 numbers assume: memory on one quadrant,
+two local channels, one CCD's IF link.  The BIOS alternatives trade
+locality for spread:
+
+* **NPS4**: 2 channels per node; lowest local latency; a single node's
+  bandwidth ceiling is one quadrant (the paper's 2-core saturation);
+* **NPS2**: 4-channel interleave; one extra IF hop for half the
+  accesses;
+* **NPS1**: 8-channel interleave across the socket; the bandwidth
+  ceiling grows to the whole socket but every access averages the
+  on-die distance matrix.
+
+This model extends the Fig 5 machinery to those modes so operators can
+reason about the bandwidth/latency trade — the paper's future-work
+direction ("analyze the memory architecture ... in higher detail").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iodie.fclk import FclkController
+from repro.memory.bandwidth import BandwidthModel, BandwidthResult
+from repro.memory.latency import LatencyModel
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.topology.numa import NumaConfig
+from repro.units import NS_PER_S, ghz
+
+#: Extra Infinity-Fabric hops an interleaved access averages, per mode.
+#: NPS4 accesses stay on the local switch; NPS1 averages ~1.2 extra hops
+#: across the quadrant mesh.
+_EXTRA_HOPS = {
+    NumaConfig.NPS4: 0.0,
+    NumaConfig.NPS2: 0.6,
+    NumaConfig.NPS1: 1.2,
+}
+
+
+@dataclass(frozen=True)
+class NpsOperatingPoint:
+    """Bandwidth/latency summary for one NPS mode and placement."""
+
+    nps: NumaConfig
+    n_cores: int
+    bandwidth_gbs: float
+    limiter: str
+    latency_ns: float
+
+
+class NpsPerformanceModel:
+    """Bandwidth and latency across NUMA-per-socket modes."""
+
+    def __init__(self, calibration: Calibration = CALIBRATION) -> None:
+        self.cal = calibration
+        self.bandwidth = BandwidthModel(calibration)
+        self.latency = LatencyModel(calibration)
+
+    # --- bandwidth ---------------------------------------------------------
+
+    def node_bandwidth(
+        self,
+        nps: NumaConfig,
+        n_cores: int,
+        core_freq_hz: float,
+        fclk_ctrl: FclkController,
+    ) -> BandwidthResult:
+        """Triad bandwidth against one NUMA node's interleave set.
+
+        The DRAM ceiling scales with the channels in the interleave set
+        (2/4/8); the IF ceiling scales with the CCD links that can reach
+        it without funnelling through a single switch port (1/2/4).
+        """
+        channels = 8 // nps.value
+        links = max(1, 4 // nps.value)
+        io = fclk_ctrl.io_die
+        fclk = fclk_ctrl.fclk_for(fclk_ctrl.mode, io.memclk_hz)
+
+        demand = n_cores * self.bandwidth.per_core_gbs(core_freq_hz)
+        if_ceiling = links * self.bandwidth.if_link_gbs(fclk)
+        dram_ceiling = (channels / 2) * self.bandwidth.quadrant_dram_gbs(io.memclk_hz)
+        ceiling = min(if_ceiling, dram_ceiling)
+        limiter = "if_link" if if_ceiling <= dram_ceiling else "dram"
+        per_core = self.bandwidth.per_core_gbs(core_freq_hz)
+        saturating = max(1, int(-(-ceiling // per_core)))
+        if demand < ceiling:
+            return BandwidthResult(demand, "cores", saturating)
+        extra = max(0, n_cores - saturating)
+        degradation = max(
+            0.5, 1.0 - self.cal.contention_degradation_per_core * extra
+        )
+        return BandwidthResult(ceiling * degradation, limiter, saturating)
+
+    # --- latency -------------------------------------------------------------
+
+    def local_latency_ns(
+        self, nps: NumaConfig, core_freq_hz: float, fclk_ctrl: FclkController
+    ) -> float:
+        """Average load-to-use latency to the node's interleave set."""
+        base = self.latency.dram_latency_ns(core_freq_hz, fclk_ctrl)
+        fclk = fclk_ctrl.fclk_for(fclk_ctrl.mode, fclk_ctrl.io_die.memclk_hz)
+        hop_ns = self.cal.mem_if_hop_cycles * NS_PER_S / fclk
+        return base + _EXTRA_HOPS[nps] * hop_ns
+
+    # --- summary ----------------------------------------------------------------
+
+    def operating_point(
+        self,
+        nps: NumaConfig,
+        n_cores: int,
+        fclk_ctrl: FclkController,
+        core_freq_hz: float = ghz(2.5),
+    ) -> NpsOperatingPoint:
+        bw = self.node_bandwidth(nps, n_cores, core_freq_hz, fclk_ctrl)
+        lat = self.local_latency_ns(nps, core_freq_hz, fclk_ctrl)
+        return NpsOperatingPoint(
+            nps=nps,
+            n_cores=n_cores,
+            bandwidth_gbs=bw.bandwidth_gbs,
+            limiter=bw.limiter,
+            latency_ns=lat,
+        )

@@ -1,0 +1,40 @@
+"""Model-specific register (MSR) emulation.
+
+Mirrors the paper's access path: the real experiments read MSRs via the
+Linux ``msr`` kernel module (per-CPU device files); here,
+:class:`~repro.msr.registers.MsrFile` dispatches per-CPU reads/writes to
+handlers the machine registers (P-state table, RAPL counters, APERF/
+MPERF).  Addresses follow AMD family 17h (PPR 55803).
+"""
+
+from repro.msr.definitions import (
+    MSR_APERF,
+    MSR_CSTATE_BASE_ADDR,
+    MSR_CORE_ENERGY_STAT,
+    MSR_MPERF,
+    MSR_PKG_ENERGY_STAT,
+    MSR_PSTATE_0,
+    MSR_PSTATE_CUR_LIM,
+    MSR_PSTATE_CTL,
+    MSR_PSTATE_STATUS,
+    MSR_RAPL_PWR_UNIT,
+    MSR_TSC,
+    pstate_msr_address,
+)
+from repro.msr.registers import MsrFile
+
+__all__ = [
+    "MsrFile",
+    "MSR_TSC",
+    "MSR_MPERF",
+    "MSR_APERF",
+    "MSR_PSTATE_CUR_LIM",
+    "MSR_PSTATE_CTL",
+    "MSR_PSTATE_STATUS",
+    "MSR_PSTATE_0",
+    "MSR_CSTATE_BASE_ADDR",
+    "MSR_RAPL_PWR_UNIT",
+    "MSR_CORE_ENERGY_STAT",
+    "MSR_PKG_ENERGY_STAT",
+    "pstate_msr_address",
+]

@@ -1,0 +1,53 @@
+"""AMD family 17h MSR addresses used by the paper's experiments.
+
+Sources: PPR for family 17h model 31h (doc 55803), §2.1.14.3 for the
+P-state and C-state base-address registers; the RAPL registers replaced
+the Bulldozer-era APM interface (§III-C).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MsrError
+
+# architectural (Intel-compatible) counters
+MSR_TSC = 0x10
+MSR_MPERF = 0xE7
+MSR_APERF = 0xE8
+
+# P-states (PPR 2.1.14.3)
+MSR_PSTATE_CUR_LIM = 0xC0010061
+MSR_PSTATE_CTL = 0xC0010062
+MSR_PSTATE_STATUS = 0xC0010063
+MSR_PSTATE_0 = 0xC0010064
+N_PSTATE_MSRS = 8
+
+# C-state base address (the I/O port range whose reads enter idle states)
+MSR_CSTATE_BASE_ADDR = 0xC0010073
+
+# RAPL (Zen replacement for APM)
+MSR_RAPL_PWR_UNIT = 0xC0010299
+MSR_CORE_ENERGY_STAT = 0xC001029A
+MSR_PKG_ENERGY_STAT = 0xC001029B
+
+
+def pstate_msr_address(index: int) -> int:
+    """Address of the P-state definition MSR ``index`` (0..7)."""
+    if not 0 <= index < N_PSTATE_MSRS:
+        raise MsrError(MSR_PSTATE_0 + max(0, index), f"P-state index {index} out of range")
+    return MSR_PSTATE_0 + index
+
+
+#: Human-readable names for diagnostics.
+MSR_NAMES: dict[int, str] = {
+    MSR_TSC: "TSC",
+    MSR_MPERF: "MPERF",
+    MSR_APERF: "APERF",
+    MSR_PSTATE_CUR_LIM: "PStateCurLim",
+    MSR_PSTATE_CTL: "PStateCtl",
+    MSR_PSTATE_STATUS: "PStateStat",
+    MSR_CSTATE_BASE_ADDR: "CStateBaseAddr",
+    MSR_RAPL_PWR_UNIT: "RAPL_PWR_UNIT",
+    MSR_CORE_ENERGY_STAT: "CORE_ENERGY_STAT",
+    MSR_PKG_ENERGY_STAT: "PKG_ENERGY_STAT",
+}
+MSR_NAMES.update({pstate_msr_address(i): f"PStateDef{i}" for i in range(N_PSTATE_MSRS)})

@@ -1,0 +1,71 @@
+"""The per-CPU MSR dispatch table.
+
+Components register read/write handlers per address.  A handler receives
+the logical CPU id, so one handler can serve core-scoped registers
+(APERF) and package-scoped ones (package energy) alike.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import MsrError
+
+ReadHandler = Callable[[int], int]
+WriteHandler = Callable[[int, int], None]
+
+_MASK64 = (1 << 64) - 1
+
+
+class MsrFile:
+    """Emulates ``/dev/cpu/N/msr`` access."""
+
+    def __init__(self) -> None:
+        self._readers: dict[int, ReadHandler] = {}
+        self._writers: dict[int, WriteHandler] = {}
+        self._static: dict[int, int] = {}
+
+    # --- registration ------------------------------------------------------
+
+    def register(
+        self,
+        address: int,
+        reader: ReadHandler | None = None,
+        writer: WriteHandler | None = None,
+    ) -> None:
+        """Attach handlers for one MSR address."""
+        if reader is not None:
+            self._readers[address] = reader
+        if writer is not None:
+            self._writers[address] = writer
+
+    def register_static(self, address: int, value: int) -> None:
+        """Expose a constant, read-only MSR value."""
+        self._static[address] = value & _MASK64
+
+    # --- access -------------------------------------------------------------
+
+    def read(self, cpu_id: int, address: int) -> int:
+        """Read an MSR on a given logical CPU."""
+        if address in self._readers:
+            return self._readers[address](cpu_id) & _MASK64
+        if address in self._static:
+            return self._static[address]
+        raise MsrError(address, "read of unimplemented MSR")
+
+    def write(self, cpu_id: int, address: int, value: int) -> None:
+        """Write an MSR on a given logical CPU."""
+        if address in self._writers:
+            self._writers[address](cpu_id, value & _MASK64)
+            return
+        if address in self._readers or address in self._static:
+            raise MsrError(address, "write to read-only MSR")
+        raise MsrError(address, "write to unimplemented MSR")
+
+    def implemented(self, address: int) -> bool:
+        """True if the address has any handler."""
+        return (
+            address in self._readers
+            or address in self._writers
+            or address in self._static
+        )

@@ -1,0 +1,14 @@
+"""The operating-system facade.
+
+The paper drives every mechanism through standard Linux interfaces
+(§IV): the ``userspace`` cpufreq governor, sysfs cpuidle state disabling,
+sysfs CPU hotplug, ``perf stat`` sampling and the ``msr`` module.  The
+experiments in :mod:`repro.core` use the same interfaces against this
+emulation, so the *procedure* of each measurement matches the paper.
+"""
+
+from repro.oslayer.kernel import Kernel
+from repro.oslayer.cpufreq import CpufreqPolicy, Governor
+from repro.oslayer.perf import PerfSample, PerfStat
+
+__all__ = ["Kernel", "CpufreqPolicy", "Governor", "PerfStat", "PerfSample"]

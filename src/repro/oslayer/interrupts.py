@@ -1,0 +1,69 @@
+"""Per-CPU wake-up sources (timers, devices, IPIs).
+
+Two uses:
+
+* the residual housekeeping activity on idle threads — the paper's §V-A
+  observation of "less than 60000 cycle/s" on an idling hardware thread
+  comes from exactly these wake-ups;
+* input to the menu governor's sleep-length prediction
+  (:mod:`repro.oslayer.cpuidle`): a CPU bombarded by a high-frequency
+  timer never sleeps long enough for C2, which is the cheapest way for
+  an operator to lose the 81 W deep-sleep saving (§VI-A) without
+  touching a single sysfs knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Residual wake-up rate of a fully idle (nohz) CPU: RCU, watchdogs,
+#: occasional housekeeping timers.
+IDLE_RESIDUAL_WAKEUPS_HZ = 4.0
+
+#: Cycles a single wake-up burns (enter kernel, handle, re-idle).
+CYCLES_PER_WAKEUP = 12_000.0
+
+
+@dataclass
+class InterruptSource:
+    """One registered wake-up source pinned to a CPU."""
+
+    name: str
+    cpu_id: int
+    rate_hz: float
+
+
+class InterruptModel:
+    """Tracks wake-up sources per logical CPU."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, InterruptSource] = {}
+
+    def register(self, name: str, cpu_id: int, rate_hz: float) -> None:
+        """Pin a periodic wake-up source (timer, NIC queue, ...)."""
+        if rate_hz <= 0:
+            raise ConfigurationError(f"{name}: rate must be positive, got {rate_hz}")
+        if name in self._sources:
+            raise ConfigurationError(f"interrupt source {name!r} already registered")
+        self._sources[name] = InterruptSource(name, cpu_id, rate_hz)
+
+    def unregister(self, name: str) -> None:
+        """Remove a source (e.g. the device quiesced)."""
+        if name not in self._sources:
+            raise ConfigurationError(f"no interrupt source {name!r}")
+        del self._sources[name]
+
+    def sources_on(self, cpu_id: int) -> list[InterruptSource]:
+        return [s for s in self._sources.values() if s.cpu_id == cpu_id]
+
+    def wakeup_rate_hz(self, cpu_id: int) -> float:
+        """Total wake-ups per second an idle CPU sees."""
+        return IDLE_RESIDUAL_WAKEUPS_HZ + sum(
+            s.rate_hz for s in self.sources_on(cpu_id)
+        )
+
+    def idle_cycles_per_s(self, cpu_id: int) -> float:
+        """Housekeeping cycle rate of an idle CPU (perf's view, §V-A)."""
+        return self.wakeup_rate_hz(cpu_id) * CYCLES_PER_WAKEUP

@@ -1,0 +1,130 @@
+"""The kernel facade: ties sysfs, cpufreq, hotplug, perf and placement.
+
+Experiments interact with the machine almost exclusively through this
+object, mirroring how the paper's measurement programs interact with
+Linux.  Convenience helpers cover the recurring placement patterns
+(pin a workload to a CPU list, fill a CCX, fill cores-then-threads in
+the §VI-A sweep order).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.oslayer.cpufreq import CpufreqPolicy
+from repro.oslayer.hotplug import Hotplug
+from repro.oslayer.perf import PerfStat
+from repro.oslayer.procfs import ProcFs
+from repro.oslayer.sysfs import SysfsTree
+from repro.workloads.base import Workload
+
+
+class Kernel:
+    """OS-level control surface over a :class:`repro.machine.Machine`."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.sysfs = SysfsTree(self)
+        self.proc = ProcFs(machine)
+        self.hotplug = Hotplug(self)
+        self.perf = PerfStat(machine)
+        self._policies: dict[int, CpufreqPolicy] = {}
+
+    # --- cpufreq -------------------------------------------------------------
+
+    def cpufreq_policy(self, cpu_id: int) -> CpufreqPolicy:
+        """The cpufreq policy object for a logical CPU."""
+        policy = self._policies.get(cpu_id)
+        if policy is None:
+            thread = self.machine.topology.thread(cpu_id)
+            policy = CpufreqPolicy(
+                thread,
+                self.machine.sku.available_freqs_hz,
+                self.machine.on_freq_request,
+            )
+            self._policies[cpu_id] = policy
+        return policy
+
+    def set_frequency(self, cpu_id: int, freq_hz: float) -> None:
+        """userspace-governor setspeed for one CPU."""
+        self.cpufreq_policy(cpu_id).set_speed(freq_hz)
+
+    def set_all_frequencies(self, freq_hz: float) -> None:
+        """Set every logical CPU's request (the paper's baseline step)."""
+        for cpu_id in sorted(self.machine.topology.cpus):
+            self.set_frequency(cpu_id, freq_hz)
+
+    # --- scheduling / placement -------------------------------------------------
+
+    def run(self, workload: Workload, cpu_ids: list[int]) -> None:
+        """Pin ``workload`` to each listed logical CPU."""
+        for cpu_id in cpu_ids:
+            thread = self.machine.topology.thread(cpu_id)
+            if not thread.online:
+                raise ConfigurationError(f"cpu{cpu_id} is offline")
+            thread.workload = workload
+        self.machine.cstates.refresh()
+        self.machine.reconfigured()
+
+    def stop(self, cpu_ids: list[int] | None = None) -> None:
+        """Remove workloads (all CPUs when ``cpu_ids`` is None)."""
+        ids = sorted(self.machine.topology.cpus) if cpu_ids is None else cpu_ids
+        for cpu_id in ids:
+            self.machine.topology.thread(cpu_id).workload = None
+        self.machine.cstates.refresh()
+        self.machine.reconfigured()
+
+    # --- interrupts -------------------------------------------------------------
+
+    def register_interrupt(self, name: str, cpu_id: int, rate_hz: float) -> None:
+        """Pin a periodic wake-up source to a CPU (timer, NIC queue...).
+
+        High rates keep the CPU out of C2 via the menu governor — see
+        :mod:`repro.oslayer.cpuidle`.
+        """
+        self.machine.interrupts.register(name, cpu_id, rate_hz)
+        self.machine.cstates.refresh()
+        self.machine.reconfigured()
+
+    def unregister_interrupt(self, name: str) -> None:
+        """Remove a wake-up source and let the CPU sleep again."""
+        self.machine.interrupts.unregister(name)
+        self.machine.cstates.refresh()
+        self.machine.reconfigured()
+
+    # --- placement helpers ----------------------------------------------------------
+
+    def cpus_of_ccx(self, ccx_global_index: int, *, smt: bool = False) -> list[int]:
+        """Logical CPUs of one CCX (first threads, plus siblings if smt)."""
+        for ccx in self.machine.topology.ccxs():
+            if ccx.global_index == ccx_global_index:
+                ids = [c.threads[0].cpu_id for c in ccx.cores]
+                if smt:
+                    ids += [c.threads[1].cpu_id for c in ccx.cores]
+                return ids
+        raise ConfigurationError(f"no such CCX: {ccx_global_index}")
+
+    def first_thread_cpus(self, n_cores: int | None = None) -> list[int]:
+        """First hardware thread of every core, compact order."""
+        ids = [core.threads[0].cpu_id for core in self.machine.topology.cores()]
+        ids.sort()
+        return ids if n_cores is None else ids[:n_cores]
+
+    def all_cpus(self) -> list[int]:
+        """Every logical CPU id."""
+        return sorted(self.machine.topology.cpus)
+
+    def compact_cpus(self, n_threads: int) -> list[int]:
+        """Compact placement: fill cores of CCX 0 first, then spill.
+
+        Matches the §V-D STREAM placement ("additional well placed
+        threads"): one thread per core, packing CCXs in order.
+        """
+        ordered: list[int] = []
+        for ccx in self.machine.topology.ccxs():
+            for core in ccx.cores:
+                ordered.append(core.threads[0].cpu_id)
+        if n_threads > len(ordered):
+            raise ConfigurationError(
+                f"requested {n_threads} threads, only {len(ordered)} cores"
+            )
+        return ordered[:n_threads]

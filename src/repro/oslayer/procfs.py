@@ -1,0 +1,90 @@
+"""procfs emulation: /proc/cpuinfo, /proc/interrupts, /proc/stat.
+
+Monitoring tools read these files; rendering them from the machine state
+lets such tools (and the examples) run against the simulator unchanged.
+The cpuinfo fields mirror what an EPYC 7502 reports on the paper's
+Ubuntu 18.04 system.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SysfsError
+
+
+class ProcFs:
+    """Renders /proc files from live machine state."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+
+    # --- dispatch ----------------------------------------------------------
+
+    def read(self, path: str) -> str:
+        """Read one of the supported /proc files."""
+        if path == "/proc/cpuinfo":
+            return self.cpuinfo()
+        if path == "/proc/interrupts":
+            return self.interrupts()
+        if path == "/proc/stat":
+            return self.stat()
+        raise SysfsError(path, "no such file")
+
+    # --- /proc/cpuinfo ---------------------------------------------------------
+
+    def cpuinfo(self) -> str:
+        """One stanza per *online* logical CPU."""
+        m = self.machine
+        stanzas = []
+        model_number = {"EPYC 7502": 49}.get(m.sku.name, 49)
+        for cpu_id in sorted(m.topology.cpus):
+            t = m.topology.thread(cpu_id)
+            if not t.online:
+                continue
+            mhz = t.core.applied_freq_hz / 1e6
+            stanzas.append(
+                "\n".join(
+                    [
+                        f"processor\t: {cpu_id}",
+                        "vendor_id\t: AuthenticAMD",
+                        "cpu family\t: 23",
+                        f"model\t\t: {model_number}",
+                        f"model name\t: AMD {m.sku.name} 32-Core Processor",
+                        f"physical id\t: {t.core.package.index}",
+                        f"core id\t\t: {t.core.global_index}",
+                        f"cpu MHz\t\t: {mhz:.3f}",
+                        f"siblings\t: {m.sku.n_cores * 2}",
+                        f"cpu cores\t: {m.sku.n_cores}",
+                        "cache size\t: 512 KB",
+                    ]
+                )
+            )
+        return "\n\n".join(stanzas) + "\n"
+
+    # --- /proc/interrupts ----------------------------------------------------------
+
+    def interrupts(self) -> str:
+        """Registered wake-up sources with synthetic counts."""
+        m = self.machine
+        lines = ["IRQ\tCPU\trate_hz\tsource"]
+        sources = sorted(
+            (s for cpu in sorted(m.topology.cpus) for s in m.interrupts.sources_on(cpu)),
+            key=lambda s: (s.cpu_id, s.name),
+        )
+        for i, src in enumerate(sources):
+            lines.append(f"{i + 16}\t{src.cpu_id}\t{src.rate_hz:.0f}\t{src.name}")
+        return "\n".join(lines) + "\n"
+
+    # --- /proc/stat --------------------------------------------------------------------
+
+    def stat(self) -> str:
+        """Per-CPU busy/idle split derived from effective states."""
+        m = self.machine
+        lines = []
+        for cpu_id in sorted(m.topology.cpus):
+            t = m.topology.thread(cpu_id)
+            if not t.online:
+                continue
+            busy = 100 if t.is_active else 0
+            idle = 100 - busy
+            lines.append(f"cpu{cpu_id} {busy} 0 0 {idle} 0 0 0 0 0 0")
+        return "\n".join(lines) + "\n"

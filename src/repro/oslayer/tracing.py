@@ -1,0 +1,101 @@
+"""Kernel-tracepoint-style event recording (lo2s analogue).
+
+The paper's §VI-C methodology logs the ``sched_waking`` tracepoint to
+timestamp the wake-up signal (the older ``sched_wake_idle_without_ipi``
+event disappeared in newer kernels — reproduced faithfully: it is
+*not* available here either).  Components emit events into a
+:class:`TraceBuffer`; experiments read them back post-mortem, as lo2s
+does with its perf buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+#: Tracepoints this kernel version exposes.
+AVAILABLE_TRACEPOINTS = frozenset(
+    {
+        "sched_waking",
+        "sched_switch",
+        "power_cpu_idle",
+        "power_cpu_frequency",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One tracepoint record."""
+
+    time_ns: int
+    name: str
+    cpu_id: int
+    payload: dict = field(default_factory=dict)
+
+
+class TraceBuffer:
+    """An append-only per-session event buffer with tracepoint filters."""
+
+    def __init__(self, enabled_tracepoints: set[str] | None = None) -> None:
+        requested = (
+            set(AVAILABLE_TRACEPOINTS)
+            if enabled_tracepoints is None
+            else set(enabled_tracepoints)
+        )
+        missing = requested - AVAILABLE_TRACEPOINTS
+        if missing:
+            # e.g. sched_wake_idle_without_ipi on the paper's 5.4 kernel
+            raise ConfigurationError(
+                f"tracepoint(s) not available on this kernel: {sorted(missing)}"
+            )
+        self.enabled = requested
+        self._events: list[TraceEvent] = []
+
+    def emit(self, time_ns: int, name: str, cpu_id: int, **payload) -> None:
+        """Record an event if its tracepoint is enabled."""
+        if name not in self.enabled:
+            return
+        self._events.append(TraceEvent(time_ns, name, cpu_id, payload))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, name: str | None = None, cpu_id: int | None = None) -> Iterator[TraceEvent]:
+        """Iterate recorded events, optionally filtered."""
+        for ev in self._events:
+            if name is not None and ev.name != name:
+                continue
+            if cpu_id is not None and ev.cpu_id != cpu_id:
+                continue
+            yield ev
+
+    def last(self, name: str) -> TraceEvent:
+        """Most recent event of a tracepoint."""
+        for ev in reversed(self._events):
+            if ev.name == name:
+                return ev
+        raise LookupError(f"no {name!r} event recorded")
+
+    def pairwise_latencies_ns(
+        self, first: str, second: str
+    ) -> list[int]:
+        """Latencies from each ``first`` event to the next ``second``.
+
+        This is the §VI-C analysis shape: ``sched_waking`` (caller
+        signals) to ``sched_switch`` (callee runs).
+        """
+        out: list[int] = []
+        pending: int | None = None
+        for ev in self._events:
+            if ev.name == first:
+                pending = ev.time_ns
+            elif ev.name == second and pending is not None:
+                out.append(ev.time_ns - pending)
+                pending = None
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,22 @@
+"""Ground-truth power modelling.
+
+:mod:`repro.power.calibration` collects every constant the paper reports
+(annotated with its source figure/table/section); :mod:`repro.power.model`
+turns machine state into the "physical" AC power that the simulated
+external power analyzer observes.  The RAPL *estimator* in
+:mod:`repro.rapl` is intentionally a different, cruder model — the gap
+between the two is the subject of the paper's §VII.
+"""
+
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.power.model import PowerBreakdown, PowerModel
+from repro.power.thermal import ThermalModel, ThermalState
+
+__all__ = [
+    "CALIBRATION",
+    "Calibration",
+    "PowerModel",
+    "PowerBreakdown",
+    "ThermalModel",
+    "ThermalState",
+]

@@ -1,0 +1,265 @@
+"""Calibration constants traced to the paper.
+
+Every number in this module carries a comment naming the paper artifact it
+comes from (figure, table, or section of Schöne et al., CLUSTER 2021).
+Mechanism modules read these constants; the experiment acceptance tests
+check that the *measured* values recovered through the simulated
+instruments land back on them.  Numbers without a paper source are marked
+``# model choice`` — they are internal decompositions chosen so that the
+observable totals match the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import ghz, ms, us
+
+
+@dataclass(frozen=True)
+class VoltageCurve:
+    """Core voltage as a function of frequency (V-f curve).
+
+    AMD does not publish the VID mapping (§III-B: "voltage ID ... not
+    publicly documented"); this is a plausible monotone curve anchored so
+    the relative V²f scaling reproduces the power ratios between the
+    system's three P-states.   # model choice
+    """
+
+    points_hz_v: tuple[tuple[float, float], ...] = (
+        (ghz(1.5), 0.85),
+        (ghz(2.0), 0.95),
+        (ghz(2.2), 1.00),
+        (ghz(2.5), 1.10),
+    )
+
+    def voltage(self, f_hz: float) -> float:
+        """Piecewise-linear interpolation, clamped at the ends."""
+        pts = self.points_hz_v
+        if f_hz <= pts[0][0]:
+            return pts[0][1]
+        if f_hz >= pts[-1][0]:
+            return pts[-1][1]
+        for (f0, v0), (f1, v1) in zip(pts, pts[1:]):
+            if f0 <= f_hz <= f1:
+                return v0 + (v1 - v0) * (f_hz - f0) / (f1 - f0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All paper-sourced constants in one place."""
+
+    # ------------------------------------------------------------------
+    # §IV test system
+    # ------------------------------------------------------------------
+    nominal_freq_hz: float = ghz(2.5)  # §IV: reference frequency
+    available_freqs_hz: tuple[float, ...] = (ghz(1.5), ghz(2.2), ghz(2.5))  # §IV
+    default_memclk_hz: float = ghz(1.6)  # §IV: "memory is clocked at 1.6 GHz"
+    # LMG670 L60-CH-A1 accuracy: +-(0.015 % + 0.0625 W), 20 Sa/s (§IV)
+    ac_meter_gain_error: float = 0.015e-2
+    ac_meter_offset_error_w: float = 0.0625
+    ac_meter_sample_rate_hz: float = 20.0
+
+    # ------------------------------------------------------------------
+    # §V-B frequency transitions
+    # ------------------------------------------------------------------
+    smu_slot_period_ns: int = ms(1)  # Fig 3: 1 ms update interval
+    transition_down_ns: int = us(390)  # Fig 3 / §V-B text
+    transition_up_ns: int = us(360)  # §V-B: "360 us for increasing frequency"
+    #: Fast-return window: returning to the previous frequency while the
+    #: voltage is still settling applies ~instantaneously; the effect
+    #: disappears with waits >= 5 ms (§V-B).
+    voltage_settle_ns: int = ms(5)
+    fast_return_ns: int = us(1)  # §V-B: "executed instantaneously (1 us)"
+    #: Partially-settled down-switches can complete in as little as 160 us
+    #: (§V-B, 2.5 -> 2.2 GHz case).
+    partial_transition_min_ns: int = us(160)
+    #: Voltage difference below which the fast-return path is possible.
+    fast_return_max_dv: float = 0.12  # model choice (covers 2.2<->2.5 only)
+
+    # ------------------------------------------------------------------
+    # §V-C Table I: CCX mixed-frequency coupling penalty [MHz]
+    # keyed by (set_ghz, max_other_ghz); absent key = no penalty.
+    # ------------------------------------------------------------------
+    ccx_penalty_mhz: tuple[tuple[tuple[float, float], float], ...] = (
+        ((1.5, 2.2), 34.0),  # Table I: 1.466 applied
+        ((1.5, 2.5), 72.0),  # Table I: 1.428 applied
+        ((2.2, 2.5), 200.0),  # Table I: 2.000 applied
+    )
+    #: Small constant shortfalls observed even without higher neighbours
+    #: (Table I diagonal: 1.5/2.2/2.5 with equal others read 1.499 /
+    #: 2.199 / 2.499).
+    ccx_equal_shortfall_mhz: tuple[tuple[float, float], ...] = (
+        (1.5, 1.0),  # Table I: 1.499 with equal others
+        (2.2, 1.0),  # Table I: 2.199 with equal others
+        (2.5, 1.0),  # Table I: 2.499 with equal others
+    )
+    #: Table I, set 2.5: 2.497 with 1.5 GHz others, 2.499 with 2.2 GHz.
+    set_2g5_slow_others_shortfall_mhz: float = 3.0
+    set_2g5_mid_others_shortfall_mhz: float = 1.0
+
+    # ------------------------------------------------------------------
+    # §V-C Fig 4: L3 latency model (cycles)           # model choice
+    # latency = core_cycles / f_core + l3_cycles / f_l3
+    # ------------------------------------------------------------------
+    l3_core_path_cycles: float = 26.0
+    l3_array_cycles: float = 13.0
+
+    # ------------------------------------------------------------------
+    # §V-D Fig 5: I/O die & memory                     # model choice,
+    # anchored to the two latencies the text reports (92.0 / 96.0 ns)
+    # ------------------------------------------------------------------
+    fclk_pstates_hz: tuple[float, ...] = (ghz(1.467), ghz(1.333), ghz(0.8))
+    memclk_options_hz: tuple[float, ...] = (ghz(1.333), ghz(1.6))
+    # Anchoring (at core 2.5 GHz, MEMCLK 1.6 GHz): Auto -> 92.0 ns and
+    # fixed P0 -> 96.0 ns, the two values §V-D reports; P2 lands between.
+    mem_latency_core_path_ns: float = 31.2
+    mem_if_hop_cycles: float = 8.0
+    mem_dram_fixed_ns: float = 38.2
+    mem_dram_clk_cycles: float = 24.0
+    mem_sync_penalty_coeff_ns: float = 4.71
+    mem_auto_residual_mismatch: float = 0.35
+    #: Single-core STREAM-triad bandwidth demand.
+    stream_per_core_gbs: float = 22.0
+    #: IF read+write payload per fclk cycle per CCD link (32 B read bus).
+    if_bytes_per_cycle: float = 32.0
+    if_efficiency: float = 0.80
+    #: DRAM channel efficiency for STREAM-like streams.  Chosen high
+    #: enough that the IF link (not DRAM) limits at fclk P0, reproducing
+    #: §V-D's "a higher DRAM frequency does not increase memory bandwidth
+    #: significantly".
+    dram_channel_efficiency: float = 0.85
+    #: Bandwidth degradation per core beyond the saturation point
+    #: (§V-D: "additional cores can lead to performance degradation").
+    contention_degradation_per_core: float = 0.015
+
+    # ------------------------------------------------------------------
+    # §V-E Fig 6: EDC throttling targets
+    # ------------------------------------------------------------------
+    firestarter_freq_2t_hz: float = ghz(2.0)  # Fig 6
+    firestarter_freq_1t_hz: float = ghz(2.1)  # Fig 6
+    firestarter_ipc_2t: float = 3.56  # Fig 6 (per core cycle, both threads)
+    firestarter_ipc_1t: float = 3.23  # Fig 6
+    firestarter_power_2t_w: float = 509.0  # Fig 6 (system AC)
+    firestarter_power_1t_w: float = 489.0  # Fig 6
+    firestarter_rapl_pkg_w: float = 170.0  # §V-E: RAPL reports 170 W per pkg
+    tdp_w: float = 180.0  # §V-E: "TDP is stated to be 180 W"
+
+    # ------------------------------------------------------------------
+    # §VI Fig 7: idle power staircase (full-system AC)
+    # ------------------------------------------------------------------
+    ac_all_c2_w: float = 99.1  # Fig 7 / §VI-A
+    ac_first_c1_delta_w: float = 81.2  # §VI-A: +81.2 W for first C1 core
+    c1_per_core_w: float = 0.09  # §VI-A
+    ac_first_active_w: float = 180.4  # §VI-A (pause loop, others C2)
+    active_core_per_w: float = 0.33  # §VI-A at 2.5 GHz
+    active_thread_per_w: float = 0.05  # §VI-A at 2.5 GHz
+
+    # ------------------------------------------------------------------
+    # §VI / Fig 8: C-state latencies
+    # ------------------------------------------------------------------
+    acpi_reported_c1_latency_ns: int = us(1)  # §VI: reported 1 us
+    acpi_reported_c2_latency_ns: int = us(400)  # §VI: reported 400 us
+    c1_wake_cycles: float = 2400.0  # model choice -> 1.6/1.1/0.96 us
+    c1_wake_fixed_ns: float = 0.0
+    c2_wake_fixed_ns: float = 19_000.0  # model choice -> 20..25 us band
+    c2_wake_cycles: float = 8000.0
+    remote_wake_extra_ns: float = 1_000.0  # §VI-C: remote adds ~1 us
+    wake_jitter_rel_sigma: float = 0.02  # measurement noise, model choice
+    wake_outlier_prob: float = 0.02  # Fig 8 outliers, model choice
+    wake_outlier_scale: float = 4.0  # model choice
+    #: Entry latencies (Ilsche et al. [6] measure entering too): a mwait
+    #: C1 entry is a few hundred cycles; the C2 I/O-port entry saves
+    #: core state first.                                 # model choice
+    c1_entry_cycles: float = 900.0
+    c2_entry_fixed_ns: float = 7_000.0
+    c2_entry_cycles: float = 3_000.0
+
+    # ------------------------------------------------------------------
+    # §VII RAPL
+    # ------------------------------------------------------------------
+    rapl_update_period_ns: int = ms(1)  # §VII: measured 1 ms update rate
+    # Fig 10a: vxorps operand-weight system power spread
+    vxorps_ac_spread_w: float = 21.0  # Fig 10a: 21 W between weights 0 and 1
+    vxorps_ac_spread_rel: float = 0.076  # Fig 10a: 7.6 %
+    vxorps_rapl_spread_rel_max: float = 0.0008  # Fig 10b: within 0.08 %
+    shr_ac_spread_rel: float = 0.009  # §VII-B: within 0.9 %
+    shr_rapl_core_spread_rel: float = 0.00015  # §VII-B: within 0.015 %
+
+    # ------------------------------------------------------------------
+    # Internal power decomposition                       # model choice
+    # (chosen so the observable totals above come out right)
+    # ------------------------------------------------------------------
+    platform_base_w: float = 55.1  # PSU/fans/board/BMC share of 99.1 W
+    package_sleep_w: float = 12.0  # per package, in system sleep
+    dram_idle_w: float = 20.0  # refresh/self-driven DRAM power
+    system_wake_w: float = 81.11  # I/O dies + power planes out of sleep
+    #: pause-loop per active core adder at the nominal point (scaled by
+    #: V^2 f for other frequencies).
+    pause_core_nominal_w: float = 0.33
+    pause_thread_nominal_w: float = 0.05
+    #: One-time adjustment when any core is active, reconciling the
+    #: paper's 180.4 W single-active anchor with the +0.33 W/core slope
+    #: (99.1 + 81.11 + 0.33 - 0.14 = 180.4).
+    active_first_core_adjust_w: float = -0.14
+    #: DRAM active power per GB/s of traffic.
+    dram_w_per_gbs: float = 0.35
+    #: I/O-die extra power per GHz of fclk above the floor, per package.
+    iodie_w_per_fclk_ghz: float = 6.0
+    #: Workload dynamic power: W per (V^2 * f[GHz]) per active core, by
+    #: workload power coefficient 1.0 (see workloads).
+    dyn_w_per_v2ghz: float = 1.0
+    #: Toggle (operand Hamming weight) power: W per core at the nominal
+    #: V^2f point per unit toggle_rate per 256 bits of toggled datapath.
+    #: 0.33 W/core * 64 cores = 21.1 W full-system spread between operand
+    #: weights 0 and 1 — the Fig 10a measurement.
+    toggle_w_per_v2ghz_256b: float = 0.33
+    #: Leakage temperature coefficient per package: relative increase / K.
+    leakage_w_per_k_pkg: float = 0.22
+    reference_temp_c: float = 45.0
+    ambient_temp_c: float = 26.0
+    #: Lumped package thermal resistance / capacitance.
+    thermal_resistance_k_per_w: float = 0.24
+    thermal_capacitance_j_per_k: float = 240.0
+
+    voltage_curve: VoltageCurve = field(default_factory=VoltageCurve)
+
+    # ------------------------------------------------------------------
+    # EDC manager                                        # model choice,
+    # anchored to Fig 6 throttle points (see repro.smu.edc)
+    # ------------------------------------------------------------------
+    #: Per-core static current at voltage (A/V).
+    edc_static_a_per_core: float = 0.55
+    #: Dynamic current coefficient: A per (IPC * f[GHz]) per core, 1-thread
+    #: mode; SMT mode amortizes front-end current (§V-E discussion).
+    edc_dyn_a_per_ipcghz_1t: float = 0.640
+    edc_dyn_a_per_ipcghz_2t: float = 0.610
+
+    def voltage_at(self, f_hz: float) -> float:
+        """Core voltage for frequency ``f_hz``."""
+        return self.voltage_curve.voltage(f_hz)
+
+    def v2f_scale(self, f_hz: float) -> float:
+        """V^2 * f scaling factor relative to the nominal point."""
+        v = self.voltage_at(f_hz)
+        v_nom = self.voltage_at(self.nominal_freq_hz)
+        return (v * v * f_hz) / (v_nom * v_nom * self.nominal_freq_hz)
+
+    def ccx_penalty_hz(self, set_hz: float, max_other_hz: float) -> float:
+        """Table I coupling penalty for ``set`` when the CCX max is higher."""
+        set_g = round(set_hz / ghz(1), 3)
+        other_g = round(max_other_hz / ghz(1), 3)
+        for (s, o), mhz_pen in self.ccx_penalty_mhz:
+            if (s, o) == (set_g, other_g):
+                return mhz_pen * 1e6
+        if max_other_hz <= set_hz:
+            return 0.0
+        # Unlisted combination (non-paper frequency): interpolate on the
+        # relative gap, conservative linear model.    # model choice
+        gap = (max_other_hz - set_hz) / ghz(1)
+        return 50e6 * gap
+
+
+#: The package-wide calibration singleton.
+CALIBRATION = Calibration()

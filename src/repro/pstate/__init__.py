@@ -1,0 +1,28 @@
+"""P-states and DVFS.
+
+Three cooperating pieces:
+
+* :mod:`repro.pstate.table` — P-state definitions with family-17h-style
+  MSR encoding (frequency on the 25 MHz grid, VID, IddMax).
+* :mod:`repro.pstate.resolver` — turns per-thread frequency *requests*
+  into per-core *targets* and *observable mean* frequencies, implementing
+  the paper's §V-A sibling-vote rule and the §V-C CCX coupling effects.
+* :mod:`repro.pstate.transitions` — the SMU transition state machine:
+  1 ms update slots, 390/360 µs execution, voltage-settle fast returns
+  (§V-B / Fig 3).
+"""
+
+from repro.pstate.table import PState, PStateTable, decode_pstate_msr, encode_pstate_msr
+from repro.pstate.resolver import FrequencyResolver, ResolvedCoreFrequency
+from repro.pstate.transitions import TransitionEngine, TransitionRecord
+
+__all__ = [
+    "PState",
+    "PStateTable",
+    "encode_pstate_msr",
+    "decode_pstate_msr",
+    "FrequencyResolver",
+    "ResolvedCoreFrequency",
+    "TransitionEngine",
+    "TransitionRecord",
+]

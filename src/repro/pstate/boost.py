@@ -1,0 +1,69 @@
+"""Core Performance Boost (§III-B, §V-E).
+
+AMD discloses no server-side implementation details; for desktop parts,
+Precision Boost raises the clock in 25 MHz steps "as part of the SenseMI
+technology" while power, current and thermal headroom remain.  The model
+follows that description:
+
+* boost applies only to cores whose *request* is the nominal P0
+  frequency (a userspace request below nominal is a hard cap, as on the
+  real machine);
+* the boost ceiling is the SKU's single-core boost clock, stepped down
+  by ``BOOST_STEP_HZ`` as more cores are active (all-core boost is far
+  below single-core boost);
+* the EDC and PPT loops still bind: the boosted target is fed through
+  the same :class:`~repro.smu.edc.EdcManager` cap, which reproduces the
+  paper's §V-E observation that enabling boost has "almost no influence
+  on throughput, frequency and power consumption" under FIRESTARTER —
+  the EDC limit, not the boost table, decides the operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.components import Package
+from repro.topology.skus import SKU
+from repro.units import PSTATE_FREQ_STEP_HZ, snap_to_pstate_grid
+
+
+@dataclass(frozen=True)
+class BoostDecision:
+    """Boost evaluation for one package."""
+
+    active_cores: int
+    ceiling_hz: float
+
+
+class BoostModel:
+    """Opportunistic frequency ceiling above nominal."""
+
+    #: Ceiling reduction per additional active core (25 MHz grid x 4).
+    PER_CORE_STEP_HZ = 4 * PSTATE_FREQ_STEP_HZ
+    #: Thermal guard: no boost above this package temperature.
+    MAX_BOOST_TEMP_C = 80.0
+
+    def __init__(self, sku: SKU, enabled: bool = False) -> None:
+        self.sku = sku
+        self.enabled = enabled
+
+    def ceiling_hz(self, pkg: Package, temp_c: float | None = None) -> BoostDecision:
+        """The highest clock boost would allow on ``pkg`` right now."""
+        active = sum(1 for core in pkg.cores() if core.has_active_thread)
+        if not self.enabled or active == 0:
+            return BoostDecision(active, self.sku.nominal_freq_hz)
+        if temp_c is not None and temp_c > self.MAX_BOOST_TEMP_C:
+            return BoostDecision(active, self.sku.nominal_freq_hz)
+        ceiling = self.sku.boost_freq_hz - (active - 1) * self.PER_CORE_STEP_HZ
+        ceiling = max(self.sku.nominal_freq_hz, snap_to_pstate_grid(ceiling))
+        return BoostDecision(active, ceiling)
+
+    def boosted_target_hz(
+        self, requested_hz: float, decision: BoostDecision
+    ) -> float:
+        """Boost only lifts requests already at (or above) nominal."""
+        if not self.enabled:
+            return requested_hz
+        if requested_hz < self.sku.nominal_freq_hz - 1e3:
+            return requested_hz  # explicit userspace cap wins
+        return max(requested_hz, decision.ceiling_hz)

@@ -1,0 +1,172 @@
+"""Effective-frequency resolution.
+
+Implements the three frequency-coupling findings of §V:
+
+1. **Sibling vote (§V-A)** — a core's clock honours the *maximum*
+   requested frequency over its hardware threads, even when a thread is
+   idle or offline.  ("Still, the frequency of the core is defined by the
+   offline thread.")
+2. **CCX coupling penalty (§V-C, Table I)** — cores requesting a lower
+   frequency than the CCX maximum lose a small amount of *mean* applied
+   frequency.  The paper observes the effect without disclosing a
+   mechanism, so this is a calibrated empirical model: the SMU dips the
+   slower core's clock around the shared-L3 domain's transitions, and the
+   time-average shortfall grows with the neighbour's clock.
+3. **L3 clock follows the fastest core (§V-C, Fig 4)** — "an increased
+   L3-cache frequency that is defined by the highest clocked core in the
+   CCX."
+
+The resolver is *pure*: it reads topology state and returns per-core
+targets; the transition engine / the machine's settle step apply them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.topology.components import CCX, Core
+from repro.units import snap_to_pstate_grid
+
+
+@dataclass(frozen=True)
+class ResolvedCoreFrequency:
+    """Resolution result for one core.
+
+    ``target_hz`` is the P-state the SMU will program (grid-snapped);
+    ``observable_mean_hz`` is the time-averaged clock a perf-counter
+    observer sees (target minus the CCX coupling penalty).
+    """
+
+    core_index: int
+    target_hz: float
+    observable_mean_hz: float
+    limited_by_edc: bool = False
+
+
+class FrequencyResolver:
+    """Computes per-core frequency targets and observable means."""
+
+    def __init__(self, calibration: Calibration = CALIBRATION, *,
+                 offline_threads_vote: bool = True) -> None:
+        self.cal = calibration
+        #: The §V-A quirk: offline/idle threads still vote.  Exposed as a
+        #: switch so the ablation bench can quantify its impact.
+        self.offline_threads_vote = offline_threads_vote
+
+    # --- per-core request --------------------------------------------------
+
+    def core_request_hz(self, core: Core) -> float:
+        """The core's requested clock: max over hardware-thread votes.
+
+        With ``offline_threads_vote`` (the Rome behaviour) every thread's
+        cpufreq request counts.  With the switch off (Intel-like
+        behaviour, per §V-A "we never observed this behavior on Intel
+        processors") only threads that are online and not in a deep idle
+        state vote; if none qualify, the core parks at the minimum vote.
+        """
+        votes = []
+        for thread in core.threads:
+            if self.offline_threads_vote:
+                votes.append(thread.requested_freq_hz)
+            else:
+                if thread.online and thread.is_active:
+                    votes.append(thread.requested_freq_hz)
+        if not votes:
+            votes = [min(t.requested_freq_hz for t in core.threads)]
+        return max(votes)
+
+    # --- CCX-level resolution ----------------------------------------------
+
+    def resolve_ccx(
+        self,
+        ccx: CCX,
+        *,
+        edc_cap_hz: float | None = None,
+        boost_ceiling_hz: float | None = None,
+        nominal_hz: float | None = None,
+    ) -> list[ResolvedCoreFrequency]:
+        """Resolve all cores of one CCX.
+
+        ``edc_cap_hz`` is an optional package-level frequency cap from the
+        EDC manager (§V-E); it applies to cores with active threads.
+        ``boost_ceiling_hz`` lifts active cores whose request is at (or
+        above) ``nominal_hz`` — Core Performance Boost; the EDC cap is
+        applied *after* the lift, so a binding EDC limit makes boost a
+        no-op (the §V-E observation).
+        """
+        requests = {core.global_index: self.core_request_hz(core) for core in ccx.cores}
+        if boost_ceiling_hz is not None and nominal_hz is not None:
+            for core in ccx.cores:
+                req = requests[core.global_index]
+                if core.has_active_thread and req >= nominal_hz - 1e3:
+                    requests[core.global_index] = max(req, boost_ceiling_hz)
+        resolved = []
+        for core in ccx.cores:
+            req = requests[core.global_index]
+            limited = False
+            if edc_cap_hz is not None and core.has_active_thread and req > edc_cap_hz:
+                req = edc_cap_hz
+                limited = True
+            target = snap_to_pstate_grid(req)
+            others = [
+                requests[c.global_index]
+                for c in ccx.cores
+                if c is not core and self._core_clock_runs(c)
+            ]
+            max_other = max(others, default=0.0)
+            if edc_cap_hz is not None:
+                max_other = min(max_other, edc_cap_hz)
+            mean = target - self._coupling_penalty_hz(target, max_other)
+            resolved.append(
+                ResolvedCoreFrequency(
+                    core_index=core.global_index,
+                    target_hz=target,
+                    observable_mean_hz=mean,
+                    limited_by_edc=limited,
+                )
+            )
+        return resolved
+
+    def l3_target_hz(self, ccx: CCX) -> float:
+        """L3 clock: the highest clock among cores whose clock runs.
+
+        If every core in the CCX is gated (C1/C2), the L3 parks at the
+        architecture floor (the PPR names 400 MHz as the minimum
+        supported L3 frequency, §III-C).
+        """
+        running = [
+            self.core_request_hz(core) for core in ccx.cores if self._core_clock_runs(core)
+        ]
+        if not running:
+            return 400e6
+        return snap_to_pstate_grid(max(running))
+
+    # --- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _core_clock_runs(core: Core) -> bool:
+        """True when the core clock is not gated (some thread in C0)."""
+        return any(
+            t.online and t.effective_cstate == "C0" for t in core.threads
+        ) or core.has_active_thread
+
+    def _coupling_penalty_hz(self, set_hz: float, max_other_hz: float) -> float:
+        """Table I penalty plus the small diagonal shortfalls."""
+        cal = self.cal
+        if max_other_hz > set_hz + 1e6:
+            return cal.ccx_penalty_hz(set_hz, max_other_hz)
+        # Diagonal / below: tiny shortfalls the paper's Table I shows even
+        # without faster neighbours (1 MHz at 2.2/2.5 with equal others,
+        # 3 MHz at 2.5 GHz with slower others).
+        set_g = round(set_hz / 1e9, 3)
+        if max_other_hz > 1e6 and abs(max_other_hz - set_hz) <= 1e6:
+            for f_g, short_mhz in cal.ccx_equal_shortfall_mhz:
+                if abs(set_g - f_g) < 1e-6:
+                    return short_mhz * 1e6
+            return 0.0
+        if set_g == 2.5 and 0 < max_other_hz < set_hz:
+            if max_other_hz < 2.0e9:
+                return cal.set_2g5_slow_others_shortfall_mhz * 1e6
+            return cal.set_2g5_mid_others_shortfall_mhz * 1e6
+        return 0.0

@@ -1,0 +1,177 @@
+"""P-state definitions and MSR encoding.
+
+AMD family 17h defines up to eight P-states in MSRs ``C001_0064`` through
+``C001_006B`` (§III-B).  Each definition carries a frequency (the core
+clock is ``CpuFid * 25 MHz / (CpuDfsId / 8)``; we encode with the divider
+fixed at 1, i.e. ``CpuDfsId = 8``, so frequencies are multiples of
+25 MHz), a voltage ID and an expected maximum current.  The *P-state
+current limit* register reports how many P-states are actually available
+(§III-B: "the actual number can be retrieved by polling the P-state
+current limit MSR").
+
+The VID-to-volt mapping is not publicly documented (§III-B); we use the
+SVI2 convention ``V = 1.55 - 0.00625 * VID`` which is the de-facto
+interpretation used by monitoring tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PStateError
+from repro.units import MHZ, PSTATE_FREQ_STEP_HZ
+
+#: SVI2 voltage step per VID code.
+VID_STEP_V = 0.00625
+VID_MAX_V = 1.55
+
+# Bit layout (simplified from PPR 55803): we keep the architectural field
+# positions for CpuFid/CpuDfsId/CpuVid/IddValue/IddDiv and the enable bit.
+_FID_SHIFT, _FID_BITS = 0, 8
+_DFSID_SHIFT, _DFSID_BITS = 8, 6
+_VID_SHIFT, _VID_BITS = 14, 8
+_IDD_VALUE_SHIFT, _IDD_VALUE_BITS = 22, 8
+_IDD_DIV_SHIFT, _IDD_DIV_BITS = 30, 2
+_ENABLE_BIT = 63
+
+
+def _field(value: int, shift: int, bits: int) -> int:
+    return (value >> shift) & ((1 << bits) - 1)
+
+
+def volts_to_vid(v: float) -> int:
+    """Voltage -> SVI2 VID code (rounded to the nearest step)."""
+    if not 0.0 < v <= VID_MAX_V:
+        raise PStateError(f"voltage {v} V outside SVI2 range")
+    return round((VID_MAX_V - v) / VID_STEP_V)
+
+
+def vid_to_volts(vid: int) -> float:
+    """SVI2 VID code -> voltage."""
+    if not 0 <= vid < (1 << _VID_BITS):
+        raise PStateError(f"VID {vid} out of range")
+    return VID_MAX_V - vid * VID_STEP_V
+
+
+@dataclass(frozen=True)
+class PState:
+    """One P-state definition.
+
+    ``idd_max_a`` is the "expected maximum current dissipation of a single
+    core" from the definition (§III-B).
+    """
+
+    index: int
+    freq_hz: float
+    voltage_v: float
+    idd_max_a: float = 10.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise PStateError(f"P{self.index}: frequency must be positive")
+        if abs(self.freq_hz / PSTATE_FREQ_STEP_HZ - round(self.freq_hz / PSTATE_FREQ_STEP_HZ)) > 1e-9:
+            raise PStateError(
+                f"P{self.index}: {self.freq_hz/MHZ:.3f} MHz is not a multiple of 25 MHz"
+            )
+
+
+def encode_pstate_msr(ps: PState) -> int:
+    """Encode a :class:`PState` into the 64-bit MSR value."""
+    fid = round(ps.freq_hz / PSTATE_FREQ_STEP_HZ)
+    if not 0 < fid < (1 << _FID_BITS):
+        raise PStateError(f"P{ps.index}: FID {fid} out of range")
+    vid = volts_to_vid(ps.voltage_v)
+    # IddValue with IddDiv = 0 encodes whole amps (PPR convention).
+    idd_value = min(int(round(ps.idd_max_a)), (1 << _IDD_VALUE_BITS) - 1)
+    value = 0
+    value |= fid << _FID_SHIFT
+    value |= 8 << _DFSID_SHIFT  # divider 1.0
+    value |= vid << _VID_SHIFT
+    value |= idd_value << _IDD_VALUE_SHIFT
+    value |= 0 << _IDD_DIV_SHIFT
+    if ps.enabled:
+        value |= 1 << _ENABLE_BIT
+    return value
+
+
+def decode_pstate_msr(value: int, index: int = 0) -> PState:
+    """Decode a 64-bit P-state MSR value back into a :class:`PState`."""
+    fid = _field(value, _FID_SHIFT, _FID_BITS)
+    dfsid = _field(value, _DFSID_SHIFT, _DFSID_BITS)
+    if dfsid == 0:
+        raise PStateError(f"P{index}: CpuDfsId of 0 is invalid")
+    vid = _field(value, _VID_SHIFT, _VID_BITS)
+    idd_value = _field(value, _IDD_VALUE_SHIFT, _IDD_VALUE_BITS)
+    freq_hz = fid * PSTATE_FREQ_STEP_HZ / (dfsid / 8)
+    return PState(
+        index=index,
+        freq_hz=freq_hz,
+        voltage_v=vid_to_volts(vid),
+        idd_max_a=float(idd_value),
+        enabled=bool(value >> _ENABLE_BIT & 1),
+    )
+
+
+class PStateTable:
+    """The per-machine table of defined P-states (max eight, §III-B)."""
+
+    MAX_PSTATES = 8
+
+    def __init__(self, pstates: list[PState]):
+        if not pstates:
+            raise PStateError("at least one P-state required")
+        if len(pstates) > self.MAX_PSTATES:
+            raise PStateError(
+                f"at most {self.MAX_PSTATES} P-states supported, got {len(pstates)}"
+            )
+        # P0 is the highest-performance state by convention.
+        ordered = sorted(pstates, key=lambda p: -p.freq_hz)
+        self.pstates = [
+            PState(i, p.freq_hz, p.voltage_v, p.idd_max_a, p.enabled)
+            for i, p in enumerate(ordered)
+        ]
+
+    @classmethod
+    def from_frequencies(cls, freqs_hz: list[float], voltage_of) -> "PStateTable":
+        """Build a table from frequencies using a voltage curve callable."""
+        return cls([PState(i, f, voltage_of(f)) for i, f in enumerate(freqs_hz)])
+
+    def __len__(self) -> int:
+        return len(self.pstates)
+
+    def __iter__(self):
+        return iter(self.pstates)
+
+    @property
+    def current_limit(self) -> int:
+        """Index of the lowest-performance enabled P-state (the value the
+        P-state current limit MSR reports)."""
+        enabled = [p.index for p in self.pstates if p.enabled]
+        if not enabled:
+            raise PStateError("no enabled P-states")
+        return max(enabled)
+
+    def frequencies_hz(self) -> list[float]:
+        """Enabled frequencies, descending."""
+        return [p.freq_hz for p in self.pstates if p.enabled]
+
+    def by_frequency(self, freq_hz: float, tol_hz: float = 1e6) -> PState:
+        """Find the P-state matching ``freq_hz``."""
+        for p in self.pstates:
+            if abs(p.freq_hz - freq_hz) <= tol_hz:
+                return p
+        raise PStateError(f"no P-state at {freq_hz/MHZ:.0f} MHz")
+
+    def closest_not_above(self, freq_hz: float) -> PState:
+        """Highest enabled P-state with frequency <= ``freq_hz``.
+
+        Falls back to the slowest state if ``freq_hz`` is below all of
+        them (the SMU never undershoots the bottom of the table).
+        """
+        candidates = [p for p in self.pstates if p.enabled and p.freq_hz <= freq_hz + 1e-6]
+        if candidates:
+            return max(candidates, key=lambda p: p.freq_hz)
+        return min(
+            (p for p in self.pstates if p.enabled), key=lambda p: p.freq_hz
+        )

@@ -1,0 +1,17 @@
+"""AMD's RAPL implementation: a counter-based *model*, not a measurement.
+
+Two halves:
+
+* :mod:`repro.rapl.estimator` — the power model AMD's SMU firmware runs
+  (per the §III-C description: critical-path monitors, supply monitors,
+  thermal diodes feeding a model).  Deliberately blind to DRAM power and
+  operand data — those blind spots are the paper's §VII findings.
+* :mod:`repro.rapl.msrs` — the MSR-visible energy counters: package and
+  per-core domains (no DRAM domain), 2^-16 J units, 32-bit wrap, 1 ms
+  update cadence.
+"""
+
+from repro.rapl.estimator import RaplEstimator
+from repro.rapl.msrs import RaplMsrs
+
+__all__ = ["RaplEstimator", "RaplMsrs"]

@@ -1,0 +1,115 @@
+"""The SMU's internal power *model* (what RAPL reports).
+
+AMD slides (§III-C) describe the Zen estimator as a model over ">1300
+critical path monitors, 48 on-die high speed power supply monitors, 20
+thermal diodes, [and] 9 high speed droop detectors" — i.e. activity and
+environment sensors, not a power measurement.  The paper's §VII findings
+pin down what such a model misses; this estimator bakes in exactly those
+structural gaps:
+
+* **No DRAM term.**  "No DRAM domain is available" and "the energy
+  consumption of memory accesses ... is not fully captured" — the package
+  domain includes only a small fabric/queue activity term per GB/s, far
+  below the true DIMM power.
+* **No operand term.**  Activity counters count *events*, not bit flips,
+  so operand Hamming weight is invisible except through the thermal
+  diodes: a leakage term proportional to package temperature leaks a tiny
+  , strongly-overlapping signal into the readings (Fig 10b).
+* **Per-core core domain** (unlike Intel's package-wide pp0) and a
+  package domain adding shared uncore activity (Fig 9b's structure).
+"""
+
+from __future__ import annotations
+
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.topology.components import Core, Package
+from repro.units import ghz
+
+
+class RaplEstimator:
+    """Computes the modelled power that feeds the RAPL counters."""
+
+    #: Model coefficients (W per V^2*f[GHz] per event-rate unit), chosen
+    #: so FIRESTARTER reads ~170 W/package (§V-E) while the structural
+    #: gaps above remain.  The load/store term scales with *dispatch*
+    #: activity (ls ports busy x fraction of peak issue) — a stalled
+    #: streaming loop generates few events, which is precisely why the
+    #: model under-charges memory-bound work.    # model choice
+    ALPHA_ACTIVE = 0.02
+    ALPHA_THREAD = 0.15
+    ALPHA_IPC = 0.01
+    ALPHA_FP = 0.66
+    ALPHA_LS = 1.87
+    #: Peak issue width used to normalize dispatch activity.
+    PEAK_IPC = 4.0
+    #: C1/C2 residual core power in the model (W).
+    GATED_CORE_W = 0.02
+    #: Package uncore base (W) and per-GB/s fabric activity term.
+    UNCORE_BASE_W = 13.0
+    UNCORE_PER_GBS_W = 0.10
+    #: L3 activity term per active core with L3 traffic.
+    UNCORE_L3_W = 0.15
+    #: Thermal-diode leakage terms (the only channel through which data-
+    #: dependent power is faintly visible, §VII-B).
+    PKG_LEAK_W_PER_K = 0.015
+    CORE_LEAK_W_PER_K = 0.0005
+
+    def __init__(self, calibration: Calibration = CALIBRATION) -> None:
+        self.cal = calibration
+
+    # --- core domain -------------------------------------------------------
+
+    def core_power_w(self, core: Core, temp_c: float | None = None) -> float:
+        """Modelled power of one core (the per-core RAPL core domain)."""
+        cal = self.cal
+        smt = sum(1 for t in core.threads if t.is_active)
+        if smt == 0:
+            power = self.GATED_CORE_W
+        else:
+            wl = next(t.workload for t in core.threads if t.is_active)
+            v = cal.voltage_at(core.applied_freq_hz)
+            v2f = v * v * (core.applied_freq_hz / ghz(1))
+            ipc = wl.ipc(smt)
+            fp = wl.fp_util * (wl.simd_width_bits / 256.0 if wl.simd_width_bits else 0.25)
+            dispatch = min(1.0, ipc / self.PEAK_IPC)
+            rate = (
+                self.ALPHA_ACTIVE
+                + self.ALPHA_THREAD * smt
+                + self.ALPHA_IPC * ipc
+                + self.ALPHA_FP * fp
+                + self.ALPHA_LS * wl.ls_util * dispatch
+            )
+            power = rate * v2f
+        if temp_c is not None:
+            power += max(0.0, self.CORE_LEAK_W_PER_K * (temp_c - cal.reference_temp_c))
+        return power
+
+    # --- package domain --------------------------------------------------------
+
+    def package_power_w(
+        self,
+        pkg: Package,
+        temp_c: float | None = None,
+        *,
+        dram_traffic_gbs: float = 0.0,
+    ) -> float:
+        """Modelled package power (the RAPL package domain).
+
+        ``dram_traffic_gbs`` is the *activity* the fabric monitors see —
+        the model charges a token amount per GB/s, nowhere near the true
+        DIMM power (that is the Fig 9a gap).
+        """
+        cores = sum(self.core_power_w(core) for core in pkg.cores())
+        l3_active = sum(
+            self.UNCORE_L3_W
+            for core in pkg.cores()
+            for t in core.threads
+            if t.is_active and t.workload is not None and t.workload.l3_util > 0.3
+        )
+        uncore = self.UNCORE_BASE_W + self.UNCORE_PER_GBS_W * dram_traffic_gbs + l3_active
+        power = cores + uncore
+        if temp_c is not None:
+            power += max(
+                0.0, self.PKG_LEAK_W_PER_K * (temp_c - self.cal.reference_temp_c)
+            )
+        return power

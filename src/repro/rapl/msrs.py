@@ -1,0 +1,106 @@
+"""RAPL MSR counters: units, wrap-around, and the 1 ms update cadence.
+
+The §VII update-rate measurement ("We measured an update rate of 1 ms for
+RAPL by polling the MSRs") works against this module: between update
+ticks the counter value is frozen; each tick deposits the energy
+accumulated since the last one, quantized to 2^-16 J units, into a 32-bit
+wrapping register.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MsrError
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.units import (
+    NS_PER_S,
+    RAPL_COUNTER_WRAP,
+    RAPL_ENERGY_UNIT_J,
+)
+
+
+def encode_rapl_power_unit() -> int:
+    """The RAPL_PWR_UNIT MSR value: ESU field (bits 12:8) = 16 -> 2^-16 J."""
+    power_unit = 3  # 1/8 W (unused by the paper's readouts)
+    energy_unit = 16  # 2^-16 J
+    time_unit = 10  # 2^-10 s
+    return power_unit | (energy_unit << 8) | (time_unit << 16)
+
+
+class _EnergyCounter:
+    """One wrapping 32-bit energy accumulator."""
+
+    __slots__ = ("raw", "_fraction_j")
+
+    def __init__(self) -> None:
+        self.raw = 0
+        self._fraction_j = 0.0
+
+    def deposit(self, energy_j: float) -> None:
+        """Add energy; sub-unit residue carries to the next deposit."""
+        if energy_j < 0:
+            raise MsrError(0, f"negative energy deposit {energy_j}")
+        total = self._fraction_j + energy_j
+        units = int(total / RAPL_ENERGY_UNIT_J)
+        self._fraction_j = total - units * RAPL_ENERGY_UNIT_J
+        self.raw = (self.raw + units) % RAPL_COUNTER_WRAP
+
+    def joules(self) -> float:
+        return self.raw * RAPL_ENERGY_UNIT_J
+
+
+class RaplMsrs:
+    """Per-package and per-core energy counters with a 1 ms update grid."""
+
+    def __init__(self, n_packages: int, n_cores: int, calibration: Calibration = CALIBRATION) -> None:
+        self.cal = calibration
+        self.pkg = [_EnergyCounter() for _ in range(n_packages)]
+        self.core = [_EnergyCounter() for _ in range(n_cores)]
+        #: Simulation time of the last completed update tick.
+        self.last_update_ns = 0
+
+    # --- updates -----------------------------------------------------------
+
+    def tick(self, pkg_powers_w: list[float], core_powers_w: list[float], now_ns: int) -> None:
+        """One update: deposit power x elapsed into every counter."""
+        dt_s = (now_ns - self.last_update_ns) / NS_PER_S
+        if dt_s < 0:
+            raise MsrError(0, "RAPL tick moving backwards in time")
+        for counter, p in zip(self.pkg, pkg_powers_w):
+            counter.deposit(p * dt_s)
+        for counter, p in zip(self.core, core_powers_w):
+            counter.deposit(p * dt_s)
+        self.last_update_ns = now_ns
+
+    def advance_bulk(
+        self,
+        pkg_energy_j: list[float],
+        core_energy_j: list[float],
+        duration_ns: int,
+    ) -> None:
+        """Batch path: deposit a whole measurement interval at once.
+
+        Used by the steady-state experiment fast path (DESIGN.md §2.9);
+        equivalent to running ``duration/1 ms`` ticks at constant power
+        because deposits are additive and quantization residue carries.
+        """
+        for counter, e in zip(self.pkg, pkg_energy_j):
+            counter.deposit(e)
+        for counter, e in zip(self.core, core_energy_j):
+            counter.deposit(e)
+        self.last_update_ns += duration_ns
+
+    # --- readouts -----------------------------------------------------------
+
+    def read_pkg_raw(self, pkg_index: int) -> int:
+        """PKG_ENERGY_STAT for a package (frozen between ticks)."""
+        return self.pkg[pkg_index].raw
+
+    def read_core_raw(self, core_index: int) -> int:
+        """CORE_ENERGY_STAT for a core (frozen between ticks)."""
+        return self.core[core_index].raw
+
+    def pkg_joules(self, pkg_index: int) -> float:
+        return self.pkg[pkg_index].joules()
+
+    def core_joules(self, core_index: int) -> float:
+        return self.core[core_index].joules()

@@ -1,0 +1,162 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the clock and the event queue.  Machine
+components register callbacks; experiments drive time forward.  Unlike
+generator-based frameworks (simpy), everything here is plain callbacks —
+the machine model's state machines are explicit, which keeps hot paths
+cheap (the frequency-transition experiment schedules hundreds of thousands
+of events per run).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Integer-nanosecond discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._now_ns = 0
+        self._queue = EventQueue()
+        self._running = False
+
+    # --- clock ---------------------------------------------------------
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now_ns
+
+    # --- scheduling ------------------------------------------------------
+
+    def schedule_at(self, time_ns: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ns`` (>= now)."""
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} ns; clock is at {self._now_ns} ns"
+            )
+        return self._queue.push(time_ns, callback)
+
+    def schedule_after(self, delay_ns: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` ``delay_ns`` nanoseconds from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay {delay_ns}")
+        return self._queue.push(self._now_ns + delay_ns, callback)
+
+    def periodic(
+        self,
+        period_ns: int,
+        callback: Callable[[], Any],
+        *,
+        phase_ns: int = 0,
+    ) -> "PeriodicTask":
+        """Create (and start) a periodic task firing every ``period_ns``.
+
+        The first firing happens at ``now + phase_ns + period_ns`` — i.e.
+        ``phase_ns`` offsets the task's slot grid, which the SMU model uses
+        to desynchronize per-die update intervals.
+        """
+        return PeriodicTask(self, period_ns, callback, phase_ns=phase_ns)
+
+    # --- execution -------------------------------------------------------
+
+    def run_until(self, time_ns: int) -> None:
+        """Execute all events up to and including ``time_ns``; set clock there.
+
+        Events scheduled exactly at ``time_ns`` do fire.  The clock always
+        ends at ``time_ns`` even if the queue drains earlier, so periodic
+        samplers and experiments can rely on wall-time alignment.
+        """
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot run backwards to {time_ns} ns from {self._now_ns} ns"
+            )
+        if self._running:
+            raise SimulationError("run_until called re-entrantly from a callback")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > time_ns:
+                    break
+                event = self._queue.pop()
+                self._now_ns = event.time_ns
+                event.callback()
+            self._now_ns = time_ns
+        finally:
+            self._running = False
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the clock by ``duration_ns``, executing due events."""
+        self.run_until(self._now_ns + duration_ns)
+
+    def step(self) -> bool:
+        """Execute exactly one event. Returns False if the queue is empty."""
+        next_time = self._queue.peek_time()
+        if next_time is None:
+            return False
+        event = self._queue.pop()
+        self._now_ns = event.time_ns
+        event.callback()
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of non-cancelled events in the queue."""
+        return len(self._queue)
+
+
+class PeriodicTask:
+    """A self-rescheduling periodic callback.
+
+    Cancellation is immediate: after :meth:`cancel` the callback never
+    fires again, even if an occurrence was already queued.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period_ns: int,
+        callback: Callable[[], Any],
+        *,
+        phase_ns: int = 0,
+    ) -> None:
+        if period_ns <= 0:
+            raise SimulationError(f"period must be positive, got {period_ns}")
+        self._sim = sim
+        self.period_ns = period_ns
+        self._callback = callback
+        self._cancelled = False
+        self._event: Event | None = None
+        self._schedule_next(first_delay_ns=phase_ns + period_ns)
+
+    def _schedule_next(self, *, first_delay_ns: int | None = None) -> None:
+        delay = self.period_ns if first_delay_ns is None else first_delay_ns
+        self._event = self._sim.schedule_after(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._callback()
+        if not self._cancelled:
+            self._schedule_next()
+
+    def cancel(self) -> None:
+        """Stop the task permanently."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def next_fire_ns(self) -> int | None:
+        """Absolute time of the next scheduled firing (None if cancelled)."""
+        if self._cancelled or self._event is None or self._event.cancelled:
+            return None
+        return self._event.time_ns

@@ -1,0 +1,88 @@
+"""Event and event-queue primitives for the discrete-event engine.
+
+Events are ordered by ``(time_ns, sequence)``; the monotonically increasing
+sequence number makes ordering *stable*: two events scheduled for the same
+nanosecond fire in scheduling order.  Stability matters for reproducibility
+— the machine model relies on it so that, e.g., an SMU slot boundary
+observes all requests issued "before" it at the same timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time_ns:
+        Absolute simulation time at which the event fires.
+    seq:
+        Tie-breaking sequence number (assigned by the queue).
+    callback:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped
+        (lazy deletion — O(1) cancel).
+    """
+
+    time_ns: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will never fire."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not e.cancelled for e in self._heap)
+
+    def push(self, time_ns: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ns``."""
+        if time_ns < 0:
+            raise SimulationError(f"cannot schedule at negative time {time_ns}")
+        event = Event(time_ns=time_ns, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> int | None:
+        """Fire time of the earliest pending event, or None if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time_ns
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

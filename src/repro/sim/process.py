@@ -1,0 +1,115 @@
+"""Generator-based processes on top of the event simulator.
+
+The machine model itself uses explicit callbacks (cheap, hot paths), but
+sequential *scripts* — benchmark drivers, scenario walkthroughs — read
+better as coroutines.  A process is a generator that yields:
+
+* ``Timeout(delay_ns)`` — resume after a delay;
+* ``WaitFor(predicate, poll_ns)`` — resume when the predicate holds
+  (polled, like a real busy-wait probe);
+* another :class:`Process` — resume when it terminates.
+
+Example::
+
+    def script(sim, machine):
+        machine.os.set_frequency(0, ghz(2.5))
+        yield Timeout(ms(2))
+        assert machine.topology.thread(0).core.applied_freq_hz == ghz(2.5)
+
+    Process(sim, script(sim, machine))
+    sim.run_until(ms(10))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Resume after ``delay_ns``."""
+
+    delay_ns: int
+
+
+@dataclass(frozen=True)
+class WaitFor:
+    """Resume once ``predicate()`` is true; polled every ``poll_ns``."""
+
+    predicate: Callable[[], bool]
+    poll_ns: int = 1_000
+    timeout_ns: int | None = None
+
+
+class ProcessTimeout(SimulationError):
+    """A WaitFor condition did not come true in time."""
+
+
+class Process:
+    """Drives a generator through the simulator."""
+
+    def __init__(self, sim: Simulator, generator: Generator) -> None:
+        self.sim = sim
+        self._gen = generator
+        self.finished = False
+        self.result = None
+        self._waiters: list[Process] = []
+        self._step(None)
+
+    # --- internals ---------------------------------------------------------
+
+    def _step(self, value) -> None:
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            for waiter in self._waiters:
+                waiter._step(self.result)
+            self._waiters.clear()
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command) -> None:
+        if isinstance(command, Timeout):
+            self.sim.schedule_after(command.delay_ns, lambda: self._step(None))
+        elif isinstance(command, WaitFor):
+            deadline = (
+                None
+                if command.timeout_ns is None
+                else self.sim.now_ns + command.timeout_ns
+            )
+            self._poll(command, deadline)
+        elif isinstance(command, Process):
+            if command.finished:
+                self.sim.schedule_after(0, lambda: self._step(command.result))
+            else:
+                command._waiters.append(self)
+        else:
+            raise SimulationError(
+                f"process yielded unsupported command {command!r}"
+            )
+
+    def _poll(self, command: WaitFor, deadline_ns: int | None) -> None:
+        if command.predicate():
+            self._step(None)
+            return
+        if deadline_ns is not None and self.sim.now_ns >= deadline_ns:
+            try:
+                self._gen.throw(
+                    ProcessTimeout(f"condition not met within timeout")
+                )
+            except StopIteration as stop:
+                self.finished = True
+                self.result = stop.value
+                for waiter in self._waiters:
+                    waiter._step(self.result)
+                self._waiters.clear()
+            return
+        self.sim.schedule_after(
+            command.poll_ns, lambda: self._poll(command, deadline_ns)
+        )

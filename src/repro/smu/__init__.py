@@ -1,0 +1,11 @@
+"""System Management Units (§III-C).
+
+Each die carries an SMU; one is elected master and runs the package
+control loops (power, temperature, EDC) and owns the frequency-update
+slot grid (Burd et al., reproduced in §V-B's 1 ms interval finding).
+"""
+
+from repro.smu.edc import EdcManager, EdcAssessment
+from repro.smu.smu import MasterSmu, Smu
+
+__all__ = ["Smu", "MasterSmu", "EdcManager", "EdcAssessment"]

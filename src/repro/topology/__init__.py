@@ -1,0 +1,42 @@
+"""Hardware topology model of AMD "Rome" (Zen 2) systems.
+
+The component tree mirrors the modular design the paper describes in
+§III-A: hardware threads within cores, four cores per Core Complex (CCX),
+two CCXs per Core Complex Die (CCD), up to eight CCDs attached to one
+I/O die per package, and one or two packages per system.
+
+Components carry *identity and mutable state* (requested frequencies,
+C-state bookkeeping, online flags); the mechanisms that act on that state
+live in :mod:`repro.pstate`, :mod:`repro.cstate`, :mod:`repro.smu` etc.
+"""
+
+from repro.topology.components import (
+    CCD,
+    CCX,
+    Core,
+    HardwareThread,
+    IODie,
+    Package,
+    SystemTopology,
+)
+from repro.topology.skus import SKU, SKUS, build_topology, sku_by_name
+from repro.topology.enumeration import linux_cpu_numbering
+from repro.topology.numa import NumaConfig, NumaNode, build_numa_nodes
+
+__all__ = [
+    "HardwareThread",
+    "Core",
+    "CCX",
+    "CCD",
+    "IODie",
+    "Package",
+    "SystemTopology",
+    "SKU",
+    "SKUS",
+    "sku_by_name",
+    "build_topology",
+    "linux_cpu_numbering",
+    "NumaConfig",
+    "NumaNode",
+    "build_numa_nodes",
+]

@@ -1,0 +1,269 @@
+"""Component classes for the Rome topology tree.
+
+Naming follows the paper (§III-A) and AMD's documents: CCX = Core Complex
+(4 cores sharing 16 MiB of L3), CCD = Core Complex Die (2 CCXs), I/O die =
+central die carrying memory controllers and Infinity Fabric switches.
+
+State conventions
+-----------------
+* ``HardwareThread.requested_freq_hz`` is the cpufreq (P-state) request of
+  the *logical CPU*.  The paper's §V-A finding is that the effective core
+  clock honours the **maximum** request over the core's threads even if a
+  thread idles or is offline; the resolution itself happens in
+  :class:`repro.pstate.resolver.FrequencyResolver`.
+* ``HardwareThread.online`` models the sysfs ``cpuN/online`` switch.
+* C-state bookkeeping (requested vs. effective idle state) lives on the
+  thread; core/package aggregation lives in
+  :class:`repro.cstate.controller.CStateController`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.errors import TopologyError
+from repro.units import ghz
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.base import Workload
+
+
+class HardwareThread:
+    """One SMT hardware thread (a Linux "logical CPU")."""
+
+    def __init__(self, core: "Core", smt_index: int) -> None:
+        self.core = core
+        self.smt_index = smt_index
+        #: Linux logical CPU number; assigned by the enumerator.
+        self.cpu_id: int = -1
+        #: cpufreq target frequency for this logical CPU.
+        self.requested_freq_hz: float = ghz(1.5)
+        #: sysfs cpuN/online
+        self.online: bool = True
+        #: Name of the C-state the OS most recently requested for this
+        #: thread ("C0" while something runs).  Maintained by the
+        #: C-state controller.
+        self.requested_cstate: str = "C2"
+        #: The idle state actually in effect (can differ from the request,
+        #: e.g. the offline-thread anomaly parks threads in C1).
+        self.effective_cstate: str = "C2"
+        #: Currently bound workload, if any.
+        self.workload: Optional["Workload"] = None
+        #: Free-running counters (advanced by the perf model; halted in C1+).
+        self.aperf_cycles: float = 0.0
+        self.mperf_cycles: float = 0.0
+        self.instructions: float = 0.0
+        #: Residency accounting (sysfs cpuidle stateN/time + usage).
+        self.cstate_time_ns: dict[str, float] = {"C0": 0.0, "C1": 0.0, "C2": 0.0}
+        self.cstate_usage: dict[str, int] = {"C0": 0, "C1": 0, "C2": 0}
+
+    @property
+    def sibling(self) -> "HardwareThread":
+        """The other hardware thread of the same core."""
+        return self.core.threads[1 - self.smt_index]
+
+    @property
+    def is_active(self) -> bool:
+        """True when a workload occupies the thread (C0)."""
+        return self.online and self.workload is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<HardwareThread cpu{self.cpu_id} core={self.core.global_index}>"
+
+
+class Core:
+    """A Zen 2 core: two SMT threads, private L1/L2, one clock domain."""
+
+    def __init__(self, ccx: "CCX", index_in_ccx: int) -> None:
+        self.ccx = ccx
+        self.index_in_ccx = index_in_ccx
+        #: Global core index across the whole system (assigned by builder).
+        self.global_index: int = -1
+        self.threads = (HardwareThread(self, 0), HardwareThread(self, 1))
+        #: Frequency currently applied by the SMU to this core's domain.
+        self.applied_freq_hz: float = ghz(1.5)
+        #: Target the SMU is currently transitioning towards (None if settled).
+        self.pending_freq_hz: float | None = None
+
+    @property
+    def package(self) -> "Package":
+        return self.ccx.ccd.package
+
+    @property
+    def has_active_thread(self) -> bool:
+        return any(t.is_active for t in self.threads)
+
+    @property
+    def deepest_common_cstate_is(self) -> str:
+        """Shallowest effective C-state across the two threads.
+
+        The *core* can only clock/power gate as deep as its shallowest
+        thread; "C0" < "C1" < "C2" in depth (string compare works for
+        these names, but we keep it explicit)."""
+        order = {"C0": 0, "C1": 1, "C2": 2}
+        shallowest = min(self.threads, key=lambda t: order[t.effective_cstate])
+        return shallowest.effective_cstate
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Core {self.global_index} ccx={self.ccx.global_index}>"
+
+
+class CCX:
+    """Core Complex: four cores sharing a 16 MiB L3 (§III-A)."""
+
+    L3_SIZE_BYTES = 16 * 1024 * 1024
+    L3_SLICES = 4
+
+    def __init__(self, ccd: "CCD", index_in_ccd: int, n_cores: int = 4) -> None:
+        if not 1 <= n_cores <= 4:
+            raise TopologyError(f"CCX supports 1..4 cores, got {n_cores}")
+        self.ccd = ccd
+        self.index_in_ccd = index_in_ccd
+        self.global_index: int = -1
+        self.cores = tuple(Core(self, i) for i in range(n_cores))
+        #: L3 clock currently applied (follows max core clock; see
+        #: :class:`repro.pstate.resolver.FrequencyResolver`).
+        self.l3_freq_hz: float = ghz(1.5)
+
+    @property
+    def package(self) -> "Package":
+        return self.ccd.package
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CCX {self.global_index}>"
+
+
+class CCD:
+    """Core Complex Die: two CCXs and one on-die SMU."""
+
+    def __init__(self, package: "Package", index_in_package: int, cores_per_ccx: int = 4) -> None:
+        self.package = package
+        self.index_in_package = index_in_package
+        self.global_index: int = -1
+        self.ccxs = (CCX(self, 0, cores_per_ccx), CCX(self, 1, cores_per_ccx))
+
+    def cores(self) -> Iterator[Core]:
+        for ccx in self.ccxs:
+            yield from ccx.cores
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CCD {self.global_index}>"
+
+
+class IODie:
+    """The central I/O die: IF switches, memory controllers, xGMI/PCIe.
+
+    Carries its own voltage/frequency domain (fclk); the control policy
+    lives in :class:`repro.iodie.fclk.FclkController`.
+    """
+
+    #: Number of unified memory controllers (UMC pairs -> 8 DDR4 channels).
+    N_MEMORY_CHANNELS = 8
+    #: IF switches connecting CCD pairs + a UMC each (quadrants).
+    N_QUADRANTS = 4
+
+    def __init__(self, package: "Package") -> None:
+        self.package = package
+        #: Applied I/O die clock (fclk).
+        self.fclk_hz: float = ghz(1.467)
+        #: Memory clock (MEMCLK, "DDR4-3200" = 1.6 GHz).
+        self.memclk_hz: float = ghz(1.6)
+        #: True when the die has dropped into its idle low-power state
+        #: (possible only during whole-system sleep; §VI-A).
+        self.low_power: bool = False
+
+
+class Package:
+    """One socket: up to eight CCDs around an I/O die."""
+
+    def __init__(self, system: "SystemTopology", index: int, n_ccds: int, cores_per_ccx: int) -> None:
+        self.system = system
+        self.index = index
+        self.io_die = IODie(self)
+        self.ccds = tuple(CCD(self, i, cores_per_ccx) for i in range(n_ccds))
+
+    def cores(self) -> Iterator[Core]:
+        for ccd in self.ccds:
+            yield from ccd.cores()
+
+    def ccxs(self) -> Iterator[CCX]:
+        for ccd in self.ccds:
+            yield from ccd.ccxs
+
+    def threads(self) -> Iterator[HardwareThread]:
+        for core in self.cores():
+            yield from core.threads
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Package {self.index}>"
+
+
+class SystemTopology:
+    """The full machine: one or two packages plus lookup tables."""
+
+    def __init__(self, n_packages: int, n_ccds: int, cores_per_ccx: int, sku_name: str = "custom") -> None:
+        if n_packages not in (1, 2):
+            raise TopologyError(f"1 or 2 packages supported, got {n_packages}")
+        if not 1 <= n_ccds <= 8:
+            raise TopologyError(f"1..8 CCDs per package supported, got {n_ccds}")
+        self.sku_name = sku_name
+        self.packages = tuple(
+            Package(self, i, n_ccds, cores_per_ccx) for i in range(n_packages)
+        )
+        self._assign_global_indices()
+        #: cpu_id -> HardwareThread; populated by the enumerator.
+        self.cpus: dict[int, HardwareThread] = {}
+
+    def _assign_global_indices(self) -> None:
+        core_idx = ccx_idx = ccd_idx = 0
+        for pkg in self.packages:
+            for ccd in pkg.ccds:
+                ccd.global_index = ccd_idx
+                ccd_idx += 1
+                for ccx in ccd.ccxs:
+                    ccx.global_index = ccx_idx
+                    ccx_idx += 1
+                    for core in ccx.cores:
+                        core.global_index = core_idx
+                        core_idx += 1
+
+    # --- iteration helpers -------------------------------------------------
+
+    def cores(self) -> Iterator[Core]:
+        for pkg in self.packages:
+            yield from pkg.cores()
+
+    def ccxs(self) -> Iterator[CCX]:
+        for pkg in self.packages:
+            yield from pkg.ccxs()
+
+    def threads(self) -> Iterator[HardwareThread]:
+        for core in self.cores():
+            yield from core.threads
+
+    def thread(self, cpu_id: int) -> HardwareThread:
+        """Look up a hardware thread by its Linux logical CPU number."""
+        try:
+            return self.cpus[cpu_id]
+        except KeyError:
+            raise TopologyError(f"no such logical CPU: {cpu_id}") from None
+
+    @property
+    def n_cores(self) -> int:
+        return sum(1 for _ in self.cores())
+
+    @property
+    def n_threads(self) -> int:
+        return sum(1 for _ in self.threads())
+
+    def core_by_global_index(self, index: int) -> Core:
+        for core in self.cores():
+            if core.global_index == index:
+                return core
+        raise TopologyError(f"no such core: {index}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<SystemTopology {self.sku_name}: {len(self.packages)} pkg, "
+            f"{self.n_cores} cores, {self.n_threads} threads>"
+        )

@@ -1,0 +1,38 @@
+"""Linux-style logical CPU enumeration.
+
+On the paper's Ubuntu 18.04 system, logical CPUs number the *first*
+hardware thread of every core across package 0, then package 1, then the
+*second* (SMT sibling) threads in the same order.  The idle-power sweep in
+§VI-A depends on exactly this order ("following the logical CPU numbering
+... the hardware thread of each core within the first processor package,
+the second processor package, and then the second hardware threads of each
+core, again grouped by package").
+"""
+
+from __future__ import annotations
+
+from repro.topology.components import SystemTopology
+
+
+def linux_cpu_numbering(topo: SystemTopology) -> None:
+    """Assign ``cpu_id`` to every hardware thread and fill ``topo.cpus``.
+
+    Ordering: SMT index is the major key, then package, then core position
+    within the package.  For a 2x32-core system this yields cpu0..cpu31 =
+    thread 0 of package 0 cores, cpu32..63 = thread 0 of package 1 cores,
+    cpu64..95 / cpu96..127 = the sibling threads.
+    """
+    topo.cpus.clear()
+    next_id = 0
+    for smt_index in (0, 1):
+        for pkg in topo.packages:
+            for core in pkg.cores():
+                thread = core.threads[smt_index]
+                thread.cpu_id = next_id
+                topo.cpus[next_id] = thread
+                next_id += 1
+
+
+def cpu_ids_in_sweep_order(topo: SystemTopology) -> list[int]:
+    """CPU ids in the §VI-A sweep order (== ascending cpu_id by design)."""
+    return sorted(topo.cpus)

@@ -1,0 +1,86 @@
+"""NUMA topology for Rome.
+
+The I/O die carries four IF switch "quadrants", each attaching up to two
+CCDs and one memory controller with two DDR4 channels (§III-A).  Depending
+on the BIOS "NUMA per socket" (NPS) setting the system exposes one, two or
+four NUMA nodes per package.  The paper's testbed uses "2-Channel
+Interleaving (per Quadrant)" — NPS4 — giving four nodes per socket, each
+interleaving its two local channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.topology.components import CCD, Package, SystemTopology
+
+
+class NumaConfig(Enum):
+    """BIOS NUMA-per-socket options (AMD doc 56338)."""
+
+    NPS1 = 1
+    NPS2 = 2
+    NPS4 = 4
+
+
+@dataclass
+class NumaNode:
+    """One NUMA node: a set of CCDs plus their local memory channels."""
+
+    node_id: int
+    package_index: int
+    ccds: tuple[CCD, ...]
+    memory_channels: tuple[int, ...]
+
+    @property
+    def n_cores(self) -> int:
+        return sum(1 for ccd in self.ccds for _ in ccd.cores())
+
+
+def build_numa_nodes(
+    topo: SystemTopology, config: NumaConfig = NumaConfig.NPS4
+) -> list[NumaNode]:
+    """Partition each package's CCDs and channels into NUMA nodes.
+
+    Quadrant q of a package owns memory channels (2q, 2q+1) and the CCDs
+    attached to its IF switch.  With fewer CCDs than quadrants (e.g. the
+    7502's 4 CCDs), each quadrant holds one CCD.
+    """
+    nodes: list[NumaNode] = []
+    node_id = 0
+    for pkg in topo.packages:
+        nodes_per_pkg = config.value
+        n_ccds = len(pkg.ccds)
+        if n_ccds % nodes_per_pkg != 0 and nodes_per_pkg > n_ccds:
+            raise ConfigurationError(
+                f"{config.name} needs at least {nodes_per_pkg} CCDs; package has {n_ccds}"
+            )
+        ccds_per_node = max(1, n_ccds // nodes_per_pkg)
+        channels_per_node = 8 // nodes_per_pkg
+        for q in range(nodes_per_pkg):
+            ccds = pkg.ccds[q * ccds_per_node : (q + 1) * ccds_per_node]
+            channels = tuple(
+                range(q * channels_per_node, (q + 1) * channels_per_node)
+            )
+            nodes.append(
+                NumaNode(
+                    node_id=node_id,
+                    package_index=pkg.index,
+                    ccds=ccds,
+                    memory_channels=channels,
+                )
+            )
+            node_id += 1
+    return nodes
+
+
+def node_of_core(nodes: list[NumaNode], core_global_index: int) -> NumaNode:
+    """Find the NUMA node containing a core."""
+    for node in nodes:
+        for ccd in node.ccds:
+            for core in ccd.cores():
+                if core.global_index == core_global_index:
+                    return node
+    raise ConfigurationError(f"core {core_global_index} not in any NUMA node")

@@ -1,0 +1,128 @@
+"""Unit helpers and conversions used across the simulator.
+
+Conventions (see DESIGN.md §7):
+
+* **time** is kept as integer nanoseconds (``t_ns``).  Integer time keeps
+  the discrete-event engine exact: two events scheduled at the same
+  nanosecond compare equal, and no drift accumulates over long runs.
+* **frequency** is float hertz (``f_hz``).  Hardware P-states are defined
+  on a 25 MHz grid (:data:`PSTATE_FREQ_STEP_HZ`), matching the frequency
+  multiplier granularity of the AMD family 17h P-state MSRs.
+* **power** is float watts (``p_w``), **energy** float joules (``e_j``).
+* **voltage** is float volts (``v_v``).
+
+Only trivial, allocation-free helpers live here so that every other module
+can import this one without cycles.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+def us(value: float) -> int:
+    """Microseconds -> integer nanoseconds."""
+    return round(value * NS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Milliseconds -> integer nanoseconds."""
+    return round(value * NS_PER_MS)
+
+
+def s(value: float) -> int:
+    """Seconds -> integer nanoseconds."""
+    return round(value * NS_PER_S)
+
+
+def ns_to_us(t_ns: int) -> float:
+    """Integer nanoseconds -> float microseconds."""
+    return t_ns / NS_PER_US
+
+
+def ns_to_ms(t_ns: int) -> float:
+    """Integer nanoseconds -> float milliseconds."""
+    return t_ns / NS_PER_MS
+
+
+def ns_to_s(t_ns: int) -> float:
+    """Integer nanoseconds -> float seconds."""
+    return t_ns / NS_PER_S
+
+
+# --- frequency --------------------------------------------------------------
+
+KHZ = 1_000.0
+MHZ = 1_000_000.0
+GHZ = 1_000_000_000.0
+
+#: Frequency granularity of Zen 2 P-state definitions ("Precision Boost"
+#: advertises 25 MHz steps; the P-state MSR frequency multiplier encodes
+#: multiples of 25 MHz).
+PSTATE_FREQ_STEP_HZ = 25 * MHZ
+
+
+def mhz(value: float) -> float:
+    """Megahertz -> hertz."""
+    return value * MHZ
+
+
+def ghz(value: float) -> float:
+    """Gigahertz -> hertz."""
+    return value * GHZ
+
+
+def hz_to_mhz(f_hz: float) -> float:
+    """Hertz -> megahertz."""
+    return f_hz / MHZ
+
+
+def hz_to_ghz(f_hz: float) -> float:
+    """Hertz -> gigahertz."""
+    return f_hz / GHZ
+
+
+def snap_to_pstate_grid(f_hz: float) -> float:
+    """Snap an arbitrary frequency to the nearest 25 MHz P-state grid point.
+
+    The SMU can only apply frequencies representable in the P-state MSR
+    multiplier field, so every internally applied frequency passes through
+    this function.
+    """
+    return round(f_hz / PSTATE_FREQ_STEP_HZ) * PSTATE_FREQ_STEP_HZ
+
+
+def cycles_to_ns(cycles: float, f_hz: float) -> float:
+    """Duration of ``cycles`` clock cycles at ``f_hz``, in nanoseconds."""
+    if f_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {f_hz!r}")
+    return cycles * NS_PER_S / f_hz
+
+
+def ns_to_cycles(t_ns: float, f_hz: float) -> float:
+    """Number of cycles elapsing in ``t_ns`` at ``f_hz``."""
+    return t_ns * f_hz / NS_PER_S
+
+
+# --- energy -----------------------------------------------------------------
+
+#: RAPL energy status unit on AMD family 17h: 2**-16 J per LSB
+#: (ESU field of the RAPL_PWR_UNIT MSR reads 16 on Zen 2).
+RAPL_ENERGY_UNIT_J = 2.0**-16
+
+#: RAPL energy counters are 32-bit and wrap.
+RAPL_COUNTER_WRAP = 2**32
+
+
+def joules_to_rapl_units(e_j: float) -> int:
+    """Energy in joules -> integer RAPL counter increments (truncating)."""
+    return int(e_j / RAPL_ENERGY_UNIT_J)
+
+
+def rapl_units_to_joules(raw: int) -> float:
+    """Integer RAPL counter value -> joules."""
+    return raw * RAPL_ENERGY_UNIT_J

@@ -1,0 +1,46 @@
+"""Workload descriptors.
+
+A :class:`~repro.workloads.base.Workload` is a declarative description of
+the activity pattern a microbenchmark imposes: IPC in 1- and 2-thread SMT
+modes, execution-unit utilizations, memory traffic, operand toggle rate,
+and EDC current demand.  The paper's benchmarks (while(1), pause loops,
+FIRESTARTER, STREAM, pointer chasing, instruction blocks) are provided as
+ready-made descriptors and factories.
+
+This is the central substitution of the reproduction: the real machine ran
+x86 loops; the simulated machine runs their activity signatures through
+the same control and measurement paths (see DESIGN.md §4).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.generator import PayloadSpec, firestarter_spec
+from repro.workloads.library import (
+    FIRESTARTER,
+    IDLE,
+    MEMORY_READ,
+    MEMORY_WRITE,
+    PAUSE_LOOP,
+    POLL,
+    SPIN,
+    STREAM_TRIAD,
+    WORKLOAD_SET,
+    instruction_block,
+    pointer_chase,
+)
+
+__all__ = [
+    "Workload",
+    "PayloadSpec",
+    "firestarter_spec",
+    "SPIN",
+    "PAUSE_LOOP",
+    "POLL",
+    "IDLE",
+    "FIRESTARTER",
+    "STREAM_TRIAD",
+    "MEMORY_READ",
+    "MEMORY_WRITE",
+    "WORKLOAD_SET",
+    "instruction_block",
+    "pointer_chase",
+]

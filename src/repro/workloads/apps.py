@@ -1,0 +1,50 @@
+"""Canned phased applications (NPB-flavoured miniatures).
+
+Three recognizable HPC phase structures built on
+:class:`~repro.workloads.phases.PhasedApplication`, used by the DVFS
+studies and tests.  Names nod to the NAS Parallel Benchmarks the HPC
+community (and the paper's DVFS-related citations) habitually use:
+
+* ``ep_like``   — embarrassingly parallel compute, no memory phases;
+* ``cg_like``   — sparse-solver shape: short compute, long memory-bound
+  sweeps;
+* ``bt_like``   — alternating medium phases of both kinds.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.library import SPIN, STREAM_TRIAD, instruction_block
+from repro.workloads.phases import PhasedApplication
+
+
+def ep_like(phase_s: float = 0.2, n_iterations: int = 4) -> PhasedApplication:
+    """Pure compute: frequency buys performance one-for-one."""
+    app = PhasedApplication("ep_like")
+    for _ in range(n_iterations):
+        app.add(instruction_block("add_pd"), phase_s, freq_sensitivity=1.0)
+    return app
+
+
+def cg_like(phase_s: float = 0.2, n_iterations: int = 4) -> PhasedApplication:
+    """Sparse solver: dominated by memory-bound sweeps."""
+    app = PhasedApplication("cg_like")
+    for _ in range(n_iterations):
+        app.add(SPIN, phase_s * 0.25, freq_sensitivity=1.0)
+        app.add(STREAM_TRIAD, phase_s, freq_sensitivity=0.1)
+    return app
+
+
+def bt_like(phase_s: float = 0.2, n_iterations: int = 4) -> PhasedApplication:
+    """Block-tridiagonal shape: balanced alternation."""
+    app = PhasedApplication("bt_like")
+    for _ in range(n_iterations):
+        app.add(instruction_block("mul_pd"), phase_s, freq_sensitivity=0.9)
+        app.add(STREAM_TRIAD, phase_s * 0.5, freq_sensitivity=0.15)
+    return app
+
+
+APPLICATIONS = {
+    "ep_like": ep_like,
+    "cg_like": cg_like,
+    "bt_like": bt_like,
+}

@@ -1,0 +1,118 @@
+"""The workload descriptor.
+
+Design note (DESIGN.md §4): on the real machine, a microbenchmark *is*
+its instruction stream; in the simulator a workload is the stream's
+*activity signature*.  Everything downstream — the ground-truth power
+model, the RAPL estimator, the EDC manager, perf counters — consumes only
+this signature, exactly as the corresponding hardware units respond only
+to activity, not to program text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Activity signature of a microbenchmark.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in experiment tables.
+    ipc_1t / ipc_2t:
+        Retired instructions per *core* cycle when one / both hardware
+        threads of a core execute the workload.  ``ipc_2t`` is the
+        per-core total (both threads combined).
+    freq_scaling:
+        Fraction of throughput that scales with core frequency
+        (1.0 = fully core-bound, 0.0 = fully memory-bound).
+    power_coeff_1t / power_coeff_2t:
+        Dynamic-power weight of the workload per active core at the
+        nominal V/f point, in units of
+        :attr:`repro.power.calibration.Calibration.dyn_w_per_v2ghz`.
+    simd_width_bits:
+        Width of the vector datapath the workload keeps busy (0 for
+        scalar/no FP).  Drives clock-gating behaviour and toggle power.
+    fp_util / alu_util / ls_util:
+        Utilization (0..1) of FP pipes, integer ALUs and load/store AGUs;
+        inputs to the RAPL activity model.
+    dram_gbs_1t:
+        Main-memory traffic demand of a single thread (GB/s); actual
+        traffic is capped by the memory system.
+    l3_util:
+        L3 access intensity (0..1), for the uncore part of RAPL.
+    toggle_rate:
+        Relative operand Hamming weight (0, 0.5, 1 in the §VII-B
+        experiments); 0.5 for "random data" workloads.
+    toggle_width_bits:
+        Datapath bits whose switching depends on operand data (256 for
+        vxorps, 64 for shr, 0 for workloads without controlled operands).
+    edc_weight:
+        Relative electrical-design-current demand (1.0 = FIRESTARTER-class
+        full-throughput 256-bit FMA code; see :mod:`repro.smu.edc`).
+    uses_pause:
+        True for pause-based busy-wait loops (C0 but minimal activity).
+    """
+
+    name: str
+    ipc_1t: float = 1.0
+    ipc_2t: float = 1.2
+    freq_scaling: float = 1.0
+    power_coeff_1t: float = 1.0
+    power_coeff_2t: float = 1.2
+    simd_width_bits: int = 0
+    fp_util: float = 0.0
+    alu_util: float = 0.2
+    ls_util: float = 0.1
+    dram_gbs_1t: float = 0.0
+    l3_util: float = 0.0
+    toggle_rate: float = 0.5
+    toggle_width_bits: int = 0
+    edc_weight: float = 0.0
+    uses_pause: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ipc_1t < 0 or self.ipc_2t < 0:
+            raise WorkloadError(f"{self.name}: IPC must be non-negative")
+        if not 0.0 <= self.freq_scaling <= 1.0:
+            raise WorkloadError(f"{self.name}: freq_scaling must be in [0, 1]")
+        if not 0.0 <= self.toggle_rate <= 1.0:
+            raise WorkloadError(f"{self.name}: toggle_rate must be in [0, 1]")
+        for attr in ("fp_util", "alu_util", "ls_util", "l3_util"):
+            v = getattr(self, attr)
+            if not 0.0 <= v <= 1.0:
+                raise WorkloadError(f"{self.name}: {attr} must be in [0, 1]")
+        if self.power_coeff_1t < 0 or self.power_coeff_2t < 0:
+            raise WorkloadError(f"{self.name}: power coefficients must be >= 0")
+        if self.edc_weight < 0:
+            raise WorkloadError(f"{self.name}: edc_weight must be >= 0")
+
+    # --- derived ---------------------------------------------------------
+
+    def ipc(self, smt_threads: int) -> float:
+        """Per-core IPC with ``smt_threads`` threads running this workload."""
+        if smt_threads == 1:
+            return self.ipc_1t
+        if smt_threads == 2:
+            return self.ipc_2t
+        raise WorkloadError(f"smt_threads must be 1 or 2, got {smt_threads}")
+
+    def power_coeff(self, smt_threads: int) -> float:
+        """Per-core dynamic power weight with ``smt_threads`` threads."""
+        if smt_threads == 1:
+            return self.power_coeff_1t
+        if smt_threads == 2:
+            return self.power_coeff_2t
+        raise WorkloadError(f"smt_threads must be 1 or 2, got {smt_threads}")
+
+    def with_operand_weight(self, weight: float) -> "Workload":
+        """Copy of the workload with a different relative Hamming weight."""
+        return replace(self, toggle_rate=weight, name=f"{self.name}[w={weight:g}]")
+
+    def with_name(self, name: str) -> "Workload":
+        """Copy with a different name (for sweep labelling)."""
+        return replace(self, name=name)

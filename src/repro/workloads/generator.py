@@ -1,0 +1,175 @@
+"""FIRESTARTER-2-style payload generation (§V-E; Schöne et al., CLUSTER
+2021, "FIRESTARTER 2: Dynamic Code Generation for Processor Stress
+Tests").
+
+FIRESTARTER builds its stress payload *dynamically*: a sequence of
+instruction groups (FMA, load/store to a chosen memory level, integer
+ALU fillers) is unrolled until the loop no longer fits the op cache but
+still fits L1I, maximizing front-end plus back-end utilization.  The
+analog here: a :class:`PayloadSpec` describes the group mix; the
+generator derives the activity signature (IPC, unit utilizations, EDC
+demand, memory traffic) from Zen 2's structural limits and returns an
+ordinary :class:`~repro.workloads.base.Workload`.
+
+The derivation uses the §III-A machine widths: 4-wide retire, two
+256-bit FMA pipes, two 256-bit FADD pipes, three AGU ops per cycle (two
+loads + one store), 32 B per load/store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+#: Zen 2 structural limits (per core cycle).
+RETIRE_WIDTH = 4.0
+FMA_PIPES = 2.0
+LOAD_OPS = 2.0
+STORE_OPS = 1.0
+BYTES_PER_MEM_OP = 32.0
+
+#: Op-cache capacity in ops; loops below this hit the op cache and lift
+#: the front-end limit to 8 ops/cycle (defeating the L1I-pressure trick).
+OP_CACHE_OPS = 4096
+#: Instruction bytes that fit L1I (32 KiB); beyond this the loop misses.
+L1I_BYTES = 32 * 1024
+AVG_INSTRUCTION_BYTES = 5.0
+
+
+@dataclass(frozen=True)
+class PayloadSpec:
+    """A FIRESTARTER-style instruction-group mix.
+
+    Fractions are of the *instruction stream*; they must sum to 1.
+    ``mem_level`` chooses where the load/store group points ("L1", "L2",
+    "L3" or "RAM"), which determines achievable IPC and DRAM traffic.
+    """
+
+    name: str = "payload"
+    fma_fraction: float = 0.5
+    load_store_fraction: float = 0.25
+    integer_fraction: float = 0.25
+    mem_level: str = "L1"
+    unrolled_instructions: int = 3000
+    operand_hamming_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        total = self.fma_fraction + self.load_store_fraction + self.integer_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"{self.name}: group fractions sum to {total}, not 1")
+        for frac in (self.fma_fraction, self.load_store_fraction, self.integer_fraction):
+            if frac < 0:
+                raise WorkloadError(f"{self.name}: negative group fraction")
+        if self.mem_level not in ("L1", "L2", "L3", "RAM"):
+            raise WorkloadError(f"{self.name}: unknown mem level {self.mem_level!r}")
+        if self.unrolled_instructions < 16:
+            raise WorkloadError(f"{self.name}: loop too short to schedule")
+
+    # --- structural analysis ------------------------------------------------
+
+    @property
+    def fits_op_cache(self) -> bool:
+        return self.unrolled_instructions <= OP_CACHE_OPS
+
+    @property
+    def fits_l1i(self) -> bool:
+        return self.unrolled_instructions * AVG_INSTRUCTION_BYTES <= L1I_BYTES
+
+    def front_end_ipc_limit(self) -> float:
+        """4-wide from L1I; op-cache loops decode wider; L1I misses halve."""
+        if self.fits_op_cache:
+            return RETIRE_WIDTH * 1.5
+        if self.fits_l1i:
+            return RETIRE_WIDTH
+        return RETIRE_WIDTH / 2.0
+
+    def back_end_ipc_limit(self) -> float:
+        """The binding pipe for the requested mix.
+
+        The memory level throttles the *memory-op* throughput (a stream
+        to DRAM sustains a small fraction of the AGU peak), which then
+        bounds the whole stream through the group fraction.
+        """
+        stall = {"L1": 1.0, "L2": 0.75, "L3": 0.45, "RAM": 0.12}[self.mem_level]
+        limits = []
+        if self.fma_fraction > 0:
+            limits.append(FMA_PIPES / self.fma_fraction)
+        if self.load_store_fraction > 0:
+            limits.append((LOAD_OPS + STORE_OPS) * stall / self.load_store_fraction)
+        if self.integer_fraction > 0:
+            limits.append(RETIRE_WIDTH / self.integer_fraction)
+        return min(limits) if limits else RETIRE_WIDTH
+
+    #: Fraction of the structural limit real schedules sustain (branch
+    #: and dependency bubbles); x0.89 puts the canonical FIRESTARTER mix
+    #: at the measured 3.56 IPC.
+    SCHEDULE_EFFICIENCY = 0.89
+    #: One thread leaves additional bubbles SMT would fill (3.23/3.56).
+    SINGLE_THREAD_FACTOR = 0.91
+
+    def sustained_ipc(self, smt_threads: int = 2) -> float:
+        """Per-core IPC: min of front/back-end limits, SMT-adjusted.
+
+        A single thread cannot keep all pipes fed (speculation gaps); two
+        threads fill the bubbles — the 3.23 vs 3.56 structure of Fig 6.
+        """
+        raw = min(self.front_end_ipc_limit(), self.back_end_ipc_limit(), RETIRE_WIDTH)
+        raw *= self.SCHEDULE_EFFICIENCY
+        if smt_threads == 1:
+            return raw * self.SINGLE_THREAD_FACTOR
+        return raw
+
+    def dram_gbs_per_thread(self, freq_ghz: float = 2.5) -> float:
+        """Memory traffic for RAM-level payloads."""
+        if self.mem_level != "RAM" or self.load_store_fraction == 0:
+            return 0.6 if self.mem_level == "L3" else 0.0
+        ops_per_cycle = self.sustained_ipc(2) * self.load_store_fraction / 2
+        return ops_per_cycle * BYTES_PER_MEM_OP * freq_ghz
+
+    # --- generation ------------------------------------------------------------
+
+    def generate(self) -> Workload:
+        """Derive the activity signature as a :class:`Workload`."""
+        ipc2 = round(self.sustained_ipc(2), 3)
+        ipc1 = round(self.sustained_ipc(1), 3)
+        fp_util = min(1.0, self.fma_fraction * ipc2 / FMA_PIPES)
+        ls_util = min(1.0, self.load_store_fraction * ipc2 / (LOAD_OPS + STORE_OPS))
+        alu_util = min(1.0, self.integer_fraction * ipc2 / RETIRE_WIDTH)
+        # EDC demand tracks FP-pipe and AGU pressure; the canonical
+        # FIRESTARTER mix lands at ~1.0 (the FIRESTARTER-class reference).
+        edc = min(1.0, 0.1 + 0.9 * fp_util + 0.25 * ls_util)
+        # Dynamic power weight: normalized so the canonical FIRESTARTER
+        # mix reproduces the calibrated descriptor (7.30 at 2 threads).
+        coeff2 = 7.30 * (0.45 * fp_util + 0.35 * ls_util + 0.20 * alu_util) / 0.55
+        coeff1 = coeff2 * 6.24 / 7.30
+        return Workload(
+            name=self.name,
+            ipc_1t=ipc1,
+            ipc_2t=ipc2,
+            power_coeff_1t=round(coeff1, 3),
+            power_coeff_2t=round(coeff2, 3),
+            simd_width_bits=256 if self.fma_fraction > 0 else 0,
+            fp_util=round(fp_util, 3),
+            alu_util=round(alu_util, 3),
+            ls_util=round(ls_util, 3),
+            l3_util=0.35 if self.mem_level in ("L3", "RAM") else 0.1,
+            dram_gbs_1t=round(self.dram_gbs_per_thread(), 2),
+            toggle_rate=self.operand_hamming_weight,
+            toggle_width_bits=256 if self.fma_fraction > 0 else 64,
+            edc_weight=round(edc, 3),
+        )
+
+
+def firestarter_spec() -> PayloadSpec:
+    """The §V-E payload: 2x 256-bit FMA per cycle + loads/stores +
+    integer fillers, loop sized past the op cache but inside L1I."""
+    return PayloadSpec(
+        name="firestarter_generated",
+        fma_fraction=0.5,
+        load_store_fraction=0.25,
+        integer_fraction=0.25,
+        mem_level="L1",
+        unrolled_instructions=6000,  # > 4096 ops, < L1I capacity
+    )

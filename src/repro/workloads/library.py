@@ -1,0 +1,242 @@
+"""The paper's microbenchmarks as workload descriptors.
+
+Coefficients marked "calibrated" are chosen so that the end-to-end
+experiments recover the paper's observables (Figs 6, 7, 9, 10); the
+acceptance tests in ``tests/integration`` pin them down.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+# ---------------------------------------------------------------------------
+# busy loops (§V-A, §VI-A)
+# ---------------------------------------------------------------------------
+
+#: ``while(1);`` — a one-instruction branch loop.  Fully core-bound; IPC 1
+#: per thread (the branch dominates); modest power.
+SPIN = Workload(
+    name="spin",
+    ipc_1t=1.0,
+    ipc_2t=2.0,
+    power_coeff_1t=0.55,
+    power_coeff_2t=0.75,
+    alu_util=0.25,
+    edc_weight=0.12,
+)
+
+#: Unrolled ``pause`` loop (§VI-A): the paper's C0 reference workload;
+#: "more stable and slightly lower power consumption than POLL".
+#: Power coefficients are 0 — its cost is carried entirely by the
+#: calibrated per-active-core adders of the power model (Fig 7 staircase).
+PAUSE_LOOP = Workload(
+    name="pause_loop",
+    ipc_1t=0.05,
+    ipc_2t=0.10,
+    power_coeff_1t=0.0,
+    power_coeff_2t=0.0,
+    alu_util=0.02,
+    uses_pause=True,
+)
+
+#: Linux idle=poll-style loop: pause plus per-iteration checks; slightly
+#: higher and noisier power than PAUSE_LOOP (§VI-A).
+POLL = Workload(
+    name="poll",
+    ipc_1t=0.35,
+    ipc_2t=0.60,
+    power_coeff_1t=0.06,
+    power_coeff_2t=0.10,
+    alu_util=0.10,
+    uses_pause=True,
+)
+
+#: No workload at all (the thread idles into a C-state).  Exists so sweep
+#: tables can name the idle configuration.
+IDLE = Workload(
+    name="idle",
+    ipc_1t=0.0,
+    ipc_2t=0.0,
+    power_coeff_1t=0.0,
+    power_coeff_2t=0.0,
+    alu_util=0.0,
+    ls_util=0.0,
+)
+
+# ---------------------------------------------------------------------------
+# FIRESTARTER 2 (§V-E, Fig 6)
+# ---------------------------------------------------------------------------
+
+#: Maximum-throughput payload: 2x 256-bit FMA per cycle, 256-bit loads and
+#: stores, interleaved integer ops, loop sized for L1I (not the op cache),
+#: limiting throughput to 4 instructions/cycle (§V-E).  IPC values are the
+#: paper's measurements at the throttled operating point (Fig 6).
+FIRESTARTER = Workload(
+    name="firestarter",
+    ipc_1t=3.23,  # Fig 6 (one thread per core)
+    ipc_2t=3.56,  # Fig 6 (both threads)
+    power_coeff_1t=6.24,  # calibrated -> 489 W system (Fig 6)
+    power_coeff_2t=7.30,  # calibrated -> 509 W system (Fig 6)
+    simd_width_bits=256,
+    fp_util=1.0,
+    alu_util=0.85,
+    ls_util=0.90,
+    l3_util=0.35,
+    dram_gbs_1t=0.6,  # touches all memory levels, modest DRAM share
+    toggle_width_bits=256,
+    edc_weight=1.0,
+)
+
+# ---------------------------------------------------------------------------
+# memory benchmarks (§V-C, §V-D)
+# ---------------------------------------------------------------------------
+
+#: STREAM-Triad (McCalpin): a[i] = b[i] + s*c[i]; bandwidth-bound.
+STREAM_TRIAD = Workload(
+    name="stream_triad",
+    ipc_1t=0.8,
+    ipc_2t=0.9,
+    freq_scaling=0.15,
+    power_coeff_1t=1.1,
+    power_coeff_2t=1.25,
+    simd_width_bits=256,
+    fp_util=0.30,
+    alu_util=0.25,
+    ls_util=0.95,
+    l3_util=0.6,
+    dram_gbs_1t=22.0,  # calibrated single-core triad demand (Fig 5)
+    edc_weight=0.30,
+)
+
+
+def pointer_chase(level: str = "L3") -> Workload:
+    """Dependent-load latency benchmark (Molka et al.), Figs 4 & 5.
+
+    One load in flight at a time: negligible bandwidth, IPC far below 1,
+    hardware prefetchers disabled and huge pages used on the real system
+    (§V-C) — here that simply means the latency model applies un-prefetched
+    access times.
+    """
+    dram = 0.2 if level == "DRAM" else 0.0
+    return Workload(
+        name=f"pointer_chase_{level.lower()}",
+        ipc_1t=0.05,
+        ipc_2t=0.08,
+        freq_scaling=0.3,
+        power_coeff_1t=0.35,
+        power_coeff_2t=0.45,
+        ls_util=0.30,
+        l3_util=0.8 if level == "L3" else 0.2,
+        dram_gbs_1t=dram,
+        edc_weight=0.05,
+    )
+
+
+#: Streaming read / write kernels from the §VII-A workload set.
+MEMORY_READ = Workload(
+    name="memory_read",
+    ipc_1t=0.6,
+    ipc_2t=0.7,
+    freq_scaling=0.1,
+    power_coeff_1t=0.9,
+    power_coeff_2t=1.0,
+    ls_util=0.95,
+    l3_util=0.5,
+    dram_gbs_1t=18.0,
+    edc_weight=0.25,
+)
+
+MEMORY_WRITE = Workload(
+    name="memory_write",
+    ipc_1t=0.5,
+    ipc_2t=0.6,
+    freq_scaling=0.1,
+    power_coeff_1t=0.85,
+    power_coeff_2t=0.95,
+    ls_util=0.95,
+    l3_util=0.5,
+    dram_gbs_1t=14.0,
+    edc_weight=0.22,
+)
+
+# ---------------------------------------------------------------------------
+# instruction blocks (§VII)
+# ---------------------------------------------------------------------------
+
+_INSTRUCTION_PARAMS: dict[str, dict] = {
+    # name: (per-core activity of an unrolled single-instruction loop)
+    "sqrt": dict(
+        ipc_1t=0.22, ipc_2t=0.40, power_coeff_1t=1.0, power_coeff_2t=1.3,
+        simd_width_bits=128, fp_util=0.5, edc_weight=0.18,
+    ),
+    "add_pd": dict(
+        ipc_1t=2.0, ipc_2t=3.0, power_coeff_1t=1.6, power_coeff_2t=2.1,
+        simd_width_bits=256, fp_util=0.9, edc_weight=0.40,
+        toggle_width_bits=256,
+    ),
+    "mul_pd": dict(
+        ipc_1t=2.0, ipc_2t=3.0, power_coeff_1t=1.9, power_coeff_2t=2.5,
+        simd_width_bits=256, fp_util=0.9, edc_weight=0.45,
+        toggle_width_bits=256,
+    ),
+    "vxorps": dict(
+        # 256-bit xor: high throughput, low arithmetic power, operand-
+        # driven toggling across the full 256-bit datapath (Fig 10).
+        # Coefficients put the all-thread system power near 277 W so the
+        # 21 W operand spread is the paper's 7.6 %.
+        ipc_1t=2.5, ipc_2t=3.2, power_coeff_1t=0.70, power_coeff_2t=0.85,
+        simd_width_bits=256, fp_util=0.1, alu_util=0.3, edc_weight=0.30,
+        toggle_width_bits=256,
+    ),
+    "shr": dict(
+        # 64-bit scalar shift (§VII-B contrast case).  The benchmark
+        # shifts by 0, so the operand is *held* rather than toggled each
+        # cycle — the effective data-dependent datapath is narrow (32
+        # bits here), reproducing the ~0.9 % AC spread.
+        ipc_1t=2.0, ipc_2t=3.0, power_coeff_1t=0.9, power_coeff_2t=1.2,
+        simd_width_bits=0, alu_util=0.8, edc_weight=0.20,
+        toggle_width_bits=28,
+    ),
+    "mov_rr": dict(
+        ipc_1t=3.5, ipc_2t=4.0, power_coeff_1t=0.8, power_coeff_2t=1.0,
+        alu_util=0.6, edc_weight=0.15,
+    ),
+    "nop": dict(
+        ipc_1t=4.0, ipc_2t=4.0, power_coeff_1t=0.5, power_coeff_2t=0.6,
+        alu_util=0.2, edc_weight=0.08,
+    ),
+}
+
+
+def instruction_block(mnemonic: str, operand_weight: float = 0.5) -> Workload:
+    """An unrolled single-instruction loop (§VII methodology).
+
+    ``operand_weight`` is the relative Hamming weight of the operands
+    (0, 0.5 or 1 in the paper's experiment); it controls the
+    data-dependent toggle power term.
+    """
+    try:
+        params = dict(_INSTRUCTION_PARAMS[mnemonic])
+    except KeyError:
+        known = ", ".join(sorted(_INSTRUCTION_PARAMS))
+        raise KeyError(f"unknown instruction {mnemonic!r}; known: {known}") from None
+    return Workload(name=mnemonic, toggle_rate=operand_weight, **params)
+
+
+#: The §VII-A RAPL-quality workload set (Fig 9): compute-only kernels,
+#: memory kernels, busy loops and idle.
+WORKLOAD_SET: tuple[Workload, ...] = (
+    IDLE,
+    PAUSE_LOOP,
+    POLL,
+    SPIN,
+    instruction_block("sqrt"),
+    instruction_block("add_pd"),
+    instruction_block("mul_pd"),
+    instruction_block("vxorps"),
+    instruction_block("mov_rr"),
+    MEMORY_READ,
+    MEMORY_WRITE,
+    STREAM_TRIAD,
+    FIRESTARTER,
+)

@@ -1,0 +1,39 @@
+"""Shared fixtures.
+
+``machine`` is function-scoped and cheap to build (~10 ms); experiments
+that need paper-scale sampling live in ``tests/integration`` and build
+their own configured machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import Machine
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng_factory() -> RngFactory:
+    return RngFactory(1234)
+
+
+@pytest.fixture
+def machine() -> Machine:
+    m = Machine("EPYC 7502", seed=99)
+    yield m
+    m.shutdown()
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """Single-socket 16-core part: faster for sweep-style unit tests."""
+    m = Machine("EPYC 7302", n_packages=1, seed=99)
+    yield m
+    m.shutdown()

@@ -1,0 +1,17 @@
+"""Integration-test configuration: modest sample counts, fixed seeds.
+
+Each test runs a full experiment end-to-end (machine build -> OS-level
+procedure -> instruments -> analysis) and asserts the paper-comparison
+table passes.  Sample counts are scaled down from the paper's; the
+distributions these experiments measure converge orders of magnitude
+earlier, and the benches can run them bigger.
+"""
+
+import pytest
+
+from repro.core import ExperimentConfig
+
+
+@pytest.fixture
+def cfg() -> ExperimentConfig:
+    return ExperimentConfig(seed=2021, scale=0.02)

@@ -1,0 +1,72 @@
+"""Every example script must run end-to-end and tell its story.
+
+The examples double as executable documentation; these smoke tests keep
+them from rotting. Each runs in-process (runpy) with stdout captured and
+asserted against the load-bearing claim of its narrative.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name: str, capsys) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    argv = sys.argv
+    sys.argv = [path]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "throttled to 2.00 GHz" in out
+        assert "99.1 W" in out
+
+    def test_idle_power_tuning(self, capsys):
+        out = run_example("idle_power_tuning.py", capsys)
+        assert "stuck at the C1 level" in out
+        assert "back to baseline" in out
+
+    def test_frequency_pitfalls(self, capsys):
+        out = run_example("frequency_pitfalls.py", capsys)
+        assert "sibling wins" in out
+        assert "200 MHz lost" in out
+
+    def test_rapl_accuracy_audit(self, capsys):
+        out = run_example("rapl_accuracy_audit.py", capsys)
+        assert "best linear fit" in out
+        assert "memory_read" in out
+
+    def test_sidechannel_probe(self, capsys):
+        out = run_example("sidechannel_probe.py", capsys)
+        assert "samples needed to distinguish" in out
+        assert "hides operand data" in out
+
+    def test_payload_designer(self, capsys):
+        out = run_example("payload_designer.py", capsys)
+        assert "firestarter_generated" in out
+        assert "EDC manager" in out
+
+    def test_dvfs_tuner(self, capsys):
+        out = run_example("dvfs_tuner.py", capsys)
+        assert "energy saved" in out
+
+    def test_operator_dashboard(self, capsys):
+        out = run_example("operator_dashboard.py", capsys)
+        assert "EDC throttle" in out
+        assert "self-check" in out
+        assert "DEVIATES" not in out
+
+    def test_coherence_explorer(self, capsys):
+        out = run_example("coherence_explorer.py", capsys)
+        assert "other socket" in out
+        assert "link retrain" in out

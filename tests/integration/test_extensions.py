@@ -1,0 +1,94 @@
+"""Extension studies: power capping, idle governor, and the suite runner."""
+
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.core.idle_governor import IdleGovernorExperiment
+from repro.core.power_capping import PowerCappingExperiment
+from repro.core.suite import run_suite, suite_to_dict
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(seed=2021, scale=0.02)
+
+
+class TestPowerCapping:
+    @pytest.fixture(scope="class")
+    def result(self, cfg):
+        return PowerCappingExperiment(cfg).measure(
+            caps_w=(75.0, 100.0, 130.0, 160.0)
+        )
+
+    def test_tighter_caps_lower_frequency(self, result):
+        fs = result.of_workload("firestarter")
+        freqs = [p.applied_ghz for p in fs]
+        assert freqs == sorted(freqs)
+
+    def test_modelled_power_honours_caps(self, result):
+        for p in result.points:
+            assert p.modelled_pkg_w <= p.cap_w + 1.0
+
+    def test_true_power_can_violate(self, result):
+        worst = result.worst_violation()
+        assert worst.cap_violation_w > 3.0
+
+    def test_performance_degrades_with_cap(self, result):
+        fs = result.of_workload("firestarter")
+        assert fs[0].relative_performance < fs[-1].relative_performance <= 1.0
+
+    def test_biased_operands_hide_power_from_the_cap(self, result):
+        # weight-1.0 vxorps: toggle power invisible to the model
+        vx = result.of_workload("vxorps")
+        assert vx, [p.workload for p in result.points]
+        assert any(p.cap_violation_w > 0.0 for p in vx)
+
+
+class TestIdleGovernorStudy:
+    @pytest.fixture(scope="class")
+    def result(self, cfg):
+        return IdleGovernorExperiment(cfg).measure()
+
+    def test_cliff_at_c2_breakeven(self, result):
+        exp = IdleGovernorExperiment()
+        assert exp.breakeven_matches_governor_table(result)
+        assert result.cliff_rate_hz() == pytest.approx(11_000.0)
+
+    def test_power_jump_at_cliff(self, result):
+        below = [
+            p for r, p in zip(result.rates_hz, result.power_w) if r < 10_000
+        ]
+        above = [
+            p for r, p in zip(result.rates_hz, result.power_w) if r > 10_000
+        ]
+        assert max(below) < 101.0
+        assert min(above) > 179.0
+
+    def test_states_match_power(self, result):
+        for power, state in zip(result.power_w, result.selected_state):
+            if state == "C2":
+                assert power < 101.0
+            else:
+                assert power > 179.0
+
+
+class TestSuiteRunner:
+    def test_filtered_suite(self, cfg):
+        result = run_suite(cfg, only=["sec5a_idle_sibling", "sec7_rapl_update_rate"])
+        assert set(result.tables) == {"sec5a_idle_sibling", "sec7_rapl_update_rate"}
+        assert result.all_ok, result.render()
+
+    def test_unknown_entry_rejected(self, cfg):
+        with pytest.raises(KeyError):
+            run_suite(cfg, only=["fig99"])
+
+    def test_serialization(self, cfg):
+        result = run_suite(cfg, only=["sec5a_idle_sibling"])
+        doc = suite_to_dict(result)
+        assert doc["all_ok"]
+        assert doc["seed"] == 2021
+        assert "sec5a_idle_sibling" in doc["experiments"]
+
+    def test_failures_empty_when_ok(self, cfg):
+        result = run_suite(cfg, only=["sec5a_idle_sibling"])
+        assert result.failures() == {}

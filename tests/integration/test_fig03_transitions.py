@@ -1,0 +1,70 @@
+"""Fig 3 + §V-B: transition delays and their anomalies, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyTransitionExperiment
+from repro.units import ghz
+
+
+@pytest.fixture(scope="module")
+def exp():
+    from repro.core import ExperimentConfig
+
+    return FrequencyTransitionExperiment(ExperimentConfig(seed=2021))
+
+
+@pytest.fixture(scope="module")
+def down_result(exp):
+    return exp.measure_pair(ghz(2.2), ghz(1.5), n_samples=3000)
+
+
+class TestFig3Histogram:
+    def test_paper_comparison_passes(self, exp, down_result):
+        table = exp.compare_with_paper(down_result)
+        assert table.all_ok, table.render()
+
+    def test_support_is_390_to_1390us(self, down_result):
+        lo, hi = down_result.histogram.support
+        assert lo == pytest.approx(390.0, abs=30.0)
+        assert hi == pytest.approx(1390.0, abs=40.0)
+
+    def test_distribution_flat(self, down_result):
+        assert down_result.histogram.uniformity_cv() < 0.25
+
+    def test_slot_period_recoverable_from_width(self, down_result):
+        # max - min ~ the SMU update interval (1 ms)
+        width_us = down_result.max_us - down_result.min_us
+        assert width_us == pytest.approx(1000.0, rel=0.05)
+
+    def test_validation_discards_a_few_percent(self, down_result):
+        # the 95 % CI validation rejects ~5 % of samples by construction
+        frac = down_result.n_invalid / (down_result.n_invalid + len(down_result.latencies_us))
+        assert 0.0 < frac < 0.15
+
+
+class TestSec5BAnomalies:
+    def test_up_switch_sometimes_instant(self, exp):
+        res = exp.measure_pair(ghz(2.2), ghz(2.5), n_samples=400)
+        assert res.min_us < 10.0  # paper: 1 us (plus probe quantization)
+        assert (res.latencies_us < 10.0).mean() > 0.05
+
+    def test_down_switch_sometimes_partial(self, exp):
+        res = exp.measure_pair(ghz(2.5), ghz(2.2), n_samples=600)
+        assert res.min_us < 385.0  # below the normal minimum
+        assert res.min_us > 100.0  # but never instant
+
+    def test_effect_disappears_with_5ms_waits(self, exp):
+        up = exp.measure_pair(ghz(2.2), ghz(2.5), n_samples=200, min_wait_ms=5.0)
+        down = exp.measure_pair(ghz(2.5), ghz(2.2), n_samples=200, min_wait_ms=5.0)
+        assert up.min_us > 300.0
+        assert down.min_us > 385.0
+
+    def test_large_gap_pair_has_no_fast_path(self, exp):
+        res = exp.measure_pair(ghz(2.5), ghz(1.5), n_samples=300)
+        assert res.min_us > 385.0
+
+    def test_up_transitions_faster_than_down(self, exp):
+        up = exp.measure_pair(ghz(1.5), ghz(2.2), n_samples=300, min_wait_ms=5.0)
+        down = exp.measure_pair(ghz(2.2), ghz(1.5), n_samples=300, min_wait_ms=5.0)
+        assert up.min_us < down.min_us  # 360 vs 390 us execution

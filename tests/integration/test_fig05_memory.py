@@ -1,0 +1,66 @@
+"""Fig 5: memory bandwidth/latency vs I/O-die P-state and DRAM clock."""
+
+import pytest
+
+from repro.core import MemoryPerformanceExperiment
+from repro.iodie.fclk import FclkMode
+
+
+@pytest.fixture(scope="module")
+def exp():
+    from repro.core import ExperimentConfig
+
+    return MemoryPerformanceExperiment(ExperimentConfig(seed=2021))
+
+
+@pytest.fixture(scope="module")
+def bw(exp):
+    return exp.measure_bandwidth()
+
+
+@pytest.fixture(scope="module")
+def lat(exp):
+    return exp.measure_latency()
+
+
+class TestFig5:
+    def test_paper_comparison_passes(self, exp, bw, lat):
+        table = exp.compare_with_paper(bw, lat)
+        assert table.all_ok, table.render()
+
+    def test_latency_anchors(self, lat):
+        assert lat.at(FclkMode.AUTO, "DDR4-3200") == pytest.approx(92.0, abs=1.0)
+        assert lat.at(FclkMode.P0, "DDR4-3200") == pytest.approx(96.0, abs=1.0)
+
+    def test_bandwidth_saturates_at_two_cores(self, bw):
+        series = bw.series[("P0", "DDR4-3200")]
+        counts = bw.core_counts
+        one = series[counts.index(1)]
+        two = series[counts.index(2)]
+        three = series[counts.index(3)]
+        assert two > one * 1.4
+        assert three <= two  # saturation + contention
+
+    def test_bandwidth_ordered_by_fclk(self, bw):
+        for dram in ("DDR4-2666", "DDR4-3200"):
+            p0 = max(bw.series[("P0", dram)])
+            p1 = max(bw.series[("P1", dram)])
+            p2 = max(bw.series[("P2", dram)])
+            assert p0 > p1 > p2
+
+    def test_auto_matches_best_fixed_state(self, bw):
+        auto = max(bw.series[("AUTO", "DDR4-3200")])
+        p0 = max(bw.series[("P0", "DDR4-3200")])
+        assert auto == pytest.approx(p0, rel=0.03)
+
+    def test_latency_crossover_with_memclk(self, lat):
+        # P2 beats P0 only at the higher DRAM frequency (§V-D)
+        assert lat.at(FclkMode.P2, "DDR4-3200") < lat.at(FclkMode.P0, "DDR4-3200")
+        assert lat.at(FclkMode.P2, "DDR4-2666") > lat.at(FclkMode.P0, "DDR4-2666")
+
+    def test_auto_good_everywhere(self, lat):
+        for dram in ("DDR4-2666", "DDR4-3200"):
+            fixed_best = min(
+                lat.at(m, dram) for m in (FclkMode.P0, FclkMode.P1, FclkMode.P2)
+            )
+            assert lat.at(FclkMode.AUTO, dram) <= fixed_best * 1.01

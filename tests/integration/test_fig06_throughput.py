@@ -1,0 +1,49 @@
+"""Fig 6: EDC throttling under FIRESTARTER."""
+
+import pytest
+
+from repro.core import ThroughputLimitExperiment
+
+
+@pytest.fixture(scope="module")
+def exp():
+    from repro.core import ExperimentConfig
+
+    return ThroughputLimitExperiment(ExperimentConfig(seed=2021))
+
+
+@pytest.fixture(scope="module")
+def two_thread(exp):
+    return exp.measure(smt=True, duration_s=60)
+
+
+@pytest.fixture(scope="module")
+def one_thread(exp):
+    return exp.measure(smt=False, duration_s=60)
+
+
+class TestFig6:
+    def test_paper_comparison_passes(self, exp, two_thread, one_thread):
+        table = exp.compare_with_paper(two_thread, one_thread)
+        assert table.all_ok, table.render()
+
+    def test_frequencies_throttled_below_nominal(self, two_thread, one_thread):
+        assert two_thread.mean_freq_ghz == pytest.approx(2.0, abs=0.02)
+        assert one_thread.mean_freq_ghz == pytest.approx(2.1, abs=0.02)
+
+    def test_freq_stddev_small(self, two_thread):
+        # paper: 3.04 / 0.82 MHz std dev — throttle point is stable
+        assert two_thread.std_freq_mhz < 10.0
+
+    def test_smt_raises_throughput_and_power(self, two_thread, one_thread):
+        assert two_thread.ipc_per_core > one_thread.ipc_per_core
+        assert two_thread.ac_power_w > one_thread.ac_power_w
+
+    def test_rapl_below_tdp(self, two_thread):
+        # paper: RAPL reads 170 W while TDP is 180 W
+        assert two_thread.rapl_per_pkg_w < 180.0
+
+    def test_future_work_core_scaling(self, exp):
+        scaling = exp.core_count_scaling(["EPYC 7302", "EPYC 7502", "EPYC 7742"])
+        # more cores -> deeper throttle (§VIII expectation)
+        assert scaling["EPYC 7742"] < scaling["EPYC 7502"] < scaling["EPYC 7302"]

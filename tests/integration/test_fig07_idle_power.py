@@ -1,0 +1,65 @@
+"""Fig 7 + §VI-A/B: idle staircase and the offline anomaly."""
+
+import numpy as np
+import pytest
+
+from repro.core import IdlePowerExperiment
+from repro.machine import Machine, Quirks
+
+
+@pytest.fixture(scope="module")
+def exp():
+    from repro.core import ExperimentConfig
+
+    return IdlePowerExperiment(ExperimentConfig(seed=2021))
+
+
+@pytest.fixture(scope="module")
+def c1_sweep(exp):
+    return exp.sweep_c1(step_cpus=list(range(16)))
+
+
+@pytest.fixture(scope="module")
+def c0_sweep(exp):
+    return exp.sweep_c0(step_cpus=list(range(16)))
+
+
+class TestFig7:
+    def test_paper_comparison_passes(self, exp, c1_sweep, c0_sweep):
+        table = exp.compare_with_paper(c1_sweep, c0_sweep)
+        assert table.all_ok, table.render()
+
+    def test_baseline_99w(self, c1_sweep):
+        assert c1_sweep.power_w[0] == pytest.approx(99.1, abs=0.3)
+
+    def test_first_c1_step_dominates(self, c1_sweep):
+        first = c1_sweep.delta(1)
+        rest = np.diff(c1_sweep.power_w[1:])
+        assert first > 80.0
+        assert all(r < 0.5 for r in rest)
+
+    def test_active_sweep_slope(self, c0_sweep):
+        per_core = np.diff(c0_sweep.power_w[1:]).mean()
+        assert per_core == pytest.approx(0.33, abs=0.1)
+
+    def test_c0_sweep_at_low_freq_cheaper(self, exp):
+        lo = exp.sweep_c0(freq_ghz=1.5, step_cpus=list(range(4)))
+        hi = exp.sweep_c0(freq_ghz=2.5, step_cpus=list(range(4)))
+        assert lo.power_w[-1] < hi.power_w[-1]
+
+
+class TestSec6BAnomaly:
+    def test_offline_pins_power_at_c1_level(self, exp):
+        res = exp.offline_anomaly()
+        assert res["offline_w"] > res["baseline_w"] + 80.0
+        assert res["restored_w"] == pytest.approx(res["baseline_w"], abs=0.3)
+
+    def test_anomaly_absent_without_quirk(self):
+        m = Machine("EPYC 7502", seed=0, quirks=Quirks(offline_parks_in_c1=False))
+        baseline = m.measure(10.0).ac_mean_w
+        n_cores = m.topology.n_cores
+        for cpu in [c for c in m.os.all_cpus() if c >= n_cores]:
+            m.os.sysfs.write(f"/sys/devices/system/cpu/cpu{cpu}/online", "0")
+        offline = m.measure(10.0).ac_mean_w
+        m.shutdown()
+        assert offline == pytest.approx(baseline, abs=0.5)

@@ -1,0 +1,51 @@
+"""Fig 8: C-state wake-up latencies via the caller/callee method."""
+
+import numpy as np
+import pytest
+
+from repro.core import CStateLatencyExperiment
+
+
+@pytest.fixture(scope="module")
+def exp():
+    from repro.core import ExperimentConfig
+
+    return CStateLatencyExperiment(ExperimentConfig(seed=2021))
+
+
+@pytest.fixture(scope="module")
+def result(exp):
+    return exp.measure(n_samples=300)
+
+
+class TestFig8:
+    def test_paper_comparison_passes(self, exp, result):
+        table = exp.compare_with_paper(result)
+        assert table.all_ok, table.render()
+
+    def test_c1_frequency_dependence(self, result):
+        # slower core -> longer wake (1.5 us at 1.5 GHz vs 1 us at 2.5)
+        lat_15 = result.get("C1", 1.5).median_us
+        lat_25 = result.get("C1", 2.5).median_us
+        assert lat_15 > lat_25 * 1.3
+
+    def test_c2_well_below_acpi_value(self, result):
+        # ACPI reports 400 us; measured 20-25 us
+        for f in (1.5, 2.2, 2.5):
+            assert result.get("C2", f).median_us < 30.0
+
+    def test_c0_polling_fastest(self, result):
+        assert result.get("C0", 2.5).median_us < result.get("C1", 2.5).median_us
+
+    def test_remote_adds_about_1us(self, result):
+        for state in ("C1", "C2"):
+            local = result.get(state, 2.5).median_us
+            remote = result.get(state, 2.5, remote=True).median_us
+            assert remote - local == pytest.approx(1.0, abs=0.4)
+
+    def test_distribution_has_outliers(self, result):
+        lat = result.get("C2", 2.5).latencies_us
+        assert (lat > 2 * np.median(lat)).any()
+
+    def test_sample_count(self, result):
+        assert result.get("C1", 2.5).latencies_us.size == 300

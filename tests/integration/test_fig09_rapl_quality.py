@@ -1,0 +1,57 @@
+"""Fig 9: RAPL quality sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core import RaplQualityExperiment
+
+
+@pytest.fixture(scope="module")
+def exp():
+    from repro.core import ExperimentConfig
+
+    return RaplQualityExperiment(ExperimentConfig(seed=2021))
+
+
+@pytest.fixture(scope="module")
+def result(exp):
+    return exp.measure(placements=("all", "half"))
+
+
+class TestFig9:
+    def test_paper_comparison_passes(self, exp, result):
+        table = exp.compare_with_paper(result)
+        assert table.all_ok, table.render()
+
+    def test_rapl_always_below_ac(self, result):
+        assert all(p.rapl_pkg_w < p.ac_w for p in result.points)
+
+    def test_no_single_mapping_function(self, result):
+        # points with near-identical RAPL readings span a wide AC range
+        spread = exp_spread(result)
+        assert spread > 25.0
+
+    def test_memory_workloads_underreported_most(self, result):
+        mem = np.mean([p.ac_w - p.rapl_pkg_w for p in result.memory_workloads()])
+        comp = np.mean([p.ac_w - p.rapl_pkg_w for p in result.compute_workloads()])
+        assert mem > comp + 30.0
+
+    def test_core_below_package_always(self, result):
+        assert all(p.rapl_core_w < p.rapl_pkg_w for p in result.points)
+
+    def test_fig9b_structure(self, result):
+        # pkg-minus-core ~ constant for compute, larger for memory
+        comp_gaps = [p.pkg_minus_core_w for p in result.compute_workloads()]
+        mem_gaps = [p.pkg_minus_core_w for p in result.memory_workloads()]
+        assert np.std(comp_gaps) / np.mean(comp_gaps) < 0.35
+        assert np.mean(mem_gaps) > np.mean(comp_gaps)
+
+    def test_sweep_covers_frequencies(self, result):
+        freqs = {p.freq_ghz for p in result.points}
+        assert freqs == {1.5, 2.2, 2.5}
+
+
+def exp_spread(result):
+    from repro.core.rapl_quality import RaplQualityExperiment
+
+    return RaplQualityExperiment._mapping_spread(result.points)

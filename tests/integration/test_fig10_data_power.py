@@ -1,0 +1,68 @@
+"""Fig 10: operand-dependent power and RAPL's blindness to it."""
+
+import pytest
+
+from repro.core import DataPowerExperiment
+
+
+@pytest.fixture(scope="module")
+def exp():
+    from repro.core import ExperimentConfig
+
+    return DataPowerExperiment(ExperimentConfig(seed=2021))
+
+
+@pytest.fixture(scope="module")
+def vxorps(exp):
+    return exp.measure("vxorps", n_blocks=300)
+
+
+@pytest.fixture(scope="module")
+def shr(exp):
+    return exp.measure("shr", n_blocks=300)
+
+
+class TestFig10Vxorps:
+    def test_paper_comparison_passes(self, exp, vxorps, shr):
+        table = exp.compare_with_paper(vxorps, shr)
+        assert table.all_ok, table.render()
+
+    def test_ac_spread_21w(self, vxorps):
+        assert vxorps.ac_spread_w() == pytest.approx(21.0, rel=0.1)
+
+    def test_ac_distributions_fully_separated(self, vxorps):
+        assert vxorps.ac_overlap() == 0.0
+
+    def test_ac_ordering_by_weight(self, vxorps):
+        means = vxorps.ac_means()
+        assert means[0.0] < means[0.5] < means[1.0]
+
+    def test_rapl_averages_within_008pct(self, vxorps):
+        assert vxorps.rapl_pkg_spread_rel() < 0.0008
+
+    def test_rapl_distributions_overlap(self, vxorps):
+        assert vxorps.rapl_pkg_overlap() > 0.5
+
+    def test_ks_separation_structure(self, vxorps):
+        # AC: fully separated; RAPL: faintly distinguishable
+        assert vxorps.ac_ks() == 1.0
+        assert 0.0 < vxorps.rapl_pkg_ks() < 0.6
+
+    def test_ecdf_subsets_stable(self, vxorps):
+        subsets = vxorps.ecdf_subsets(1.0, channel="ac", n_subsets=10)
+        assert len(subsets) == 10
+        import numpy as np
+
+        medians = [np.median(vals) for vals, _ in subsets]
+        assert max(medians) - min(medians) < 2.0  # W
+
+
+class TestFig10Shr:
+    def test_shr_ac_spread_below_09pct(self, shr):
+        assert shr.ac_spread_rel() < 0.009
+
+    def test_shr_rapl_core_spread_below_0015pct(self, shr):
+        assert shr.rapl_core_spread_rel() < 0.00015
+
+    def test_shr_much_weaker_than_vxorps(self, vxorps, shr):
+        assert shr.ac_spread_rel() < vxorps.ac_spread_rel() / 4

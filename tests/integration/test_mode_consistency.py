@@ -1,0 +1,91 @@
+"""Steady-state and event-driven modes must agree once settled.
+
+The two execution modes share the resolver and models; these tests pin
+the contract: any request sequence, run through the transition engine
+and given time to settle, lands on exactly the frequencies the
+steady-state path computes instantly.
+"""
+
+import pytest
+
+from repro.machine import Machine
+from repro.units import ghz, ms
+from repro.workloads import FIRESTARTER, SPIN
+
+FREQS = [ghz(1.5), ghz(2.2), ghz(2.5)]
+
+
+def _request_sequence(machine, sequence):
+    for cpu, f_idx in sequence:
+        machine.os.set_frequency(cpu, FREQS[f_idx])
+
+
+@pytest.mark.parametrize(
+    "sequence",
+    [
+        [(0, 2)],
+        [(0, 2), (1, 1), (2, 0), (3, 2)],
+        [(0, 0), (0, 1), (0, 2), (0, 1)],  # repeated retargeting of one cpu
+        [(0, 2), (64, 1)],  # core + its sibling
+        [(5, 2), (37, 1), (70, 0)],  # across packages and threads
+    ],
+)
+def test_event_mode_settles_to_steady_state_result(sequence):
+    steady = Machine("EPYC 7502", seed=1)
+    steady.os.run(SPIN, [cpu for cpu, _ in sequence])
+    _request_sequence(steady, sequence)
+    expected = {
+        core.global_index: core.applied_freq_hz
+        for core in steady.topology.cores()
+    }
+    steady.shutdown()
+
+    evented = Machine("EPYC 7502", seed=1)
+    evented.os.run(SPIN, [cpu for cpu, _ in sequence])
+    evented.enable_event_mode()
+    for step in sequence:
+        _request_sequence(evented, [step])
+        evented.sim.run_for(ms(2))  # let each request land
+    evented.sim.run_for(ms(20))
+    actual = {
+        core.global_index: core.applied_freq_hz
+        for core in evented.topology.cores()
+    }
+    evented.shutdown()
+    assert actual == expected
+
+
+def test_disable_event_mode_reconciles_pending_requests():
+    m = Machine("EPYC 7502", seed=1)
+    m.os.run(SPIN, [0])
+    m.enable_event_mode()
+    m.os.set_frequency(0, ghz(2.5))  # pending, not yet applied
+    m.disable_event_mode()
+    assert m.topology.thread(0).core.applied_freq_hz == ghz(2.5)
+    m.shutdown()
+
+
+def test_edc_cap_respected_in_both_modes():
+    for event_mode in (False, True):
+        m = Machine("EPYC 7502", seed=1)
+        m.os.set_all_frequencies(ghz(2.5))
+        if event_mode:
+            m.enable_event_mode()
+        m.os.run(FIRESTARTER, m.os.all_cpus())
+        if event_mode:
+            # workload placement reconfigures caps; route the requests
+            m.os.set_all_frequencies(ghz(2.5))
+            m.sim.run_for(ms(30))
+        f = m.topology.thread(0).core.applied_freq_hz
+        m.shutdown()
+        assert f == ghz(2.0), f"mode event={event_mode}"
+
+
+def test_measure_in_event_mode_keeps_instruments_consistent():
+    m = Machine("EPYC 7502", seed=1)
+    m.os.run(SPIN, m.os.first_thread_cpus(4))
+    m.enable_event_mode(rapl_ticks=True)
+    m.sim.run_for(ms(10))
+    rec = m.measure(10.0)
+    m.shutdown()
+    assert rec.ac_mean_w > 150.0  # active machine, sensible reading

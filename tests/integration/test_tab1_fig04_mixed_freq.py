@@ -1,0 +1,54 @@
+"""Table I and Fig 4: mixed frequencies within a CCX."""
+
+import pytest
+
+from repro.core import MixedFrequencyExperiment, PAPER_TABLE_I
+
+
+@pytest.fixture(scope="module")
+def exp():
+    from repro.core import ExperimentConfig
+
+    return MixedFrequencyExperiment(ExperimentConfig(seed=2021, scale=0.25))
+
+
+@pytest.fixture(scope="module")
+def table_result(exp):
+    return exp.measure_applied_frequencies()
+
+
+@pytest.fixture(scope="module")
+def l3_result(exp):
+    return exp.measure_l3_latencies()
+
+
+class TestTableI:
+    def test_paper_comparison_passes(self, exp, table_result):
+        table = exp.compare_with_paper(table_result)
+        assert table.all_ok, table.render()
+
+    @pytest.mark.parametrize("set_g", [1.5, 2.2, 2.5])
+    def test_rows_within_2mhz(self, table_result, set_g):
+        for others_g, paper in PAPER_TABLE_I[set_g].items():
+            assert table_result.cell(set_g, others_g) == pytest.approx(
+                paper, abs=0.004
+            )
+
+    def test_penalty_only_from_faster_neighbours(self, table_result):
+        # below/at own frequency: at most the ~1 MHz diagonal shortfall
+        assert table_result.cell(2.2, 1.5) == pytest.approx(2.200, abs=0.002)
+        assert table_result.cell(2.5, 2.2) >= table_result.cell(2.5, 1.5)
+
+
+class TestFig4:
+    def test_l3_latency_falls_with_faster_neighbours(self, exp, l3_result):
+        assert exp.check_l3_monotonicity(l3_result)
+
+    def test_fast_core_latency_unaffected_by_slow_neighbours(self, l3_result):
+        # a 2.5 GHz core's latency is ~flat across neighbour settings
+        lats = [l3_result.cell(2.5, o) for o in (1.5, 2.2, 2.5)]
+        assert max(lats) - min(lats) < 0.5
+
+    def test_latency_scale_plausible(self, l3_result):
+        # Zen 2 L3 load-to-use is tens of ns at these clocks
+        assert 10.0 < l3_result.cell(1.5, 1.5) < 40.0

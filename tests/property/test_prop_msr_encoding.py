@@ -1,0 +1,45 @@
+"""Round-trip properties of the P-state MSR encoding."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.pstate.table import (
+    PState,
+    decode_pstate_msr,
+    encode_pstate_msr,
+    vid_to_volts,
+    volts_to_vid,
+)
+from repro.units import PSTATE_FREQ_STEP_HZ
+
+
+@given(
+    fid=st.integers(min_value=16, max_value=180),  # 400 MHz .. 4.5 GHz
+    voltage=st.floats(min_value=0.4, max_value=1.45),
+    idd=st.floats(min_value=1.0, max_value=200.0),
+    enabled=st.booleans(),
+)
+def test_pstate_msr_roundtrip(fid, voltage, idd, enabled):
+    ps = PState(
+        index=0,
+        freq_hz=fid * PSTATE_FREQ_STEP_HZ,
+        voltage_v=voltage,
+        idd_max_a=idd,
+        enabled=enabled,
+    )
+    decoded = decode_pstate_msr(encode_pstate_msr(ps))
+    assert decoded.freq_hz == ps.freq_hz
+    assert abs(decoded.voltage_v - ps.voltage_v) <= 0.00625 / 2 + 1e-9
+    assert decoded.enabled == ps.enabled
+    assert abs(decoded.idd_max_a - min(round(idd), 255)) < 1e-9
+
+
+@given(vid=st.integers(min_value=0, max_value=200))
+def test_vid_roundtrip_exact(vid):
+    assert volts_to_vid(vid_to_volts(vid)) == vid
+
+
+@given(voltage=st.floats(min_value=0.2, max_value=1.5))
+def test_vid_quantization_error_bounded(voltage):
+    recovered = vid_to_volts(volts_to_vid(voltage))
+    assert abs(recovered - voltage) <= 0.00625 / 2 + 1e-9

@@ -1,0 +1,54 @@
+"""Energy counter laws: monotonicity mod wrap, additivity, quantization."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.rapl.msrs import RaplMsrs, _EnergyCounter
+from repro.units import RAPL_COUNTER_WRAP, RAPL_ENERGY_UNIT_J
+
+
+@given(deposits=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+def test_total_energy_conserved_across_deposits(deposits):
+    counter = _EnergyCounter()
+    for e in deposits:
+        counter.deposit(e)
+    total_units = counter.raw  # no wrap for these magnitudes
+    expected_units = int(sum(deposits) / RAPL_ENERGY_UNIT_J)
+    # quantization may defer at most one unit into the fraction
+    assert abs(total_units - expected_units) <= len(deposits)
+
+
+@given(
+    split=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=20)
+)
+def test_split_deposits_equal_single_deposit(split):
+    a = _EnergyCounter()
+    b = _EnergyCounter()
+    for e in split:
+        a.deposit(e)
+    b.deposit(sum(split))
+    assert abs(a.raw - b.raw) <= 1  # float summation slack
+
+
+@given(start=st.integers(min_value=0, max_value=RAPL_COUNTER_WRAP - 1),
+       energy=st.floats(min_value=0.0, max_value=1000.0))
+def test_counter_stays_in_32bit_range(start, energy):
+    counter = _EnergyCounter()
+    counter.raw = start
+    counter.deposit(energy)
+    assert 0 <= counter.raw < RAPL_COUNTER_WRAP
+
+
+@given(
+    powers=st.lists(st.floats(min_value=0.0, max_value=500.0), min_size=1, max_size=30)
+)
+@settings(max_examples=50)
+def test_tick_sequence_monotone_without_wrap(powers):
+    msrs = RaplMsrs(1, 1)
+    last = 0
+    t = 0
+    for p in powers:
+        t += 1_000_000
+        msrs.tick([p], [p / 10], t)
+        assert msrs.read_pkg_raw(0) >= last
+        last = msrs.read_pkg_raw(0)

@@ -1,0 +1,87 @@
+"""Properties of the frequency resolver."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.pstate.resolver import FrequencyResolver
+from repro.topology import build_topology
+from repro.units import ghz
+from repro.workloads import SPIN
+
+FREQS = st.sampled_from([ghz(1.5), ghz(2.2), ghz(2.5)])
+
+
+def _fresh_ccx(requests, active_mask):
+    topo = build_topology("EPYC 7502", n_packages=1)
+    ccx = next(topo.ccxs())
+    for core, (f0, f1), active in zip(ccx.cores, requests, active_mask):
+        core.threads[0].requested_freq_hz = f0
+        core.threads[1].requested_freq_hz = f1
+        if active:
+            core.threads[0].workload = SPIN
+            core.threads[0].effective_cstate = "C0"
+    return ccx
+
+
+@given(
+    requests=st.lists(st.tuples(FREQS, FREQS), min_size=4, max_size=4),
+    active=st.lists(st.booleans(), min_size=4, max_size=4),
+)
+@settings(max_examples=100)
+def test_core_request_is_max_of_thread_votes(requests, active):
+    ccx = _fresh_ccx(requests, active)
+    resolver = FrequencyResolver()
+    for core, (f0, f1) in zip(ccx.cores, requests):
+        assert resolver.core_request_hz(core) == max(f0, f1)
+
+
+@given(
+    requests=st.lists(st.tuples(FREQS, FREQS), min_size=4, max_size=4),
+    active=st.lists(st.booleans(), min_size=4, max_size=4),
+)
+@settings(max_examples=100)
+def test_observable_mean_never_exceeds_target(requests, active):
+    ccx = _fresh_ccx(requests, active)
+    for res in FrequencyResolver().resolve_ccx(ccx):
+        assert res.observable_mean_hz <= res.target_hz + 1e-6
+
+
+@given(
+    requests=st.lists(st.tuples(FREQS, FREQS), min_size=4, max_size=4),
+)
+@settings(max_examples=100)
+def test_l3_clock_at_least_any_running_core_target(requests):
+    ccx = _fresh_ccx(requests, [True] * 4)
+    resolver = FrequencyResolver()
+    l3 = resolver.l3_target_hz(ccx)
+    for core in ccx.cores:
+        assert l3 >= resolver.core_request_hz(core) - 1e-6
+
+
+@given(
+    requests=st.lists(st.tuples(FREQS, FREQS), min_size=4, max_size=4),
+    active=st.lists(st.booleans(), min_size=4, max_size=4),
+    bump_core=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=100)
+def test_raising_a_sibling_vote_never_lowers_core_target(requests, active, bump_core):
+    resolver = FrequencyResolver()
+    ccx = _fresh_ccx(requests, active)
+    before = resolver.resolve_ccx(ccx)[bump_core].target_hz
+    bumped = list(requests)
+    f0, _ = bumped[bump_core]
+    bumped[bump_core] = (f0, ghz(2.5))
+    ccx2 = _fresh_ccx(bumped, active)
+    after = resolver.resolve_ccx(ccx2)[bump_core].target_hz
+    assert after >= before
+
+
+@given(
+    requests=st.lists(st.tuples(FREQS, FREQS), min_size=4, max_size=4),
+    cap=FREQS,
+)
+@settings(max_examples=100)
+def test_edc_cap_respected_for_active_cores(requests, cap):
+    ccx = _fresh_ccx(requests, [True] * 4)
+    for res in FrequencyResolver().resolve_ccx(ccx, edc_cap_hz=cap):
+        assert res.target_hz <= cap + 1e-6

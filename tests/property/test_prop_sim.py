@@ -1,0 +1,63 @@
+"""Property-based tests for the event queue and simulator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+
+
+@given(times=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+def test_events_fire_in_nondecreasing_time_order(times):
+    q = EventQueue()
+    fired = []
+    for t in times:
+        q.push(t, lambda t=t: fired.append(t))
+    while q:
+        q.pop().callback()
+    assert fired == sorted(times)
+
+
+@given(
+    times=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=100),
+)
+def test_cancelled_events_never_fire(times, cancel_mask):
+    q = EventQueue()
+    fired = []
+    events = [q.push(t, lambda i=i: fired.append(i)) for i, t in enumerate(times)]
+    for event, cancel in zip(events, cancel_mask):
+        if cancel:
+            event.cancel()
+    while q:
+        q.pop().callback()
+    cancelled = {i for i, c in enumerate(zip(cancel_mask, times)) if cancel_mask[i]}
+    assert not (set(fired) & cancelled)
+    assert len(fired) == len(times) - len(cancelled & set(range(len(times))))
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=50),
+    horizon=st.integers(min_value=0, max_value=2 * 10**6),
+)
+def test_run_until_executes_exactly_due_events(delays, horizon):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule_after(d, lambda d=d: fired.append(d))
+    sim.run_until(horizon)
+    assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+    assert sim.now_ns == horizon
+
+
+@given(
+    period=st.integers(min_value=1, max_value=1000),
+    horizon=st.integers(min_value=0, max_value=20_000),
+)
+@settings(max_examples=50)
+def test_periodic_fire_count(period, horizon):
+    sim = Simulator()
+    count = [0]
+    sim.periodic(period, lambda: count.__setitem__(0, count[0] + 1))
+    sim.run_until(horizon)
+    assert count[0] == horizon // period

@@ -1,0 +1,67 @@
+"""Properties of the analysis statistics."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.core.analysis.histogram import Histogram
+from repro.core.analysis.stats import confidence_interval, ecdf, overlap_fraction
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@given(samples=arrays(np.float64, st.integers(2, 200), elements=finite_floats))
+def test_ci_brackets_the_sample_mean(samples):
+    lo, hi = confidence_interval(samples)
+    assert lo <= samples.mean() <= hi
+
+
+@given(samples=arrays(np.float64, st.integers(1, 200), elements=finite_floats))
+def test_ecdf_is_monotone_cdf(samples):
+    vals, probs = ecdf(samples)
+    assert np.all(np.diff(vals) >= 0)
+    assert np.all(np.diff(probs) > 0)
+    assert probs[0] > 0
+    assert probs[-1] == 1.0
+    assert vals.size == samples.size
+
+
+@given(
+    a=arrays(np.float64, st.integers(2, 100), elements=finite_floats),
+    b=arrays(np.float64, st.integers(2, 100), elements=finite_floats),
+)
+def test_overlap_symmetric_and_bounded(a, b):
+    o1 = overlap_fraction(a, b)
+    o2 = overlap_fraction(b, a)
+    assert 0.0 <= o1 <= 1.0
+    assert o1 == o2
+
+
+@given(
+    samples=arrays(
+        np.float64,
+        st.integers(10, 500),
+        elements=st.floats(min_value=0.0, max_value=1000.0),
+    ),
+    bin_width=st.floats(min_value=0.5, max_value=100.0),
+)
+@settings(max_examples=50)
+def test_histogram_conserves_samples(samples, bin_width):
+    h = Histogram.from_samples(samples, bin_width)
+    assert h.n_samples == samples.size
+
+
+@given(
+    samples=arrays(
+        np.float64,
+        st.integers(10, 500),
+        elements=st.floats(min_value=0.0, max_value=1000.0),
+    ),
+)
+@settings(max_examples=50)
+def test_histogram_support_brackets_data(samples):
+    h = Histogram.from_samples(samples, 10.0)
+    lo, hi = h.support
+    assert lo <= samples.min()
+    assert hi >= samples.max()

@@ -1,0 +1,57 @@
+"""Topology invariants across the SKU space."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.topology import SKUS, build_topology
+from repro.topology.components import SystemTopology
+from repro.topology.enumeration import linux_cpu_numbering
+
+SKU_NAMES = st.sampled_from(sorted(SKUS))
+PKGS = st.integers(min_value=1, max_value=2)
+
+
+@given(sku=SKU_NAMES, n_packages=PKGS)
+@settings(max_examples=20, deadline=None)
+def test_cpu_numbering_is_bijection(sku, n_packages):
+    topo = build_topology(sku, n_packages)
+    ids = [t.cpu_id for t in topo.threads()]
+    assert sorted(ids) == list(range(topo.n_threads))
+    for cpu_id in ids:
+        assert topo.thread(cpu_id).cpu_id == cpu_id
+
+
+@given(sku=SKU_NAMES, n_packages=PKGS)
+@settings(max_examples=20, deadline=None)
+def test_thread_core_relationship(sku, n_packages):
+    topo = build_topology(sku, n_packages)
+    for core in topo.cores():
+        assert core.threads[0].core is core
+        assert core.threads[1].core is core
+        assert core.threads[0].sibling is core.threads[1]
+
+
+@given(
+    n_packages=PKGS,
+    n_ccds=st.integers(min_value=1, max_value=8),
+    cores_per_ccx=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_counts_consistent_for_arbitrary_geometries(n_packages, n_ccds, cores_per_ccx):
+    topo = SystemTopology(n_packages, n_ccds, cores_per_ccx)
+    linux_cpu_numbering(topo)
+    expected_cores = n_packages * n_ccds * 2 * cores_per_ccx
+    assert topo.n_cores == expected_cores
+    assert topo.n_threads == 2 * expected_cores
+    assert len(list(topo.ccxs())) == n_packages * n_ccds * 2
+
+
+@given(sku=SKU_NAMES)
+@settings(max_examples=10, deadline=None)
+def test_first_half_cpu_ids_are_primary_threads(sku):
+    topo = build_topology(sku, 2)
+    half = topo.n_threads // 2
+    for cpu_id in range(half):
+        assert topo.thread(cpu_id).smt_index == 0
+    for cpu_id in range(half, topo.n_threads):
+        assert topo.thread(cpu_id).smt_index == 1

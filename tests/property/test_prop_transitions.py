@@ -1,0 +1,94 @@
+"""Properties of the SMU transition engine under random request streams."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.power.calibration import CALIBRATION
+from repro.pstate.transitions import TransitionEngine
+from repro.sim.engine import Simulator
+from repro.topology import build_topology
+from repro.units import ghz, ms, us
+
+FREQS = [ghz(1.5), ghz(2.2), ghz(2.5)]
+
+
+def _setup(start=ghz(2.2)):
+    sim = Simulator()
+    topo = build_topology("EPYC 7502", n_packages=1)
+    core = next(topo.cores())
+    core.applied_freq_hz = start
+    return sim, core, TransitionEngine(sim, CALIBRATION)
+
+
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # frequency index
+            st.integers(min_value=0, max_value=ms(12)),  # inter-arrival ns
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_final_request_always_settles(requests):
+    sim, core, engine = _setup()
+    last_target = core.applied_freq_hz
+    for idx, gap in requests:
+        sim.run_for(gap)
+        last_target = FREQS[idx]
+        engine.request(core, last_target)
+    sim.run_for(ms(20))
+    assert core.applied_freq_hz == last_target
+    assert sim.pending_events == 0  # nothing left ticking
+
+
+@given(
+    start=st.integers(min_value=0, max_value=2),
+    target=st.integers(min_value=0, max_value=2),
+    phase=st.integers(min_value=0, max_value=ms(1) - 1),
+)
+@settings(max_examples=80, deadline=None)
+def test_cold_transition_latency_bounds(start, target, phase):
+    """A transition from rest: latency in (0, slot + max execution]."""
+    if start == target:
+        return
+    sim, core, engine = _setup(FREQS[start])
+    sim.run_for(ms(10) + phase)  # cold: any settle window long expired
+    engine.request(core, FREQS[target])
+    sim.run_for(ms(3))
+    latency = engine.record_of(core).latency_ns
+    execution = (
+        CALIBRATION.transition_up_ns
+        if FREQS[target] > FREQS[start]
+        else CALIBRATION.transition_down_ns
+    )
+    assert 0 < latency <= ms(1) + execution
+    # the slot-wait component is exactly grid-determined
+    assert latency >= execution
+
+
+@given(phase=st.integers(min_value=1, max_value=ms(1) - 1))
+@settings(max_examples=40, deadline=None)
+def test_latency_equals_slot_remainder_plus_execution(phase):
+    sim, core, engine = _setup(ghz(2.2))
+    sim.run_for(ms(10) + phase)
+    engine.request(core, ghz(1.5))
+    sim.run_for(ms(3))
+    expected = (ms(1) - phase) + CALIBRATION.transition_down_ns
+    assert engine.record_of(core).latency_ns == expected
+
+
+@given(wait=st.integers(min_value=us(10), max_value=ms(10)))
+@settings(max_examples=40, deadline=None)
+def test_fast_return_iff_within_settle_window(wait):
+    sim, core, engine = _setup(ghz(2.5))
+    engine.request(core, ghz(2.2))
+    sim.run_until(ms(2))  # down complete at slot+390us
+    sim.run_for(wait)
+    engine.request(core, ghz(2.5))
+    sim.run_for(ms(3))
+    rec = engine.record_of(core)
+    completed_down_at = ms(1) + us(390)
+    in_window = (ms(2) + wait) < completed_down_at + CALIBRATION.voltage_settle_ns
+    assert rec.fast_return == in_window

@@ -1,0 +1,64 @@
+"""Canned phased applications and policy playback across them."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.units import ghz
+from repro.workloads.apps import APPLICATIONS, bt_like, cg_like, ep_like
+from repro.workloads.phases import play
+
+
+@pytest.fixture
+def m():
+    machine = Machine("EPYC 7502", seed=6)
+    yield machine
+    machine.shutdown()
+
+
+def memory_aware_policy(phase):
+    return ghz(1.5) if phase.freq_sensitivity < 0.5 else ghz(2.5)
+
+
+class TestStructure:
+    def test_registry_complete(self):
+        assert set(APPLICATIONS) == {"ep_like", "cg_like", "bt_like"}
+        for factory in APPLICATIONS.values():
+            app = factory()
+            assert app.phases
+            assert app.total_duration_s > 0
+
+    def test_ep_has_no_memory_phases(self):
+        assert all(p.freq_sensitivity == 1.0 for p in ep_like().phases)
+
+    def test_cg_memory_dominated(self):
+        app = cg_like()
+        mem = sum(p.duration_s for p in app.phases if p.freq_sensitivity < 0.5)
+        assert mem > app.total_duration_s / 2
+
+
+class TestPolicyOutcomes:
+    def test_tuning_helps_cg_not_ep(self, m):
+        cpus = m.os.first_thread_cpus()
+        results = {}
+        for name, factory in APPLICATIONS.items():
+            base = play(m, factory(), cpus)
+            tuned = play(m, factory(), cpus, policy=memory_aware_policy)
+            results[name] = tuned.energy_j / base.energy_j
+        # cg (memory-heavy) gains the most; ep gains nothing
+        assert results["cg_like"] < 0.95
+        assert results["ep_like"] == pytest.approx(1.0, abs=1e-6)
+        assert results["cg_like"] < results["bt_like"] <= 1.0
+
+    def test_ep_runtime_untouched_by_memory_policy(self, m):
+        cpus = m.os.first_thread_cpus()
+        base = play(m, ep_like(), cpus)
+        tuned = play(m, ep_like(), cpus, policy=memory_aware_policy)
+        assert tuned.runtime_s == pytest.approx(base.runtime_s)
+
+    def test_bt_mixed_tradeoff(self, m):
+        cpus = m.os.first_thread_cpus()
+        base = play(m, bt_like(), cpus)
+        tuned = play(m, bt_like(), cpus, policy=memory_aware_policy)
+        # saves energy but pays a small runtime stretch
+        assert tuned.energy_j < base.energy_j
+        assert tuned.runtime_s >= base.runtime_s

@@ -1,0 +1,80 @@
+"""Core Performance Boost model."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.pstate.boost import BoostModel
+from repro.topology.skus import sku_by_name
+from repro.units import ghz
+from repro.workloads import FIRESTARTER, SPIN
+
+
+@pytest.fixture
+def boosted():
+    m = Machine("EPYC 7502", seed=0, boost_enabled=True)
+    yield m
+    m.shutdown()
+
+
+class TestBoostModel:
+    def test_disabled_model_never_lifts(self):
+        sku = sku_by_name("EPYC 7502")
+        model = BoostModel(sku, enabled=False)
+        m = Machine("EPYC 7502", seed=0)
+        pkg = m.topology.packages[0]
+        decision = model.ceiling_hz(pkg)
+        assert model.boosted_target_hz(ghz(2.5), decision) == ghz(2.5)
+        m.shutdown()
+
+    def test_single_core_gets_full_boost(self, boosted):
+        boosted.os.run(SPIN, [0])
+        boosted.os.set_frequency(0, ghz(2.5))
+        core = boosted.topology.thread(0).core
+        assert core.applied_freq_hz == pytest.approx(ghz(3.35))
+
+    def test_more_active_cores_lower_the_ceiling(self, boosted):
+        boosted.os.set_all_frequencies(ghz(2.5))
+        boosted.os.run(SPIN, [0])
+        single = boosted.topology.thread(0).core.applied_freq_hz
+        boosted.os.run(SPIN, list(range(8)))
+        many = boosted.topology.thread(0).core.applied_freq_hz
+        assert many < single
+        assert many >= ghz(2.5)
+
+    def test_explicit_low_request_is_honoured(self, boosted):
+        # a userspace request below nominal caps the core; boost must not
+        # override the administrator
+        boosted.os.run(SPIN, [0])
+        boosted.os.set_frequency(0, ghz(1.5))
+        assert boosted.topology.thread(0).core.applied_freq_hz == ghz(1.5)
+
+    def test_boost_ceiling_on_25mhz_grid(self, boosted):
+        boosted.os.set_all_frequencies(ghz(2.5))
+        boosted.os.run(SPIN, list(range(5)))
+        f = boosted.topology.thread(0).core.applied_freq_hz
+        assert f / 25e6 == pytest.approx(round(f / 25e6))
+
+    def test_hot_package_does_not_boost(self):
+        sku = sku_by_name("EPYC 7502")
+        model = BoostModel(sku, enabled=True)
+        m = Machine("EPYC 7502", seed=0)
+        m.os.run(SPIN, [0])
+        decision = model.ceiling_hz(m.topology.packages[0], temp_c=90.0)
+        assert decision.ceiling_hz == sku.nominal_freq_hz
+        m.shutdown()
+
+    def test_firestarter_unaffected_by_boost(self, boosted):
+        # §V-E: "Enabling Core Performance Boost has almost no influence"
+        boosted.os.set_all_frequencies(ghz(2.5))
+        boosted.os.run(FIRESTARTER, boosted.os.all_cpus())
+        assert boosted.topology.thread(0).core.applied_freq_hz == ghz(2.0)
+
+    def test_boost_power_follows_v2f(self, boosted):
+        plain = Machine("EPYC 7502", seed=0)
+        for m in (boosted, plain):
+            m.os.set_all_frequencies(ghz(2.5))
+            m.os.run(SPIN, [0])
+        p_boost = boosted.power_model.breakdown(boosted).total_w
+        p_plain = plain.power_model.breakdown(plain).total_w
+        plain.shutdown()
+        assert p_boost > p_plain

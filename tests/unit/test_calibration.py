@@ -1,0 +1,101 @@
+"""The calibration object itself: curves, scales, penalty lookups."""
+
+import pytest
+
+from repro.power.calibration import CALIBRATION, Calibration, VoltageCurve
+from repro.units import ghz
+
+
+class TestVoltageCurve:
+    def test_anchor_points(self):
+        curve = VoltageCurve()
+        assert curve.voltage(ghz(1.5)) == pytest.approx(0.85)
+        assert curve.voltage(ghz(2.2)) == pytest.approx(1.00)
+        assert curve.voltage(ghz(2.5)) == pytest.approx(1.10)
+
+    def test_interpolation_between_points(self):
+        curve = VoltageCurve()
+        v = curve.voltage(ghz(2.35))
+        assert 1.00 < v < 1.10
+
+    def test_clamped_at_ends(self):
+        curve = VoltageCurve()
+        assert curve.voltage(ghz(0.8)) == pytest.approx(0.85)
+        assert curve.voltage(ghz(3.5)) == pytest.approx(1.10)
+
+    def test_monotone(self):
+        curve = VoltageCurve()
+        freqs = [ghz(f) for f in (1.5, 1.8, 2.0, 2.2, 2.4, 2.5)]
+        volts = [curve.voltage(f) for f in freqs]
+        assert volts == sorted(volts)
+
+
+class TestScales:
+    def test_v2f_scale_unity_at_nominal(self):
+        assert CALIBRATION.v2f_scale(ghz(2.5)) == pytest.approx(1.0)
+
+    def test_v2f_scale_drops_superlinearly(self):
+        # frequency ratio 0.6, but V^2 drops too
+        scale = CALIBRATION.v2f_scale(ghz(1.5))
+        assert scale < 1.5 / 2.5
+
+    def test_v2f_scale_monotone(self):
+        scales = [CALIBRATION.v2f_scale(ghz(f)) for f in (1.5, 2.0, 2.2, 2.5)]
+        assert scales == sorted(scales)
+
+
+class TestCcxPenalty:
+    def test_paper_cells(self):
+        assert CALIBRATION.ccx_penalty_hz(ghz(1.5), ghz(2.2)) == pytest.approx(34e6)
+        assert CALIBRATION.ccx_penalty_hz(ghz(1.5), ghz(2.5)) == pytest.approx(72e6)
+        assert CALIBRATION.ccx_penalty_hz(ghz(2.2), ghz(2.5)) == pytest.approx(200e6)
+
+    def test_no_penalty_without_faster_neighbour(self):
+        assert CALIBRATION.ccx_penalty_hz(ghz(2.5), ghz(2.2)) == 0.0
+        assert CALIBRATION.ccx_penalty_hz(ghz(2.2), ghz(2.2)) == 0.0
+
+    def test_interpolation_for_unlisted_pairs(self):
+        pen = CALIBRATION.ccx_penalty_hz(ghz(1.8), ghz(2.5))
+        assert pen == pytest.approx(50e6 * 0.7)
+
+
+class TestImmutability:
+    def test_frozen_dataclass(self):
+        with pytest.raises(AttributeError):
+            CALIBRATION.ac_all_c2_w = 100.0
+
+    def test_replace_produces_variant(self):
+        from dataclasses import replace
+
+        variant = replace(CALIBRATION, ac_all_c2_w=120.0)
+        assert variant.ac_all_c2_w == 120.0
+        assert CALIBRATION.ac_all_c2_w == 99.1
+
+    def test_defaults_consistent(self):
+        fresh = Calibration()
+        assert fresh.ac_all_c2_w == CALIBRATION.ac_all_c2_w
+        assert fresh.voltage_at(ghz(2.5)) == CALIBRATION.voltage_at(ghz(2.5))
+
+
+class TestAnchorArithmetic:
+    def test_idle_decomposition_sums_to_floor(self):
+        cal = CALIBRATION
+        assert (
+            cal.platform_base_w + cal.dram_idle_w + 2 * cal.package_sleep_w
+        ) == pytest.approx(cal.ac_all_c2_w)
+
+    def test_first_active_identity(self):
+        cal = CALIBRATION
+        total = (
+            cal.ac_all_c2_w
+            + cal.system_wake_w
+            + cal.pause_core_nominal_w
+            + cal.active_first_core_adjust_w
+        )
+        assert total == pytest.approx(cal.ac_first_active_w)
+
+    def test_first_c1_identity(self):
+        cal = CALIBRATION
+        assert cal.system_wake_w + cal.c1_per_core_w == pytest.approx(
+            cal.ac_first_c1_delta_w, abs=0.001
+        )

@@ -1,0 +1,78 @@
+"""Cache-coherence transfer latency model."""
+
+import pytest
+
+from repro.cstate.package import XgmiLinkState
+from repro.machine import Machine
+from repro.memory.coherence import CoherenceModel, LineState
+from repro.units import ghz
+from repro.workloads import SPIN
+
+
+@pytest.fixture
+def model():
+    return CoherenceModel()
+
+
+class TestDistanceOrdering:
+    def test_ccx_lt_package_lt_socket(self, model):
+        args = (LineState.MODIFIED, ghz(2.5), ghz(2.5))
+        ccx = model.same_ccx_ns(*args)
+        pkg = model.same_package_ns(*args, fclk_hz=ghz(1.467))
+        remote = model.cross_package_ns(*args, fclk_hz=ghz(1.467))
+        assert ccx < pkg < remote
+
+    def test_dirty_line_costs_more(self, model):
+        clean = model.same_ccx_ns(LineState.SHARED, ghz(2.5), ghz(2.5))
+        dirty = model.same_ccx_ns(LineState.MODIFIED, ghz(2.5), ghz(2.5))
+        assert dirty > clean
+
+    def test_l3_clock_matters(self, model):
+        slow = model.same_ccx_ns(LineState.MODIFIED, ghz(2.5), ghz(1.5))
+        fast = model.same_ccx_ns(LineState.MODIFIED, ghz(2.5), ghz(2.5))
+        assert slow > fast
+
+    def test_fclk_matters_across_ccx(self, model):
+        args = (LineState.SHARED, ghz(2.5), ghz(2.5))
+        p0 = model.same_package_ns(*args, fclk_hz=ghz(1.467))
+        p2 = model.same_package_ns(*args, fclk_hz=ghz(0.8))
+        assert p2 > p0
+
+
+class TestXgmiStates:
+    def test_reduced_width_slower(self, model):
+        args = (LineState.SHARED, ghz(2.5), ghz(2.5))
+        full = model.cross_package_ns(*args, fclk_hz=ghz(1.467), xgmi=XgmiLinkState.FULL_WIDTH)
+        reduced = model.cross_package_ns(*args, fclk_hz=ghz(1.467), xgmi=XgmiLinkState.REDUCED_WIDTH)
+        assert reduced > full
+
+    def test_low_power_link_retrain_dominates(self, model):
+        args = (LineState.SHARED, ghz(2.5), ghz(2.5))
+        lp = model.cross_package_ns(*args, fclk_hz=ghz(1.467), xgmi=XgmiLinkState.LOW_POWER)
+        assert lp > 40_000.0  # tens of microseconds
+
+
+class TestOnMachine:
+    @pytest.fixture
+    def m(self):
+        machine = Machine("EPYC 7502", seed=0)
+        machine.os.set_all_frequencies(ghz(2.5))
+        yield machine
+        machine.shutdown()
+
+    def test_topology_aware_dispatch(self, m, model):
+        m.os.run(SPIN, [0, 1, 8, 32])  # cpu1: same CCX; cpu8: other CCD; cpu32: other socket
+        same_ccx = model.transfer_ns(m, 0, 1)
+        same_pkg = model.transfer_ns(m, 0, 8)
+        cross = model.transfer_ns(m, 0, 32)
+        assert same_ccx < same_pkg < cross
+
+    def test_awake_machine_uses_full_width_link(self, m, model):
+        m.os.run(SPIN, [0, 32])
+        cross = model.transfer_ns(m, 0, 32, LineState.SHARED)
+        assert cross < 300.0  # no retrain penalty while awake
+
+    def test_transfer_scale_plausible(self, m, model):
+        m.os.run(SPIN, [0, 1])
+        # Zen 2 same-CCX dirty transfers are tens of ns
+        assert 15.0 < model.transfer_ns(m, 0, 1) < 50.0

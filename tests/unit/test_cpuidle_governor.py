@@ -1,0 +1,109 @@
+"""Menu governor and the interrupt model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import Machine
+from repro.oslayer.cpuidle import MenuGovernor, RESIDENCY_TABLE
+from repro.oslayer.interrupts import (
+    CYCLES_PER_WAKEUP,
+    IDLE_RESIDUAL_WAKEUPS_HZ,
+    InterruptModel,
+)
+
+
+class TestInterruptModel:
+    def test_residual_rate_on_quiet_cpu(self):
+        model = InterruptModel()
+        assert model.wakeup_rate_hz(0) == IDLE_RESIDUAL_WAKEUPS_HZ
+
+    def test_register_adds_rate(self):
+        model = InterruptModel()
+        model.register("timer", 3, 1000.0)
+        assert model.wakeup_rate_hz(3) == IDLE_RESIDUAL_WAKEUPS_HZ + 1000.0
+        assert model.wakeup_rate_hz(4) == IDLE_RESIDUAL_WAKEUPS_HZ
+
+    def test_duplicate_name_rejected(self):
+        model = InterruptModel()
+        model.register("timer", 0, 10.0)
+        with pytest.raises(ConfigurationError):
+            model.register("timer", 1, 10.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterruptModel().register("x", 0, 0.0)
+
+    def test_unregister_unknown(self):
+        with pytest.raises(ConfigurationError):
+            InterruptModel().unregister("ghost")
+
+    def test_idle_cycles_under_paper_bound(self):
+        # §V-A: "less than 60000 cycle/s"
+        model = InterruptModel()
+        assert model.idle_cycles_per_s(0) < 60_000
+        assert model.idle_cycles_per_s(0) == IDLE_RESIDUAL_WAKEUPS_HZ * CYCLES_PER_WAKEUP
+
+
+class TestMenuGovernor:
+    def _gov(self, rate_hz=None, cpu=0):
+        interrupts = InterruptModel()
+        if rate_hz:
+            interrupts.register("src", cpu, rate_hz)
+        return MenuGovernor(interrupts)
+
+    def test_quiet_cpu_selects_c2(self):
+        assert self._gov().select(0, "C2") == "C2"
+
+    def test_prediction_is_inverse_rate(self):
+        gov = self._gov(rate_hz=996.0)  # total 1000/s
+        assert gov.predicted_sleep_ns(0) == pytest.approx(1e6)
+
+    def test_high_rate_falls_back_to_c1(self):
+        gov = self._gov(rate_hz=20_000.0)
+        assert gov.select(0, "C2") == "C1"
+
+    def test_extreme_rate_still_c1_not_c0(self):
+        gov = self._gov(rate_hz=5_000_000.0)
+        assert gov.select(0, "C2") == "C1"
+
+    def test_disable_mask_still_wins(self):
+        gov = self._gov()
+        assert gov.select(0, "C1") == "C1"
+        assert gov.select(0, "C0") == "C0"
+
+    def test_breakeven_rate(self):
+        gov = self._gov()
+        assert gov.breakeven_rate_hz("C2") == pytest.approx(10_000.0)
+        with pytest.raises(KeyError):
+            gov.breakeven_rate_hz("C6")
+
+    def test_residency_table_ordered_deepest_first(self):
+        depths = [e.state for e in RESIDENCY_TABLE]
+        assert depths == ["C2", "C1"]
+
+
+class TestMachineIntegration:
+    def test_timer_storm_costs_deep_sleep(self):
+        m = Machine("EPYC 7502", seed=0)
+        baseline = m.measure(10.0).ac_mean_w
+        m.os.register_interrupt("nvme_poll", 5, 20_000.0)
+        stormy = m.measure(10.0).ac_mean_w
+        m.os.unregister_interrupt("nvme_poll")
+        recovered = m.measure(10.0).ac_mean_w
+        m.shutdown()
+        assert stormy - baseline > 80.0  # the §VI-A wake penalty
+        assert recovered == pytest.approx(baseline, abs=0.3)
+
+    def test_moderate_rate_keeps_c2(self):
+        m = Machine("EPYC 7502", seed=0)
+        m.os.register_interrupt("slow_timer", 5, 100.0)
+        assert m.topology.thread(5).effective_cstate == "C2"
+        m.shutdown()
+
+    def test_perf_sees_interrupt_cycles(self):
+        m = Machine("EPYC 7502", seed=0)
+        m.os.register_interrupt("busy", 7, 1_000.0)
+        sample = m.os.perf.sample([7], 1.0, 1)[0][0]
+        quiet = m.os.perf.sample([8], 1.0, 1)[0][0]
+        m.shutdown()
+        assert sample.cycles > 10 * quiet.cycles

@@ -1,0 +1,173 @@
+"""C-state definitions, controller resolution, wake-up model."""
+
+import numpy as np
+import pytest
+
+from repro.cstate import CStateController, WakeupModel, cstate_by_name, deeper, depth_of
+from repro.cstate.states import CSTATES, UINT_MAX, shallower
+from repro.errors import CStateError
+from repro.topology import build_topology
+from repro.units import ghz, us
+from repro.workloads import SPIN
+
+
+class TestStates:
+    def test_three_states(self):
+        assert [c.name for c in CSTATES] == ["C0", "C1", "C2"]
+
+    def test_acpi_latencies_match_paper(self):
+        assert cstate_by_name("C1").acpi_latency_ns == us(1)
+        assert cstate_by_name("C2").acpi_latency_ns == us(400)
+
+    def test_acpi_power_values_useless(self):
+        # §VI: UINT_MAX for C0, 0 for idle states
+        assert cstate_by_name("C0").acpi_power_w == float(UINT_MAX)
+        assert cstate_by_name("C1").acpi_power_w == 0.0
+        assert cstate_by_name("C2").acpi_power_w == 0.0
+
+    def test_entry_methods(self):
+        assert cstate_by_name("C1").entry_method == "mwait"
+        assert cstate_by_name("C2").entry_method == "ioport"
+
+    def test_depth_ordering(self):
+        assert depth_of("C0") < depth_of("C1") < depth_of("C2")
+
+    def test_deeper_shallower(self):
+        assert deeper("C1", "C2") == "C2"
+        assert shallower("C1", "C2") == "C1"
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(CStateError):
+            depth_of("C6")
+        with pytest.raises(CStateError):
+            cstate_by_name("C7")
+
+
+class TestController:
+    def _topo_ctrl(self, **kwargs):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        ctrl = CStateController(topo, **kwargs)
+        ctrl.refresh()
+        return topo, ctrl
+
+    def test_idle_threads_reach_c2(self):
+        topo, ctrl = self._topo_ctrl()
+        assert all(t.effective_cstate == "C2" for t in topo.threads())
+        assert ctrl.system_in_deep_sleep()
+
+    def test_workload_forces_c0(self):
+        topo, ctrl = self._topo_ctrl()
+        t = topo.thread(0)
+        t.workload = SPIN
+        ctrl.refresh()
+        assert t.effective_cstate == "C0"
+        assert not ctrl.system_in_deep_sleep()
+
+    def test_disable_c2_falls_back_to_c1(self):
+        topo, ctrl = self._topo_ctrl()
+        ctrl.disable_state(0, "C2")
+        assert topo.thread(0).effective_cstate == "C1"
+        assert not ctrl.system_in_deep_sleep()
+
+    def test_disable_both_idle_states_leaves_c0(self):
+        topo, ctrl = self._topo_ctrl()
+        ctrl.disable_state(0, "C2")
+        ctrl.disable_state(0, "C1")
+        assert ctrl.deepest_enabled(0) == "C0"
+        assert topo.thread(0).effective_cstate == "C0"
+
+    def test_reenable_restores_c2(self):
+        topo, ctrl = self._topo_ctrl()
+        ctrl.disable_state(0, "C2")
+        ctrl.enable_state(0, "C2")
+        assert topo.thread(0).effective_cstate == "C2"
+
+    def test_c0_cannot_be_disabled(self):
+        _, ctrl = self._topo_ctrl()
+        with pytest.raises(ValueError):
+            ctrl.disable_state(0, "C0")
+
+    def test_offline_parks_in_c1_by_default(self):
+        topo, ctrl = self._topo_ctrl()
+        t = topo.thread(5)
+        t.online = False
+        ctrl.refresh()
+        assert t.effective_cstate == "C1"
+        assert not ctrl.system_in_deep_sleep()  # the §VI-B anomaly
+
+    def test_offline_without_quirk_stays_c2(self):
+        topo, ctrl = self._topo_ctrl(offline_parks_in_c1=False)
+        t = topo.thread(5)
+        t.online = False
+        ctrl.refresh()
+        assert t.effective_cstate == "C2"
+        assert ctrl.system_in_deep_sleep()
+
+    def test_core_gated_when_both_threads_idle(self):
+        topo, ctrl = self._topo_ctrl()
+        core = next(topo.cores())
+        assert ctrl.core_gated(core)
+        core.threads[0].workload = SPIN
+        ctrl.refresh()
+        assert not ctrl.core_gated(core)
+
+    def test_count_by_effective_state(self):
+        topo, ctrl = self._topo_ctrl()
+        topo.thread(0).workload = SPIN
+        ctrl.disable_state(1, "C2")
+        counts = ctrl.count_by_effective_state()
+        assert counts["C0"] == 1
+        assert counts["C1"] == 1
+        assert counts["C2"] == topo.n_threads - 2
+
+    def test_cores_by_shallowest_state(self):
+        topo, ctrl = self._topo_ctrl()
+        ctrl.disable_state(0, "C2")  # core 0 -> C1 level
+        counts = ctrl.cores_by_shallowest_state()
+        assert counts["C1"] == 1
+        assert counts["C2"] == topo.n_cores - 1
+
+
+class TestWakeup:
+    def test_c1_latency_near_1us_at_nominal(self):
+        model = WakeupModel(rng=np.random.default_rng(0))
+        lat = model.nominal_latency_ns("C1", ghz(2.5))
+        assert 900 <= lat <= 1100
+
+    def test_c1_latency_1_5us_at_min_freq(self):
+        model = WakeupModel(rng=np.random.default_rng(0))
+        lat = model.nominal_latency_ns("C1", ghz(1.5))
+        assert 1400 <= lat <= 1700
+
+    def test_c2_latency_in_20_25us_band(self):
+        model = WakeupModel(rng=np.random.default_rng(0))
+        for f in (1.5, 2.2, 2.5):
+            lat = model.nominal_latency_ns("C2", ghz(f))
+            assert 20_000 <= lat <= 25_000
+
+    def test_c2_far_below_acpi_reported_value(self):
+        model = WakeupModel(rng=np.random.default_rng(0))
+        assert model.nominal_latency_ns("C2", ghz(2.5)) < us(400) / 4
+
+    def test_remote_adds_about_1us(self):
+        model = WakeupModel(rng=np.random.default_rng(0))
+        local = model.nominal_latency_ns("C1", ghz(2.5))
+        remote = model.nominal_latency_ns("C1", ghz(2.5), remote=True)
+        assert remote - local == pytest.approx(1000.0)
+
+    def test_unknown_state_raises(self):
+        model = WakeupModel(rng=np.random.default_rng(0))
+        with pytest.raises(CStateError):
+            model.nominal_latency_ns("C6", ghz(2.5))
+
+    def test_samples_have_outlier_tail(self):
+        model = WakeupModel(rng=np.random.default_rng(1))
+        samples = model.sample_ns("C2", ghz(2.5), n=5000)
+        centre = model.nominal_latency_ns("C2", ghz(2.5))
+        assert (samples > 2 * centre).mean() > 0.005  # outliers exist
+        assert np.median(samples) == pytest.approx(centre, rel=0.05)
+
+    def test_samples_reproducible(self):
+        a = WakeupModel(rng=np.random.default_rng(3)).sample_ns("C1", ghz(2.5), n=10)
+        b = WakeupModel(rng=np.random.default_rng(3)).sample_ns("C1", ghz(2.5), n=10)
+        assert np.array_equal(a, b)

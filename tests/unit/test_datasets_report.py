@@ -1,0 +1,80 @@
+"""Green500 dataset synthesis and the comparison reporting."""
+
+import pytest
+
+from repro.core.report import Comparison, ComparisonTable
+from repro.datasets.green500 import (
+    ARCHITECTURE_BANDS,
+    amd_leads_x86,
+    architecture_summary,
+    synthesize_green500,
+)
+
+
+class TestGreen500:
+    def test_entry_counts_match_bands(self):
+        entries = synthesize_green500(0)
+        assert len(entries) == sum(b.n_systems for b in ARCHITECTURE_BANDS)
+
+    def test_ranks_dense_and_sorted(self):
+        entries = synthesize_green500(0)
+        assert [e.rank for e in entries] == list(range(1, len(entries) + 1))
+        effs = [e.efficiency_gflops_w for e in entries]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_medians_near_band_medians(self):
+        summary = architecture_summary(synthesize_green500(0))
+        for band in ARCHITECTURE_BANDS:
+            assert summary[band.architecture]["median"] == pytest.approx(
+                band.median, rel=0.25
+            )
+
+    def test_reproducible(self):
+        a = synthesize_green500(5)
+        b = synthesize_green500(5)
+        assert [e.efficiency_gflops_w for e in a] == [e.efficiency_gflops_w for e in b]
+
+    def test_amd_leads_headline(self):
+        # the Fig 1 message must hold across seeds
+        for seed in range(5):
+            assert amd_leads_x86(synthesize_green500(seed))
+
+    def test_outliers_clipped(self):
+        entries = synthesize_green500(0)
+        for band in ARCHITECTURE_BANDS:
+            vals = [
+                e.efficiency_gflops_w
+                for e in entries
+                if e.architecture == band.architecture
+            ]
+            iqr = band.q3 - band.q1
+            assert max(vals) <= band.q3 + 2 * iqr + 1e-9
+            assert min(vals) >= band.q1 - 2 * iqr - 1e-9
+
+
+class TestReport:
+    def test_deviation_and_ok(self):
+        c = Comparison("x", 100.0, 103.0, "W", tolerance_rel=0.05)
+        assert c.deviation_rel == pytest.approx(0.03)
+        assert c.ok
+
+    def test_deviation_fails_outside_band(self):
+        assert not Comparison("x", 100.0, 110.0, "W", tolerance_rel=0.05).ok
+
+    def test_zero_paper_value_absolute_convention(self):
+        c = Comparison("cv", 0.0, 0.15, "", tolerance_rel=0.2)
+        assert c.deviation_rel == pytest.approx(0.15)
+        assert c.ok
+
+    def test_table_aggregation(self):
+        table = ComparisonTable("demo")
+        table.add("a", 1.0, 1.0)
+        table.add("b", 1.0, 2.0)
+        assert not table.all_ok
+        assert [c.quantity for c in table.failures()] == ["b"]
+
+    def test_render_contains_status(self):
+        table = ComparisonTable("demo")
+        table.add("a", 1.0, 1.0)
+        out = table.render()
+        assert "demo" in out and "ok" in out

@@ -1,0 +1,51 @@
+"""Energy-to-solution frequency sweep."""
+
+import pytest
+
+from repro.core.energy_efficiency import EnergyEfficiencyExperiment
+from repro.core.experiment import ExperimentConfig
+from repro.workloads import FIRESTARTER, SPIN, STREAM_TRIAD
+
+
+@pytest.fixture(scope="module")
+def result():
+    exp = EnergyEfficiencyExperiment(ExperimentConfig(seed=9))
+    return exp.measure()
+
+
+class TestEnergyEfficiency:
+    def test_compute_bound_prefers_high_frequency(self, result):
+        exp = EnergyEfficiencyExperiment()
+        assert exp.FREQS_GHZ[-1] == result.optimal_freq_ghz("spin")
+
+    def test_memory_bound_prefers_low_frequency(self, result):
+        assert result.optimal_freq_ghz("stream_triad") == 1.5
+
+    def test_compute_runtime_scales_inversely(self, result):
+        pts = result.of_workload("spin")
+        assert pts[0].runtime_s == pytest.approx(
+            pts[-1].runtime_s * 2.5 / 1.5, rel=0.01
+        )
+
+    def test_memory_runtime_nearly_flat(self, result):
+        pts = result.of_workload("stream_triad")
+        assert pts[0].runtime_s < pts[-1].runtime_s * 1.15
+
+    def test_edp_distinct_from_energy(self, result):
+        # EDP weights delay: it never prefers a *lower* frequency than
+        # plain energy does
+        e_opt = result.optimal_freq_ghz("spin", "energy_j")
+        edp_opt = result.optimal_freq_ghz("spin", "edp")
+        assert edp_opt >= e_opt
+
+    def test_unknown_workload(self, result):
+        with pytest.raises(KeyError):
+            result.optimal_freq_ghz("nonexistent")
+
+    def test_firestarter_throttle_limits_the_sweep(self):
+        exp = EnergyEfficiencyExperiment(ExperimentConfig(seed=9))
+        res = exp.measure(workloads=(FIRESTARTER,), n_cores=64)
+        pts = res.of_workload("firestarter")
+        # requesting 2.5 lands at 2.1 (one thread/core): runtime at the
+        # top two requested frequencies is nearly identical
+        assert pts[-1].runtime_s <= pts[1].runtime_s * 1.01

@@ -1,0 +1,126 @@
+"""Failure injection: invalid configurations and misuse must fail loudly."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.errors import (
+    ConfigurationError,
+    MeasurementError,
+    MsrError,
+    PStateError,
+    SysfsError,
+)
+from repro.machine import Machine
+from repro.units import ghz
+
+
+class TestMachineConstruction:
+    def test_unknown_sku(self):
+        with pytest.raises(ConfigurationError, match="known:"):
+            Machine("EPYC 9754")
+
+    def test_unknown_dram_grade(self):
+        with pytest.raises(ConfigurationError):
+            Machine("EPYC 7502", dram="DDR5-4800")
+
+    def test_invalid_package_count(self):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            Machine("EPYC 7502", n_packages=4)
+
+
+class TestInstrumentMisuse:
+    def test_msr_read_of_random_address(self, machine):
+        with pytest.raises(MsrError):
+            machine.msr.read(0, 0x12345)
+
+    def test_msr_write_to_energy_counter(self, machine):
+        from repro.msr.definitions import MSR_PKG_ENERGY_STAT
+
+        with pytest.raises(MsrError):
+            machine.msr.write(0, MSR_PKG_ENERGY_STAT, 0)
+
+    def test_overtrimmed_measurement_window(self, machine):
+        from repro.instruments.timeline import inner_window_mean
+
+        rec = machine.measure(1.0)  # 20 samples over 1 s
+        with pytest.raises(MeasurementError):
+            inner_window_mean(rec.ac, skip_head_s=0.6, skip_tail_s=0.6)
+
+    def test_empty_ac_series_rejected(self):
+        from repro.instruments.timeline import PowerSeries
+
+        empty = PowerSeries(np.array([]), np.array([]))
+        with pytest.raises(MeasurementError):
+            empty.mean_w()
+
+
+class TestOsMisuse:
+    def test_setspeed_off_grid(self, machine):
+        with pytest.raises(PStateError):
+            machine.os.set_frequency(0, ghz(2.35))
+
+    def test_sysfs_write_garbage_to_online(self, machine):
+        with pytest.raises(SysfsError):
+            machine.os.sysfs.write("/sys/devices/system/cpu/cpu1/online", "yes")
+
+    def test_run_on_unknown_cpu(self, machine):
+        from repro.errors import TopologyError
+        from repro.workloads import SPIN
+
+        with pytest.raises(TopologyError):
+            machine.os.run(SPIN, [999])
+
+    def test_interrupt_double_registration(self, machine):
+        machine.os.register_interrupt("dup", 0, 10.0)
+        with pytest.raises(ConfigurationError):
+            machine.os.register_interrupt("dup", 1, 10.0)
+
+    def test_tracepoint_from_old_kernel(self, machine):
+        from repro.oslayer.tracing import TraceBuffer
+
+        with pytest.raises(ConfigurationError):
+            TraceBuffer({"sched_wake_idle_without_ipi"})
+
+
+class TestExperimentConfig:
+    def test_scaled_has_floor(self):
+        cfg = ExperimentConfig(scale=1e-9)
+        assert cfg.scaled(100_000, minimum=25) == 25
+
+    def test_scaled_full_scale_identity(self):
+        cfg = ExperimentConfig(scale=1.0)
+        assert cfg.scaled(100_000) == 100_000
+
+    def test_with_scale_copies(self):
+        cfg = ExperimentConfig(scale=1.0)
+        assert cfg.with_scale(0.5).scale == 0.5
+        assert cfg.scale == 1.0
+
+
+class TestExtremeNoise:
+    def test_meter_with_extreme_band_still_finite(self):
+        from dataclasses import replace
+
+        from repro.instruments.lmg670 import Lmg670
+        from repro.power.calibration import CALIBRATION
+        from repro.sim.rng import RngFactory
+
+        cal = replace(CALIBRATION, ac_meter_gain_error=0.5, ac_meter_offset_error_w=50.0)
+        meter = Lmg670(RngFactory(0).child("x"), cal)
+        series = meter.sample_constant(100.0, 10.0)
+        assert np.isfinite(series.power_w).all()
+
+    def test_wakeup_outlier_storm(self):
+        from dataclasses import replace
+
+        from repro.cstate.wakeup import WakeupModel
+        from repro.power.calibration import CALIBRATION
+
+        cal = replace(CALIBRATION, wake_outlier_prob=1.0)
+        model = WakeupModel(cal, np.random.default_rng(0))
+        samples = model.sample_ns("C2", ghz(2.5), n=100)
+        centre = model.nominal_latency_ns("C2", ghz(2.5))
+        assert (samples > centre).all()  # every sample inflated, none lost

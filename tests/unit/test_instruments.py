@@ -1,0 +1,151 @@
+"""Instruments: AC analyzer, RAPL readout library, timelines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.instruments.energy import X86EnergyReader
+from repro.instruments.lmg670 import Lmg670
+from repro.instruments.timeline import PowerSeries, inner_window_mean
+from repro.machine import Machine
+from repro.sim.rng import RngFactory
+from repro.units import RAPL_COUNTER_WRAP
+
+
+class TestLmg670:
+    def _meter(self, seed=0):
+        return Lmg670(RngFactory(seed).child("meter"))
+
+    def test_sample_rate_20hz(self):
+        assert self._meter().sample_rate_hz == 20.0
+
+    def test_constant_power_sample_count(self):
+        series = self._meter().sample_constant(200.0, 10.0)
+        assert series.power_w.size == 200
+
+    def test_accuracy_within_band(self):
+        meter = self._meter()
+        series = meter.sample_constant(500.0, 10.0)
+        band = 0.015e-2 * 500.0 + 0.0625
+        assert abs(series.mean_w() - 500.0) < 2 * band
+
+    def test_systematic_error_persists(self):
+        meter = self._meter(3)
+        a = meter.sample_constant(300.0, 50.0).mean_w() - 300.0
+        b = meter.sample_constant(300.0, 50.0).mean_w() - 300.0
+        # same instrument: bias has the same sign and similar magnitude
+        assert np.sign(a) == np.sign(b)
+
+    def test_different_instruments_different_bias(self):
+        a = self._meter(1).sample_constant(300.0, 50.0).mean_w()
+        b = self._meter(2).sample_constant(300.0, 50.0).mean_w()
+        assert a != b
+
+    def test_series_timestamps(self):
+        series = self._meter().sample_constant(100.0, 1.0, start_s=5.0)
+        assert series.times_s[0] == pytest.approx(5.0)
+        assert series.times_s[-1] == pytest.approx(5.0 + 19 / 20)
+
+    def test_measure_series_tracks_trajectory(self):
+        meter = self._meter()
+        true = np.linspace(100.0, 200.0, 40)
+        series = meter.measure_series(true)
+        assert series.power_w[-1] > series.power_w[0] + 80
+
+
+class TestTimeline:
+    def test_window(self):
+        s = PowerSeries(np.arange(10.0), np.arange(10.0))
+        w = s.window(2.0, 5.0)
+        assert list(w.times_s) == [2.0, 3.0, 4.0]
+
+    def test_mean_and_std(self):
+        s = PowerSeries(np.arange(4.0), np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.mean_w() == pytest.approx(2.5)
+        assert s.std_w() > 0
+
+    def test_empty_mean_raises(self):
+        s = PowerSeries(np.array([]), np.array([]))
+        with pytest.raises(MeasurementError):
+            s.mean_w()
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(MeasurementError):
+            PowerSeries(np.arange(3.0), np.arange(4.0))
+
+    def test_concat(self):
+        a = PowerSeries(np.arange(3.0), np.ones(3))
+        b = PowerSeries(3.0 + np.arange(3.0), 2 * np.ones(3))
+        c = a.concat(b)
+        assert c.power_w.size == 6
+        assert c.duration_s == pytest.approx(5.0)
+
+    def test_inner_window_trims_head_and_tail(self):
+        # 10 s at 20 Sa/s with spikes in the first and last second
+        times = np.arange(200) / 20.0
+        power = np.full(200, 100.0)
+        power[:20] = 500.0
+        power[-20:] = 500.0
+        series = PowerSeries(times, power)
+        assert inner_window_mean(series) == pytest.approx(100.0)
+
+    def test_inner_window_overtrim_raises(self):
+        series = PowerSeries(np.arange(5) / 20.0, np.ones(5))
+        with pytest.raises(MeasurementError):
+            inner_window_mean(series, skip_head_s=1.0, skip_tail_s=1.0)
+
+
+class TestX86EnergyReader:
+    @pytest.fixture
+    def m(self):
+        machine = Machine("EPYC 7502", seed=0)
+        yield machine
+        machine.shutdown()
+
+    def test_unit_decoded_from_msr(self, m):
+        reader = X86EnergyReader(m.msr)
+        assert reader.energy_unit_j == pytest.approx(2.0**-16)
+
+    def test_package_energy_accumulates(self, m):
+        reader = X86EnergyReader(m.msr)
+        before = reader.read_package(0)
+        m.measure(10.0)
+        after = reader.read_package(0)
+        assert reader.delta_joules(before, after) > 0
+
+    def test_core_domain_is_per_core(self, m):
+        from repro.workloads import SPIN
+        from repro.units import ghz
+
+        m.os.set_all_frequencies(ghz(2.5))
+        m.os.run(SPIN, [0])  # only core 0 active
+        reader = X86EnergyReader(m.msr)
+        b0, b1 = reader.read_core(0), reader.read_core(1)
+        m.measure(10.0)
+        d0 = reader.delta_joules(b0, reader.read_core(0))
+        d1 = reader.delta_joules(b1, reader.read_core(1))
+        assert d0 > 5 * max(d1, 1e-9)
+
+    def test_wrap_handling(self, m):
+        reader = X86EnergyReader(m.msr)
+        from repro.instruments.energy import EnergyReading
+
+        before = EnergyReading(RAPL_COUNTER_WRAP - 100, 0.0)
+        after = EnergyReading(50, 0.0)
+        assert reader.delta_joules(before, after) == pytest.approx(
+            150 * reader.energy_unit_j
+        )
+
+    def test_average_power(self, m):
+        reader = X86EnergyReader(m.msr)
+        from repro.instruments.energy import EnergyReading
+
+        before = EnergyReading(0, 0.0)
+        after = EnergyReading(int(100.0 / reader.energy_unit_j), 0.0)
+        assert reader.average_power_w(before, after, 10.0) == pytest.approx(10.0, rel=1e-4)
+
+    def test_zero_duration_rejected(self, m):
+        reader = X86EnergyReader(m.msr)
+        r = reader.read_package(0)
+        with pytest.raises(ValueError):
+            reader.average_power_w(r, r, 0.0)

@@ -1,0 +1,92 @@
+"""I/O-die fclk control: modes, coupling, mismatch, power."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iodie.fclk import FCLK_PSTATES_HZ, FclkController, FclkMode
+from repro.topology import build_topology
+from repro.units import ghz
+
+
+@pytest.fixture
+def io_die():
+    topo = build_topology("EPYC 7502", n_packages=1)
+    return topo.packages[0].io_die
+
+
+class TestModes:
+    def test_fixed_pstates(self, io_die):
+        ctrl = FclkController(io_die)
+        for mode, expect in zip((FclkMode.P0, FclkMode.P1, FclkMode.P2), FCLK_PSTATES_HZ):
+            ctrl.apply(mode)
+            assert io_die.fclk_hz == expect
+
+    def test_auto_couples_to_memclk_below_ceiling(self, io_die):
+        io_die.memclk_hz = ghz(1.333)
+        ctrl = FclkController(io_die)
+        ctrl.apply(FclkMode.AUTO)
+        assert io_die.fclk_hz == ghz(1.333)
+
+    def test_auto_capped_at_fabric_ceiling(self, io_die):
+        io_die.memclk_hz = ghz(1.6)
+        ctrl = FclkController(io_die)
+        ctrl.apply(FclkMode.AUTO)
+        assert io_die.fclk_hz == ghz(1.467)
+
+    def test_memclk_change_reapplies_auto(self, io_die):
+        io_die.memclk_hz = ghz(1.6)
+        ctrl = FclkController(io_die)
+        io_die.memclk_hz = ghz(1.333)
+        ctrl.on_memclk_change()
+        assert io_die.fclk_hz == ghz(1.333)
+
+
+class TestMismatch:
+    def test_auto_below_ceiling_fully_matched(self, io_die):
+        io_die.memclk_hz = ghz(1.333)
+        ctrl = FclkController(io_die)
+        assert ctrl.mismatch_factor() == 0.0
+
+    def test_auto_above_ceiling_residual(self, io_die):
+        io_die.memclk_hz = ghz(1.6)
+        ctrl = FclkController(io_die)
+        assert 0.0 < ctrl.mismatch_factor() < 1.0
+
+    def test_integer_ratio_matched(self, io_die):
+        io_die.memclk_hz = ghz(1.6)
+        ctrl = FclkController(io_die)
+        ctrl.apply(FclkMode.P2)  # 0.8 GHz -> ratio 2.0
+        assert ctrl.mismatch_factor() == 0.0
+
+    def test_fractional_ratio_mismatched(self, io_die):
+        io_die.memclk_hz = ghz(1.6)
+        ctrl = FclkController(io_die)
+        ctrl.apply(FclkMode.P0)  # 1.467 -> ratio 1.09
+        assert ctrl.mismatch_factor() == 1.0
+
+    def test_p1_matched_at_2666(self, io_die):
+        io_die.memclk_hz = ghz(1.333)
+        ctrl = FclkController(io_die)
+        ctrl.apply(FclkMode.P1)  # 1.333 -> ratio 1.0
+        assert ctrl.mismatch_factor() == 0.0
+
+
+class TestPower:
+    def test_reference_point_is_zero(self, io_die):
+        io_die.memclk_hz = ghz(1.6)
+        ctrl = FclkController(io_die)
+        ctrl.apply(FclkMode.P0)
+        assert ctrl.extra_power_w() == pytest.approx(0.0, abs=0.01)
+
+    def test_lower_fclk_saves_power(self, io_die):
+        ctrl = FclkController(io_die)
+        ctrl.apply(FclkMode.P2)
+        assert ctrl.extra_power_w() < 0.0
+
+    def test_power_monotone_in_fclk(self, io_die):
+        ctrl = FclkController(io_die)
+        powers = []
+        for mode in (FclkMode.P2, FclkMode.P1, FclkMode.P0):
+            ctrl.apply(mode)
+            powers.append(ctrl.extra_power_w())
+        assert powers == sorted(powers)

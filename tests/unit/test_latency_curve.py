@@ -1,0 +1,50 @@
+"""Working-set latency-curve experiment."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.latency_curve import KIB, LatencyCurveExperiment
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return LatencyCurveExperiment(ExperimentConfig(seed=11)).measure()
+
+
+class TestLatencyCurve:
+    def test_covers_all_levels(self, curve):
+        assert {"L1D", "L2", "L3", "DRAM"} <= set(curve.levels)
+
+    def test_plateaus_strictly_ordered(self, curve):
+        l1 = curve.plateau_ns("L1D")
+        l2 = curve.plateau_ns("L2")
+        l3 = curve.plateau_ns("L3")
+        dram = curve.plateau_ns("DRAM")
+        assert l1 < l2 < l3 < dram
+
+    def test_l1_plateau_cycles(self, curve):
+        # 4 cycles at 2.5 GHz = 1.6 ns
+        assert curve.plateau_ns("L1D") == pytest.approx(1.6, rel=0.15)
+
+    def test_dram_plateau_matches_fig5_anchor(self, curve):
+        assert curve.plateau_ns("DRAM") == pytest.approx(92.0, rel=0.05)
+
+    def test_latency_nondecreasing_with_size(self, curve):
+        lats = curve.latencies_ns
+        for a, b in zip(lats, lats[1:]):
+            assert b >= a * 0.98  # noise slack
+
+    def test_slower_core_raises_on_die_plateaus(self):
+        slow = LatencyCurveExperiment(ExperimentConfig(seed=11)).measure(
+            core_freq_ghz=1.5
+        )
+        fast = LatencyCurveExperiment(ExperimentConfig(seed=11)).measure(
+            core_freq_ghz=2.5
+        )
+        assert slow.plateau_ns("L2") > fast.plateau_ns("L2")
+
+    def test_custom_size_list(self):
+        curve = LatencyCurveExperiment(ExperimentConfig(seed=1)).measure(
+            sizes_bytes=[16 * KIB, 64 * 1024 * KIB]
+        )
+        assert curve.levels == ["L1D", "DRAM"]

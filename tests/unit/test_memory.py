@@ -1,0 +1,173 @@
+"""Memory hierarchy, latency and bandwidth models."""
+
+import pytest
+
+from repro.iodie.fclk import FclkController, FclkMode
+from repro.memory.bandwidth import BandwidthModel
+from repro.memory.dram import DRAM_CONFIGS, dram_by_name
+from repro.memory.hierarchy import ZEN2_HIERARCHY, by_name, level_for_footprint
+from repro.memory.latency import LatencyModel
+from repro.errors import ConfigurationError
+from repro.topology import build_topology
+from repro.units import ghz
+
+
+class TestHierarchy:
+    def test_zen2_geometry(self):
+        assert by_name("L1D").size_bytes == 32 * 1024
+        assert by_name("L2").size_bytes == 512 * 1024
+        assert by_name("L3").size_bytes == 16 * 1024 * 1024
+
+    def test_l3_is_ccx_shared(self):
+        assert by_name("L3").shared_by == "ccx"
+        assert by_name("L2").shared_by == "core"
+
+    def test_only_l3_has_l3_domain_cycles(self):
+        for level in ZEN2_HIERARCHY:
+            if level.name == "L3":
+                assert level.l3_cycles > 0
+            else:
+                assert level.l3_cycles == 0
+
+    def test_level_for_footprint(self):
+        assert level_for_footprint(16 * 1024).name == "L1D"
+        assert level_for_footprint(256 * 1024).name == "L2"
+        assert level_for_footprint(8 * 1024 * 1024).name == "L3"
+        assert level_for_footprint(64 * 1024 * 1024) is None  # DRAM
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(KeyError):
+            by_name("L4")
+
+
+class TestDram:
+    def test_default_grade(self):
+        cfg = dram_by_name("DDR4-3200")
+        assert cfg.memclk_hz == ghz(1.6)
+        assert cfg.transfer_rate_mts == pytest.approx(3200.0)
+        assert cfg.channel_peak_gbs == pytest.approx(25.6)
+
+    def test_all_grades_consistent(self):
+        for cfg in DRAM_CONFIGS.values():
+            assert cfg.channel_peak_gbs == pytest.approx(
+                8 * 2 * cfg.memclk_hz / 1e9, rel=1e-6
+            )
+
+    def test_unknown_grade(self):
+        with pytest.raises(ConfigurationError):
+            dram_by_name("DDR5-6000")
+
+
+@pytest.fixture
+def fclk_ctrl():
+    topo = build_topology("EPYC 7502", n_packages=1)
+    io = topo.packages[0].io_die
+    io.memclk_hz = ghz(1.6)
+    return FclkController(io)
+
+
+class TestLatencyModel:
+    def test_l1_latency_scales_with_core_clock(self):
+        model = LatencyModel()
+        lat_fast = model.cache_latency_ns("L1D", ghz(2.5))
+        lat_slow = model.cache_latency_ns("L1D", ghz(1.5))
+        assert lat_slow == pytest.approx(lat_fast * 2.5 / 1.5)
+
+    def test_l3_latency_splits_domains(self):
+        model = LatencyModel()
+        uniform = model.l3_latency_ns(ghz(1.5), ghz(1.5))
+        fast_l3 = model.l3_latency_ns(ghz(1.5), ghz(2.5))
+        assert fast_l3 < uniform  # Fig 4's effect
+
+    def test_l3_latency_default_uses_core_clock(self):
+        model = LatencyModel()
+        assert model.cache_latency_ns("L3", ghz(2.0)) == pytest.approx(
+            model.l3_latency_ns(ghz(2.0), ghz(2.0))
+        )
+
+    def test_dram_latency_paper_anchors(self, fclk_ctrl):
+        model = LatencyModel()
+        fclk_ctrl.apply(FclkMode.AUTO)
+        auto = model.dram_latency_ns(ghz(2.5), fclk_ctrl)
+        fclk_ctrl.apply(FclkMode.P0)
+        p0 = model.dram_latency_ns(ghz(2.5), fclk_ctrl)
+        assert auto == pytest.approx(92.0, abs=0.5)
+        assert p0 == pytest.approx(96.0, abs=0.5)
+
+    def test_p2_between_auto_and_p0_at_3200(self, fclk_ctrl):
+        model = LatencyModel()
+        fclk_ctrl.apply(FclkMode.AUTO)
+        auto = model.dram_latency_ns(ghz(2.5), fclk_ctrl)
+        fclk_ctrl.apply(FclkMode.P2)
+        p2 = model.dram_latency_ns(ghz(2.5), fclk_ctrl)
+        fclk_ctrl.apply(FclkMode.P0)
+        p0 = model.dram_latency_ns(ghz(2.5), fclk_ctrl)
+        assert auto < p2 < p0
+
+    def test_p2_worst_at_2666(self, fclk_ctrl):
+        model = LatencyModel()
+        fclk_ctrl.io_die.memclk_hz = ghz(1.333)
+        fclk_ctrl.on_memclk_change()
+        lats = {}
+        for mode in (FclkMode.AUTO, FclkMode.P0, FclkMode.P1, FclkMode.P2):
+            fclk_ctrl.apply(mode)
+            lats[mode] = model.dram_latency_ns(ghz(2.5), fclk_ctrl)
+        assert lats[FclkMode.P2] > lats[FclkMode.P0]
+        assert lats[FclkMode.AUTO] <= min(lats[m] for m in (FclkMode.P0, FclkMode.P1, FclkMode.P2)) + 0.01
+
+    def test_lower_core_clock_raises_dram_latency(self, fclk_ctrl):
+        model = LatencyModel()
+        assert model.dram_latency_ns(ghz(1.5), fclk_ctrl) > model.dram_latency_ns(
+            ghz(2.5), fclk_ctrl
+        )
+
+
+class TestBandwidthModel:
+    def test_single_core_below_ceiling(self, fclk_ctrl):
+        model = BandwidthModel()
+        res = model.node_bandwidth_gbs(1, ghz(2.5), fclk_ctrl)
+        assert res.limiter == "cores"
+        assert res.bandwidth_gbs == pytest.approx(22.0, rel=0.01)
+
+    def test_two_cores_saturate_if_link(self, fclk_ctrl):
+        model = BandwidthModel()
+        res = model.node_bandwidth_gbs(2, ghz(2.5), fclk_ctrl)
+        assert res.limiter == "if_link"
+        assert res.saturating_cores == 2
+
+    def test_extra_cores_degrade(self, fclk_ctrl):
+        model = BandwidthModel()
+        two = model.node_bandwidth_gbs(2, ghz(2.5), fclk_ctrl).bandwidth_gbs
+        eight = model.node_bandwidth_gbs(8, ghz(2.5), fclk_ctrl).bandwidth_gbs
+        assert eight < two
+
+    def test_lower_fclk_lowers_ceiling(self, fclk_ctrl):
+        model = BandwidthModel()
+        fclk_ctrl.apply(FclkMode.P0)
+        p0 = model.node_bandwidth_gbs(4, ghz(2.5), fclk_ctrl).bandwidth_gbs
+        fclk_ctrl.apply(FclkMode.P2)
+        p2 = model.node_bandwidth_gbs(4, ghz(2.5), fclk_ctrl).bandwidth_gbs
+        assert p2 < p0
+
+    def test_memclk_secondary_at_p0(self, fclk_ctrl):
+        model = BandwidthModel()
+        fclk_ctrl.apply(FclkMode.P0)
+        hi = model.node_bandwidth_gbs(4, ghz(2.5), fclk_ctrl, memclk_hz=ghz(1.6)).bandwidth_gbs
+        lo = model.node_bandwidth_gbs(4, ghz(2.5), fclk_ctrl, memclk_hz=ghz(1.333)).bandwidth_gbs
+        assert abs(hi - lo) / hi < 0.08  # "not significantly"
+
+    def test_core_frequency_matters_below_saturation(self, fclk_ctrl):
+        model = BandwidthModel()
+        fast = model.node_bandwidth_gbs(1, ghz(2.5), fclk_ctrl).bandwidth_gbs
+        slow = model.node_bandwidth_gbs(1, ghz(1.5), fclk_ctrl).bandwidth_gbs
+        assert slow < fast
+
+    def test_zero_cores_rejected(self, fclk_ctrl):
+        with pytest.raises(ValueError):
+            BandwidthModel().node_bandwidth_gbs(0, ghz(2.5), fclk_ctrl)
+
+    def test_degradation_floor(self, fclk_ctrl):
+        model = BandwidthModel()
+        res = model.node_bandwidth_gbs(32, ghz(2.5), fclk_ctrl)
+        sat = model.node_bandwidth_gbs(res.saturating_cores, ghz(2.5), fclk_ctrl)
+        assert res.bandwidth_gbs >= 0.5 * sat.bandwidth_gbs

@@ -1,0 +1,123 @@
+"""MSR register file and the machine's MSR wiring."""
+
+import pytest
+
+from repro.errors import MsrError
+from repro.msr.definitions import (
+    MSR_APERF,
+    MSR_CSTATE_BASE_ADDR,
+    MSR_CORE_ENERGY_STAT,
+    MSR_MPERF,
+    MSR_NAMES,
+    MSR_PKG_ENERGY_STAT,
+    MSR_PSTATE_CUR_LIM,
+    MSR_RAPL_PWR_UNIT,
+    pstate_msr_address,
+)
+from repro.msr.registers import MsrFile
+from repro.pstate.table import decode_pstate_msr
+from repro.units import ghz
+from repro.workloads import SPIN
+
+
+class TestMsrFile:
+    def test_static_register(self):
+        f = MsrFile()
+        f.register_static(0x10, 42)
+        assert f.read(0, 0x10) == 42
+
+    def test_static_is_readonly(self):
+        f = MsrFile()
+        f.register_static(0x10, 42)
+        with pytest.raises(MsrError):
+            f.write(0, 0x10, 1)
+
+    def test_handler_receives_cpu_id(self):
+        f = MsrFile()
+        f.register(0x20, reader=lambda cpu: cpu * 2)
+        assert f.read(7, 0x20) == 14
+
+    def test_write_handler(self):
+        f = MsrFile()
+        store = {}
+        f.register(0x30, writer=lambda cpu, v: store.update({cpu: v}))
+        f.write(3, 0x30, 99)
+        assert store == {3: 99}
+
+    def test_unimplemented_read(self):
+        with pytest.raises(MsrError, match="unimplemented"):
+            MsrFile().read(0, 0xDEAD)
+
+    def test_unimplemented_write(self):
+        with pytest.raises(MsrError):
+            MsrFile().write(0, 0xDEAD, 1)
+
+    def test_values_masked_to_64_bits(self):
+        f = MsrFile()
+        f.register(0x40, reader=lambda cpu: 1 << 70)
+        assert f.read(0, 0x40) == 0
+
+    def test_implemented_probe(self):
+        f = MsrFile()
+        f.register_static(0x10, 0)
+        assert f.implemented(0x10)
+        assert not f.implemented(0x11)
+
+
+class TestDefinitions:
+    def test_pstate_addresses(self):
+        assert pstate_msr_address(0) == 0xC0010064
+        assert pstate_msr_address(7) == 0xC001006B
+
+    def test_pstate_index_bounds(self):
+        with pytest.raises(MsrError):
+            pstate_msr_address(8)
+
+    def test_names_cover_key_registers(self):
+        for addr in (MSR_RAPL_PWR_UNIT, MSR_PKG_ENERGY_STAT, MSR_PSTATE_CUR_LIM):
+            assert addr in MSR_NAMES
+
+
+class TestMachineWiring:
+    def test_pstate_limit_reports_slowest_state(self, machine):
+        # three P-states -> current limit index 2 (§III-B polling)
+        assert machine.msr.read(0, MSR_PSTATE_CUR_LIM) == 2
+
+    def test_pstate_definitions_decodable(self, machine):
+        freqs = set()
+        for i in range(3):
+            ps = decode_pstate_msr(machine.msr.read(0, pstate_msr_address(i)), i)
+            freqs.add(ps.freq_hz)
+        assert freqs == {ghz(1.5), ghz(2.2), ghz(2.5)}
+
+    def test_cstate_base_address(self, machine):
+        assert machine.msr.read(0, MSR_CSTATE_BASE_ADDR) == 0x813
+
+    def test_pkg_energy_routed_by_package(self, machine):
+        machine.os.run(SPIN, [0])  # activity on package 0 only
+        machine.measure(10.0)
+        pkg0 = machine.msr.read(0, MSR_PKG_ENERGY_STAT)
+        pkg1 = machine.msr.read(32, MSR_PKG_ENERGY_STAT)  # cpu32 is pkg 1
+        assert pkg0 != pkg1
+
+    def test_core_energy_routed_by_core(self, machine):
+        machine.os.run(SPIN, [0])
+        machine.measure(10.0)
+        c0 = machine.msr.read(0, MSR_CORE_ENERGY_STAT)
+        c0_sibling = machine.msr.read(64, MSR_CORE_ENERGY_STAT)
+        assert c0 == c0_sibling  # same core, same counter
+
+    def test_aperf_mperf_advance_when_active(self, machine):
+        machine.os.run(SPIN, [0])
+        machine.os.set_frequency(0, ghz(2.5))
+        a0 = machine.msr.read(0, MSR_APERF)
+        m0 = machine.msr.read(0, MSR_MPERF)
+        machine.measure(10.0)
+        assert machine.msr.read(0, MSR_APERF) > a0
+        assert machine.msr.read(0, MSR_MPERF) > m0
+
+    def test_counters_halt_in_idle(self, machine):
+        # §VI-A: aperf/mperf do not advance on C1/C2 cores
+        a0 = machine.msr.read(5, MSR_APERF)
+        machine.measure(10.0)
+        assert machine.msr.read(5, MSR_APERF) == a0

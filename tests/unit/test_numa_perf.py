@@ -1,0 +1,77 @@
+"""NPS-mode performance trade-offs."""
+
+import pytest
+
+from repro.iodie.fclk import FclkController
+from repro.memory.numa_perf import NpsPerformanceModel
+from repro.topology import NumaConfig, build_topology
+from repro.units import ghz
+
+
+@pytest.fixture
+def model_and_fclk():
+    topo = build_topology("EPYC 7502", n_packages=1)
+    io = topo.packages[0].io_die
+    io.memclk_hz = ghz(1.6)
+    return NpsPerformanceModel(), FclkController(io)
+
+
+class TestNpsBandwidth:
+    def test_nps1_ceiling_exceeds_nps4(self, model_and_fclk):
+        model, fc = model_and_fclk
+        nps4 = model.node_bandwidth(NumaConfig.NPS4, 16, ghz(2.5), fc)
+        nps1 = model.node_bandwidth(NumaConfig.NPS1, 16, ghz(2.5), fc)
+        assert nps1.bandwidth_gbs > 2 * nps4.bandwidth_gbs
+
+    def test_nps4_matches_fig5_model(self, model_and_fclk):
+        model, fc = model_and_fclk
+        from repro.memory.bandwidth import BandwidthModel
+
+        direct = BandwidthModel().node_bandwidth_gbs(4, ghz(2.5), fc)
+        via_nps = model.node_bandwidth(NumaConfig.NPS4, 4, ghz(2.5), fc)
+        assert via_nps.bandwidth_gbs == pytest.approx(direct.bandwidth_gbs)
+
+    def test_saturation_point_scales_with_mode(self, model_and_fclk):
+        model, fc = model_and_fclk
+        sat4 = model.node_bandwidth(NumaConfig.NPS4, 1, ghz(2.5), fc).saturating_cores
+        sat1 = model.node_bandwidth(NumaConfig.NPS1, 1, ghz(2.5), fc).saturating_cores
+        assert sat1 > sat4
+
+    def test_single_core_mode_independent(self, model_and_fclk):
+        model, fc = model_and_fclk
+        one4 = model.node_bandwidth(NumaConfig.NPS4, 1, ghz(2.5), fc).bandwidth_gbs
+        one1 = model.node_bandwidth(NumaConfig.NPS1, 1, ghz(2.5), fc).bandwidth_gbs
+        assert one1 == pytest.approx(one4)
+
+
+class TestNpsLatency:
+    def test_nps4_lowest_latency(self, model_and_fclk):
+        model, fc = model_and_fclk
+        lats = {
+            nps: model.local_latency_ns(nps, ghz(2.5), fc)
+            for nps in (NumaConfig.NPS4, NumaConfig.NPS2, NumaConfig.NPS1)
+        }
+        assert lats[NumaConfig.NPS4] < lats[NumaConfig.NPS2] < lats[NumaConfig.NPS1]
+
+    def test_nps4_matches_fig5_anchor(self, model_and_fclk):
+        model, fc = model_and_fclk
+        assert model.local_latency_ns(NumaConfig.NPS4, ghz(2.5), fc) == pytest.approx(
+            92.0, abs=0.5
+        )
+
+
+class TestOperatingPoint:
+    def test_summary_consistency(self, model_and_fclk):
+        model, fc = model_and_fclk
+        op = model.operating_point(NumaConfig.NPS1, 8, fc)
+        assert op.nps is NumaConfig.NPS1
+        assert op.bandwidth_gbs > 0
+        assert op.latency_ns > 90.0
+
+    def test_tradeoff_exists(self, model_and_fclk):
+        # the whole point: NPS1 buys bandwidth with latency
+        model, fc = model_and_fclk
+        op1 = model.operating_point(NumaConfig.NPS1, 16, fc)
+        op4 = model.operating_point(NumaConfig.NPS4, 16, fc)
+        assert op1.bandwidth_gbs > op4.bandwidth_gbs
+        assert op1.latency_ns > op4.latency_ns

@@ -1,0 +1,100 @@
+"""Phased applications and playback accounting."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine import Machine
+from repro.units import ghz
+from repro.workloads import SPIN, STREAM_TRIAD
+from repro.workloads.phases import (
+    Phase,
+    PhasedApplication,
+    PlaybackResult,
+    WORST_CASE_TRANSITION_S,
+    play,
+)
+
+
+@pytest.fixture
+def m():
+    machine = Machine("EPYC 7502", seed=4)
+    yield machine
+    machine.shutdown()
+
+
+def _app(phase_s=0.1):
+    app = PhasedApplication("mini-hpc")
+    app.add(SPIN, phase_s, freq_sensitivity=1.0)
+    app.add(STREAM_TRIAD, phase_s, freq_sensitivity=0.1)
+    app.add(SPIN, phase_s, freq_sensitivity=1.0)
+    return app
+
+
+class TestStructure:
+    def test_durations_accumulate(self):
+        assert _app(0.2).total_duration_s == pytest.approx(0.6)
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(WorkloadError):
+            Phase(SPIN, duration_s=0.0)
+        with pytest.raises(WorkloadError):
+            Phase(SPIN, duration_s=1.0, freq_sensitivity=2.0)
+
+
+class TestPlayback:
+    def test_untuned_runtime_is_nominal(self, m):
+        cpus = m.os.first_thread_cpus(8)
+        res = play(m, _app(), cpus)
+        assert isinstance(res, PlaybackResult)
+        assert res.runtime_s == pytest.approx(0.3)
+        assert res.energy_j > 0
+        assert len(res.phase_energies_j) == 3
+
+    def test_tuning_memory_phases_saves_energy(self, m):
+        # enough workers that dynamic power outweighs the idle base —
+        # on 8 cores race-to-idle wins, which test_race_to_idle covers
+        cpus = m.os.first_thread_cpus()
+        base = play(m, _app(), cpus)
+
+        def policy(phase):
+            return ghz(1.5) if phase.freq_sensitivity < 0.5 else ghz(2.5)
+
+        tuned = play(m, _app(), cpus, policy=policy)
+        assert tuned.energy_j < base.energy_j
+        # the memory phase stretches only slightly
+        assert tuned.runtime_s < base.runtime_s * 1.1
+
+    def test_race_to_idle_wins_on_few_cores(self, m):
+        # with 8 workers the 180 W awake base dominates: stretching the
+        # memory phase costs more than the downclock saves
+        cpus = m.os.first_thread_cpus(8)
+        base = play(m, _app(), cpus)
+
+        def policy(phase):
+            return ghz(1.5) if phase.freq_sensitivity < 0.5 else ghz(2.5)
+
+        tuned = play(m, _app(), cpus, policy=policy)
+        assert tuned.energy_j > base.energy_j
+
+    def test_short_phases_defeat_tuning(self, m):
+        cpus = m.os.first_thread_cpus(8)
+        short = _app(phase_s=WORST_CASE_TRANSITION_S / 2)
+
+        def policy(phase):
+            return ghz(1.5) if phase.freq_sensitivity < 0.5 else ghz(2.5)
+
+        tuned = play(m, short, cpus, policy=policy)
+        untuned = play(m, short, cpus)
+        # requests never land: same energy as the untuned run
+        assert tuned.energy_j == pytest.approx(untuned.energy_j, rel=1e-6)
+
+    def test_downclocking_compute_costs_runtime(self, m):
+        cpus = m.os.first_thread_cpus(8)
+        slow = play(m, _app(), cpus, policy=lambda p: ghz(1.5))
+        fast = play(m, _app(), cpus, policy=lambda p: ghz(2.5))
+        assert slow.runtime_s > fast.runtime_s * 1.4
+
+    def test_average_power(self, m):
+        cpus = m.os.first_thread_cpus(8)
+        res = play(m, _app(), cpus)
+        assert res.average_power_w == pytest.approx(res.energy_j / res.runtime_s)

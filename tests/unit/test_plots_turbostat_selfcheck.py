@@ -1,0 +1,98 @@
+"""ASCII plots, the turbostat reporter and the selfcheck."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.plots import ascii_ecdf, ascii_scatter, ascii_series
+from repro.core.selfcheck import selfcheck
+from repro.errors import MeasurementError
+from repro.machine import Machine
+from repro.oslayer import turbostat
+from repro.units import ghz
+from repro.workloads import FIRESTARTER, SPIN
+
+
+class TestAsciiPlots:
+    def test_scatter_renders_all_points_region(self):
+        out = ascii_scatter([1, 2, 3], [1, 4, 9], width=30, height=10)
+        assert out.count("o") == 3
+        assert "9.0" in out and "1.0" in out
+
+    def test_scatter_rejects_mismatched(self):
+        with pytest.raises(MeasurementError):
+            ascii_scatter([1, 2], [1])
+
+    def test_scatter_constant_values(self):
+        out = ascii_scatter([5, 5], [7, 7])
+        assert "o" in out  # degenerate ranges handled
+
+    def test_series_legend(self):
+        out = ascii_series(
+            {"p0": ([1, 2], [10, 20]), "p1": ([1, 2], [5, 15])},
+            width=20,
+            height=8,
+        )
+        assert "a = p0" in out and "b = p1" in out
+
+    def test_series_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            ascii_series({})
+
+    def test_ecdf_monotone_rendering(self):
+        rng = np.random.default_rng(0)
+        out = ascii_ecdf({"w0": rng.normal(0, 1, 100), "w1": rng.normal(3, 1, 100)})
+        assert "a = w0" in out and "b = w1" in out
+
+
+class TestTurbostat:
+    @pytest.fixture
+    def m(self):
+        machine = Machine("EPYC 7502", seed=2)
+        yield machine
+        machine.shutdown()
+
+    def test_core_rows_reflect_state(self, m):
+        m.os.set_all_frequencies(ghz(2.5))
+        m.os.run(SPIN, [0])
+        rows = turbostat.core_rows(m)
+        assert rows[0][2] == pytest.approx(2.5)
+        assert rows[0][3] == "50%"
+        assert rows[0][5] == "spin"
+        assert rows[1][3] == "0%"
+
+    def test_package_rows_report_power(self, m):
+        m.os.run(FIRESTARTER, m.os.all_cpus())
+        rows = turbostat.package_rows(m, interval_s=1.0)
+        assert len(rows) == 2
+        assert rows[0][1] > 100.0  # RAPL W under load
+
+    def test_report_truncation(self, m):
+        out = turbostat.report(m, max_cores=4)
+        assert "(60 more cores)" in out
+        assert "package0" in out
+
+
+class TestSelfcheck:
+    def test_default_machine_passes(self):
+        m = Machine("EPYC 7502", seed=0)
+        table = selfcheck(m)
+        m.shutdown()
+        assert table.all_ok, table.render()
+
+    def test_detects_broken_calibration(self):
+        from dataclasses import replace
+
+        from repro.power.calibration import CALIBRATION
+
+        broken = replace(CALIBRATION, system_wake_w=40.0)  # half the truth
+        m = Machine("EPYC 7502", seed=0, calibration=broken)
+        table = selfcheck(m)
+        m.shutdown()
+        assert not table.all_ok
+        assert any("C1" in c.quantity for c in table.failures())
+
+    def test_leaves_machine_stopped(self):
+        m = Machine("EPYC 7502", seed=0)
+        selfcheck(m)
+        assert all(t.workload is None for t in m.topology.threads())
+        m.shutdown()

@@ -1,0 +1,87 @@
+"""The PPT power-capping loop."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.smu.ppt import PptManager
+from repro.units import ghz
+from repro.workloads import FIRESTARTER, MEMORY_READ, SPIN
+
+
+@pytest.fixture
+def m():
+    machine = Machine("EPYC 7502", seed=0)
+    yield machine
+    machine.shutdown()
+
+
+def _load_firestarter(m):
+    m.os.set_all_frequencies(ghz(2.5))
+    m.os.run(FIRESTARTER, m.os.all_cpus())
+    m.preheat()
+
+
+class TestPptLoop:
+    def test_default_limit_never_binds_fig6(self, m):
+        # the Fig 6 operating point stays EDC-limited, not power-limited
+        _load_firestarter(m)
+        assert m.topology.thread(0).core.applied_freq_hz == ghz(2.0)
+        assert m.smus[0].edc_cap_hz == ghz(2.0)
+        ppt = m.smus[0].ppt_cap_hz
+        assert ppt is None or ppt > ghz(2.0)
+
+    def test_lower_limit_throttles_below_edc(self, m):
+        _load_firestarter(m)
+        m.set_power_limit_w(120.0)
+        assert m.topology.thread(0).core.applied_freq_hz < ghz(2.0)
+
+    def test_cap_released_when_limit_raised(self, m):
+        _load_firestarter(m)
+        m.set_power_limit_w(120.0)
+        m.set_power_limit_w(1000.0)
+        assert m.topology.thread(0).core.applied_freq_hz == ghz(2.0)
+
+    def test_modelled_power_respects_limit(self, m):
+        _load_firestarter(m)
+        m.set_power_limit_w(120.0)
+        rec = m.measure(10.0)
+        assert rec.rapl_pkg_w[0] <= 121.0
+
+    def test_wall_power_can_violate_the_cap(self, m):
+        # the §VII accuracy gap as an operational risk: the SMU holds the
+        # cap in model-space while the true package power exceeds it
+        _load_firestarter(m)
+        m.set_power_limit_w(120.0)
+        excess = m.smus[0].ppt.true_power_excess_w(m, m.topology.packages[0])
+        assert excess > 5.0
+
+    def test_assessment_quantized_to_grid(self, m):
+        _load_firestarter(m)
+        m.set_power_limit_w(120.0)
+        cap = m.smus[0].ppt_cap_hz
+        assert cap is not None
+        assert cap / 25e6 == pytest.approx(round(cap / 25e6))
+
+    def test_light_load_unaffected_by_moderate_cap(self, m):
+        m.os.set_all_frequencies(ghz(2.5))
+        m.os.run(SPIN, m.os.cpus_of_ccx(0))
+        m.set_power_limit_w(120.0)
+        assert m.topology.thread(0).core.applied_freq_hz == ghz(2.5)
+
+    def test_hypothetical_evaluation_restores_state(self, m):
+        _load_firestarter(m)
+        pkg = m.topology.packages[0]
+        before = [c.applied_freq_hz for c in pkg.cores()]
+        ppt = PptManager(limit_w=100.0)
+        ppt.modelled_package_power_w(pkg, ghz(1.5))
+        assert [c.applied_freq_hz for c in pkg.cores()] == before
+
+    def test_memory_workload_cap_mostly_honest(self, m):
+        # DIMM power lives outside the package, so a *package* cap on a
+        # memory workload is not violated at the socket
+        m.os.set_all_frequencies(ghz(2.5))
+        m.os.run(MEMORY_READ, m.os.all_cpus())
+        m.preheat()
+        m.set_power_limit_w(90.0)
+        excess = m.smus[0].ppt.true_power_excess_w(m, m.topology.packages[0])
+        assert excess < 5.0

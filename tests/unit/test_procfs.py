@@ -1,0 +1,60 @@
+"""procfs rendering."""
+
+import pytest
+
+from repro.errors import SysfsError
+from repro.units import ghz
+from repro.workloads import SPIN
+
+
+class TestCpuinfo:
+    def test_stanza_per_online_cpu(self, machine):
+        text = machine.os.proc.read("/proc/cpuinfo")
+        assert text.count("processor\t:") == 128
+        assert "AuthenticAMD" in text
+        assert "EPYC 7502" in text
+
+    def test_offline_cpu_omitted(self, machine):
+        machine.os.hotplug.set_offline(5)
+        text = machine.os.proc.cpuinfo()
+        assert "processor\t: 5\n" not in text
+        assert text.count("processor\t:") == 127
+
+    def test_mhz_reflects_applied_clock(self, machine):
+        machine.os.run(SPIN, [0])
+        machine.os.set_frequency(0, ghz(2.2))
+        text = machine.os.proc.cpuinfo()
+        assert "cpu MHz\t\t: 2200.000" in text
+
+    def test_family_and_physical_id(self, machine):
+        text = machine.os.proc.cpuinfo()
+        assert "cpu family\t: 23" in text  # family 17h
+        assert "physical id\t: 1" in text  # second socket appears
+
+
+class TestInterrupts:
+    def test_empty_when_quiet(self, machine):
+        text = machine.os.proc.read("/proc/interrupts")
+        assert text.splitlines()[0].startswith("IRQ")
+        assert len(text.splitlines()) == 1
+
+    def test_registered_sources_listed(self, machine):
+        machine.os.register_interrupt("nic_rx", 3, 5000.0)
+        machine.os.register_interrupt("timer", 7, 250.0)
+        text = machine.os.proc.interrupts()
+        assert "nic_rx" in text and "timer" in text
+        assert "\t3\t5000\t" in text
+
+
+class TestStat:
+    def test_busy_flag_follows_workload(self, machine):
+        machine.os.run(SPIN, [0])
+        lines = machine.os.proc.read("/proc/stat").splitlines()
+        assert lines[0].startswith("cpu0 100")
+        assert lines[1].startswith("cpu1 0")
+
+
+class TestDispatch:
+    def test_unknown_file(self, machine):
+        with pytest.raises(SysfsError):
+            machine.os.proc.read("/proc/meminfo")

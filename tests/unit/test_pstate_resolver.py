@@ -1,0 +1,143 @@
+"""Frequency resolution: sibling votes, CCX coupling, L3 clock."""
+
+import pytest
+
+from repro.pstate.resolver import FrequencyResolver
+from repro.topology import build_topology
+from repro.units import ghz
+from repro.workloads import SPIN
+
+
+def _activate(core, smt=1):
+    for t in core.threads[:smt]:
+        t.workload = SPIN
+        t.effective_cstate = "C0"
+
+
+class TestSiblingVote:
+    def _core(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        return next(topo.cores())
+
+    def test_max_of_thread_requests(self):
+        core = self._core()
+        core.threads[0].requested_freq_hz = ghz(1.5)
+        core.threads[1].requested_freq_hz = ghz(2.5)
+        assert FrequencyResolver().core_request_hz(core) == ghz(2.5)
+
+    def test_idle_sibling_votes_on_rome(self):
+        core = self._core()
+        _activate(core, smt=1)
+        core.threads[0].requested_freq_hz = ghz(1.5)
+        core.threads[1].requested_freq_hz = ghz(2.5)  # idle thread
+        assert FrequencyResolver().core_request_hz(core) == ghz(2.5)
+
+    def test_offline_sibling_votes_on_rome(self):
+        core = self._core()
+        _activate(core, smt=1)
+        core.threads[1].online = False
+        core.threads[1].requested_freq_hz = ghz(2.5)
+        assert FrequencyResolver().core_request_hz(core) == ghz(2.5)
+
+    def test_intel_like_mode_ignores_idle_sibling(self):
+        core = self._core()
+        _activate(core, smt=1)
+        core.threads[0].requested_freq_hz = ghz(1.5)
+        core.threads[1].requested_freq_hz = ghz(2.5)
+        resolver = FrequencyResolver(offline_threads_vote=False)
+        assert resolver.core_request_hz(core) == ghz(1.5)
+
+    def test_intel_like_mode_all_idle_uses_min(self):
+        core = self._core()
+        core.threads[0].requested_freq_hz = ghz(2.2)
+        core.threads[1].requested_freq_hz = ghz(2.5)
+        resolver = FrequencyResolver(offline_threads_vote=False)
+        assert resolver.core_request_hz(core) == ghz(2.2)
+
+
+class TestCcxCoupling:
+    def _ccx(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        ccx = next(topo.ccxs())
+        for core in ccx.cores:
+            _activate(core)
+            for t in core.threads:
+                t.requested_freq_hz = ghz(1.5)
+        return ccx
+
+    def _set(self, ccx, measured_ghz, others_ghz):
+        for i, core in enumerate(ccx.cores):
+            f = ghz(measured_ghz if i == 0 else others_ghz)
+            for t in core.threads:
+                t.requested_freq_hz = f
+
+    @pytest.mark.parametrize(
+        "set_g,others_g,expected",
+        [
+            (1.5, 1.5, 1.499),
+            (1.5, 2.2, 1.466),
+            (1.5, 2.5, 1.428),
+            (2.2, 1.5, 2.200),
+            (2.2, 2.2, 2.199),
+            (2.2, 2.5, 2.000),
+            (2.5, 1.5, 2.497),
+            (2.5, 2.2, 2.499),
+            (2.5, 2.5, 2.499),
+        ],
+    )
+    def test_table_i_cells(self, set_g, others_g, expected):
+        ccx = self._ccx()
+        self._set(ccx, set_g, others_g)
+        res = FrequencyResolver().resolve_ccx(ccx)
+        assert res[0].observable_mean_hz / 1e9 == pytest.approx(expected, abs=1e-3)
+
+    def test_target_stays_on_grid(self):
+        ccx = self._ccx()
+        self._set(ccx, 1.5, 2.5)
+        res = FrequencyResolver().resolve_ccx(ccx)
+        assert res[0].target_hz == ghz(1.5)  # penalty affects mean, not target
+
+    def test_no_penalty_when_alone(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        ccx = next(topo.ccxs())
+        _activate(ccx.cores[0])
+        for t in ccx.cores[0].threads:
+            t.requested_freq_hz = ghz(2.2)
+        res = FrequencyResolver().resolve_ccx(ccx)
+        assert res[0].observable_mean_hz == pytest.approx(ghz(2.2))
+
+    def test_edc_cap_limits_active_cores(self):
+        ccx = self._ccx()
+        self._set(ccx, 2.5, 2.5)
+        res = FrequencyResolver().resolve_ccx(ccx, edc_cap_hz=ghz(2.0))
+        for r in res:
+            assert r.target_hz == ghz(2.0)
+            assert r.limited_by_edc
+
+    def test_unlisted_pair_interpolates(self):
+        from repro.power.calibration import CALIBRATION
+
+        pen = CALIBRATION.ccx_penalty_hz(ghz(1.8), ghz(2.4))
+        assert 0 < pen < 100e6
+
+
+class TestL3Clock:
+    def test_follows_fastest_running_core(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        ccx = next(topo.ccxs())
+        for core in ccx.cores:
+            _activate(core)
+        for t in ccx.cores[0].threads:
+            t.requested_freq_hz = ghz(1.5)
+        for core in ccx.cores[1:]:
+            for t in core.threads:
+                t.requested_freq_hz = ghz(2.5)
+        assert FrequencyResolver().l3_target_hz(ccx) == ghz(2.5)
+
+    def test_parks_at_floor_when_all_gated(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        ccx = next(topo.ccxs())
+        for core in ccx.cores:
+            for t in core.threads:
+                t.effective_cstate = "C2"
+        assert FrequencyResolver().l3_target_hz(ccx) == 400e6

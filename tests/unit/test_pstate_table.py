@@ -1,0 +1,111 @@
+"""P-state definitions and MSR encode/decode."""
+
+import pytest
+
+from repro.errors import PStateError
+from repro.pstate.table import (
+    PState,
+    PStateTable,
+    decode_pstate_msr,
+    encode_pstate_msr,
+    vid_to_volts,
+    volts_to_vid,
+)
+from repro.units import ghz
+
+
+class TestVid:
+    def test_roundtrip(self):
+        for v in (0.85, 1.0, 1.1, 1.25):
+            assert vid_to_volts(volts_to_vid(v)) == pytest.approx(v, abs=0.004)
+
+    def test_zero_vid_is_max_voltage(self):
+        assert vid_to_volts(0) == pytest.approx(1.55)
+
+    def test_out_of_range_voltage(self):
+        with pytest.raises(PStateError):
+            volts_to_vid(2.0)
+        with pytest.raises(PStateError):
+            volts_to_vid(0.0)
+
+    def test_out_of_range_vid(self):
+        with pytest.raises(PStateError):
+            vid_to_volts(256)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        ps = PState(index=1, freq_hz=ghz(2.2), voltage_v=1.0, idd_max_a=12.0)
+        decoded = decode_pstate_msr(encode_pstate_msr(ps), index=1)
+        assert decoded.freq_hz == pytest.approx(ps.freq_hz)
+        assert decoded.voltage_v == pytest.approx(ps.voltage_v, abs=0.004)
+        assert decoded.idd_max_a == 12.0
+        assert decoded.enabled
+
+    def test_disabled_state_encoded(self):
+        ps = PState(index=2, freq_hz=ghz(1.5), voltage_v=0.85, enabled=False)
+        assert not decode_pstate_msr(encode_pstate_msr(ps)).enabled
+
+    def test_frequency_must_be_on_grid(self):
+        with pytest.raises(PStateError):
+            PState(index=0, freq_hz=2.51e9, voltage_v=1.1)  # not 25 MHz multiple
+
+    def test_frequency_must_be_positive(self):
+        with pytest.raises(PStateError):
+            PState(index=0, freq_hz=0.0, voltage_v=1.1)
+
+    def test_decode_rejects_zero_divider(self):
+        with pytest.raises(PStateError):
+            decode_pstate_msr(0x64)  # CpuDfsId == 0
+
+    def test_enable_bit_is_bit_63(self):
+        ps = PState(index=0, freq_hz=ghz(2.5), voltage_v=1.1)
+        assert encode_pstate_msr(ps) >> 63 == 1
+
+
+class TestTable:
+    def _table(self):
+        return PStateTable(
+            [
+                PState(0, ghz(1.5), 0.85),
+                PState(1, ghz(2.5), 1.1),
+                PState(2, ghz(2.2), 1.0),
+            ]
+        )
+
+    def test_sorted_descending_with_p0_fastest(self):
+        table = self._table()
+        assert [p.freq_hz for p in table] == [ghz(2.5), ghz(2.2), ghz(1.5)]
+        assert table.pstates[0].index == 0
+
+    def test_current_limit_is_slowest_enabled(self):
+        assert self._table().current_limit == 2
+
+    def test_by_frequency(self):
+        assert self._table().by_frequency(ghz(2.2)).index == 1
+
+    def test_by_frequency_missing(self):
+        with pytest.raises(PStateError):
+            self._table().by_frequency(ghz(3.0))
+
+    def test_closest_not_above(self):
+        table = self._table()
+        assert table.closest_not_above(ghz(2.4)).freq_hz == ghz(2.2)
+        assert table.closest_not_above(ghz(2.5)).freq_hz == ghz(2.5)
+
+    def test_closest_not_above_below_floor_returns_slowest(self):
+        assert self._table().closest_not_above(ghz(1.0)).freq_hz == ghz(1.5)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(PStateError):
+            PStateTable([])
+
+    def test_max_eight_pstates(self):
+        states = [PState(i, ghz(1.5) + i * 25e6 * 4, 1.0) for i in range(9)]
+        with pytest.raises(PStateError):
+            PStateTable(states)
+
+    def test_from_frequencies(self):
+        table = PStateTable.from_frequencies([ghz(1.5), ghz(2.5)], lambda f: 0.9)
+        assert len(table) == 2
+        assert table.frequencies_hz() == [ghz(2.5), ghz(1.5)]

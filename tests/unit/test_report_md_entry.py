@@ -1,0 +1,84 @@
+"""Markdown report rendering and C-state entry latencies."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.core.report_md import render_markdown, write_markdown
+from repro.core.suite import run_suite
+from repro.cstate.wakeup import WakeupModel
+from repro.errors import CStateError
+from repro.units import ghz
+
+
+class TestEntryLatency:
+    def _model(self):
+        return WakeupModel(rng=np.random.default_rng(0))
+
+    def test_c1_entry_sub_microsecond(self):
+        lat = self._model().entry_latency_ns("C1", ghz(2.5))
+        assert 100 <= lat <= 1000
+
+    def test_c2_entry_slower_than_c1(self):
+        model = self._model()
+        assert model.entry_latency_ns("C2", ghz(2.5)) > 5 * model.entry_latency_ns(
+            "C1", ghz(2.5)
+        )
+
+    def test_entry_faster_than_exit_for_c2(self):
+        # entering saves state; waking additionally re-powers the core
+        model = self._model()
+        assert model.entry_latency_ns("C2", ghz(2.5)) < model.nominal_latency_ns(
+            "C2", ghz(2.5)
+        )
+
+    def test_entry_scales_with_clock(self):
+        model = self._model()
+        assert model.entry_latency_ns("C1", ghz(1.5)) > model.entry_latency_ns(
+            "C1", ghz(2.5)
+        )
+
+    def test_c0_entry_free(self):
+        assert self._model().entry_latency_ns("C0", ghz(2.5)) == 0.0
+
+    def test_unknown_state(self):
+        with pytest.raises(CStateError):
+            self._model().entry_latency_ns("C6", ghz(2.5))
+
+    def test_entry_samples_jittered_around_centre(self):
+        model = self._model()
+        samples = model.sample_entry_ns("C2", ghz(2.5), n=500)
+        centre = model.entry_latency_ns("C2", ghz(2.5))
+        assert np.median(samples) == pytest.approx(centre, rel=0.05)
+        assert samples.std() > 0
+
+
+class TestMarkdownReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_suite(
+            ExperimentConfig(seed=2021, scale=0.02),
+            only=["sec5a_idle_sibling", "sec7_rapl_update_rate"],
+        )
+
+    def test_render_contains_titles_and_rows(self, result):
+        md = render_markdown(result)
+        assert "§V-A — idle sibling" in md
+        assert "RAPL update rate" in md
+        assert "| quantity |" in md
+        assert "all experiments within bands" in md
+
+    def test_write(self, result, tmp_path):
+        path = tmp_path / "report.md"
+        write_markdown(result, str(path))
+        assert "Reproduction report" in path.read_text()
+
+    def test_deviations_flagged(self):
+        from repro.core.report import ComparisonTable
+        from repro.core.suite import SuiteResult
+
+        table = ComparisonTable("broken")
+        table.add("x", 1.0, 5.0)
+        fake = SuiteResult(config=ExperimentConfig(), tables={"broken": table})
+        md = render_markdown(fake)
+        assert "DEVIATES" in md and "DEVIATIONS PRESENT" in md

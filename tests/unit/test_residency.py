@@ -1,0 +1,64 @@
+"""C-state residency accounting through sysfs (cpuidle time/usage)."""
+
+import pytest
+
+from repro.errors import SysfsError
+from repro.units import ghz
+from repro.workloads import SPIN
+
+
+def _time_us(machine, cpu, state_idx):
+    return int(
+        machine.os.sysfs.read(
+            f"/sys/devices/system/cpu/cpu{cpu}/cpuidle/state{state_idx}/time"
+        )
+    )
+
+
+class TestResidency:
+    def test_idle_thread_accrues_c2_time(self, machine):
+        machine.measure(10.0)
+        assert _time_us(machine, 3, 2) == pytest.approx(10_000_000, rel=0.01)
+        assert _time_us(machine, 3, 1) == 0
+
+    def test_active_thread_accrues_c0_time(self, machine):
+        machine.os.run(SPIN, [0])
+        machine.measure(10.0)
+        assert _time_us(machine, 0, 0) == pytest.approx(10_000_000, rel=0.01)
+        assert _time_us(machine, 0, 2) == 0
+
+    def test_c1_limited_thread_accrues_c1(self, machine):
+        machine.os.sysfs.write(
+            "/sys/devices/system/cpu/cpu4/cpuidle/state2/disable", "1"
+        )
+        machine.measure(5.0)
+        assert _time_us(machine, 4, 1) == pytest.approx(5_000_000, rel=0.01)
+
+    def test_offline_parked_thread_accrues_c1(self, machine):
+        # §VI-B smoking gun: the offline sibling's residency shows C1
+        machine.os.hotplug.set_offline(70)
+        machine.measure(5.0)
+        assert _time_us(machine, 70, 1) == pytest.approx(5_000_000, rel=0.01)
+
+    def test_usage_counts_increment(self, machine):
+        machine.measure(10.0)
+        usage = int(
+            machine.os.sysfs.read(
+                "/sys/devices/system/cpu/cpu3/cpuidle/state2/usage"
+            )
+        )
+        assert usage > 0
+
+    def test_residency_readonly(self, machine):
+        with pytest.raises(SysfsError):
+            machine.os.sysfs.write(
+                "/sys/devices/system/cpu/cpu0/cpuidle/state2/time", "0"
+            )
+
+    def test_residencies_sum_to_wall_time(self, machine):
+        machine.os.run(SPIN, [0])
+        machine.measure(4.0)
+        machine.os.stop()
+        machine.measure(6.0)
+        total = sum(_time_us(machine, 0, i) for i in range(3))
+        assert total == pytest.approx(10_000_000, rel=0.01)

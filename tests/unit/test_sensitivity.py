@@ -1,0 +1,49 @@
+"""Calibration sensitivity analysis."""
+
+import pytest
+
+from repro.core.sensitivity import DEFAULT_TARGETS, run_sensitivity
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sensitivity()
+
+
+class TestSensitivity:
+    def test_all_targets_evaluated(self, result):
+        assert {r.constant for r in result.rows} == set(DEFAULT_TARGETS)
+
+    def test_wake_term_breaks_c1_anchor(self, result):
+        row = next(r for r in result.rows if r.constant == "system_wake_w")
+        assert row.sensitive
+        assert any("C1" in q for q in row.broke)
+
+    def test_platform_base_breaks_idle_floor(self, result):
+        row = next(r for r in result.rows if r.constant == "platform_base_w")
+        assert any("idle floor" in q for q in row.broke)
+
+    def test_edc_coefficient_moves_throttle_point(self, result):
+        row = next(
+            r for r in result.rows if r.constant == "edc_dyn_a_per_ipcghz_2t"
+        )
+        assert any("FIRESTARTER" in q for q in row.broke)
+
+    def test_latency_constants_break_latency_anchor(self, result):
+        row = next(
+            r for r in result.rows if r.constant == "mem_latency_core_path_ns"
+        )
+        assert any("DRAM latency" in q for q in row.broke)
+
+    def test_slope_only_constant_is_insensitive(self, result):
+        assert "c1_per_core_w" in result.insensitive_constants()
+
+    def test_transition_constant_breaks_timing_row(self, result):
+        row = next(r for r in result.rows if r.constant == "transition_down_ns")
+        assert any("transition" in q for q in row.broke)
+
+    def test_partition(self, result):
+        sens = set(result.sensitive_constants())
+        insens = set(result.insensitive_constants())
+        assert not (sens & insens)
+        assert sens | insens == set(DEFAULT_TARGETS)

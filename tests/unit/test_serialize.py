@@ -1,0 +1,70 @@
+"""Serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import Comparison, ComparisonTable
+from repro.core.serialize import (
+    comparison_from_dict,
+    comparison_to_dict,
+    dump_json,
+    load_json,
+    series_to_dict,
+    table_from_dict,
+    table_to_dict,
+)
+
+
+class TestComparisonSerialization:
+    def test_roundtrip(self):
+        comp = Comparison("freq", 2.0, 2.01, "GHz", 0.02)
+        restored = comparison_from_dict(comparison_to_dict(comp))
+        assert restored == comp
+
+    def test_derived_fields_present(self):
+        d = comparison_to_dict(Comparison("x", 100.0, 105.0, "W", 0.02))
+        assert d["deviation_rel"] == pytest.approx(0.05)
+        assert d["ok"] is False
+
+
+class TestTableSerialization:
+    def _table(self):
+        table = ComparisonTable("Fig X")
+        table.add("a", 1.0, 1.0)
+        table.add("b", 2.0, 2.1, "W", 0.1)
+        return table
+
+    def test_roundtrip(self):
+        table = self._table()
+        restored = table_from_dict(table_to_dict(table))
+        assert restored.experiment == table.experiment
+        assert restored.comparisons == table.comparisons
+        assert restored.all_ok == table.all_ok
+
+    def test_verdict_in_dict(self):
+        assert table_to_dict(self._table())["all_ok"] is True
+
+    def test_unknown_schema_rejected(self):
+        data = table_to_dict(self._table())
+        data["schema_version"] = 99
+        with pytest.raises(ValueError):
+            table_from_dict(data)
+
+
+class TestFileIo:
+    def test_dump_and_load(self, tmp_path):
+        table = ComparisonTable("demo")
+        table.add("q", 1.0, 1.0)
+        path = tmp_path / "table.json"
+        dump_json(table_to_dict(table), str(path))
+        restored = table_from_dict(load_json(str(path)))
+        assert restored.experiment == "demo"
+
+    def test_series_serialization(self):
+        d = series_to_dict("latencies", np.array([1.5, 2.5]), unit="us")
+        assert d["values"] == [1.5, 2.5]
+        assert d["n"] == 2
+        assert d["metadata"] == {"unit": "us"}
+
+    def test_series_handles_plain_lists(self):
+        assert series_to_dict("x", [1, 2, 3])["n"] == 3

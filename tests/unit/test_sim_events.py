@@ -1,0 +1,71 @@
+"""Event queue ordering and cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(30, lambda: fired.append("c"))
+        q.push(10, lambda: fired.append("a"))
+        q.push(20, lambda: fired.append("b"))
+        while q:
+            q.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_stable_for_equal_times(self):
+        q = EventQueue()
+        fired = []
+        for name in "abcde":
+            q.push(5, lambda n=name: fired.append(n))
+        while q:
+            q.pop().callback()
+        assert fired == list("abcde")
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(42, lambda: None)
+        q.push(7, lambda: None)
+        assert q.peek_time() == 7
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1, lambda: None)
+
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        e1 = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        e1.cancel()
+        assert q.peek_time() == 2
+        assert len(q) == 1
+
+    def test_len_counts_only_live_events(self):
+        q = EventQueue()
+        events = [q.push(i, lambda: None) for i in range(5)]
+        events[2].cancel()
+        events[4].cancel()
+        assert len(q) == 3
+
+    def test_bool_with_all_cancelled(self):
+        q = EventQueue()
+        e = q.push(1, lambda: None)
+        e.cancel()
+        assert not q
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1, lambda: None)
+        q.clear()
+        assert not q

@@ -1,0 +1,142 @@
+"""Coroutine process layer on the simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, ProcessTimeout, Timeout, WaitFor
+from repro.units import ms, us
+
+
+class TestTimeout:
+    def test_sequential_timeouts(self, sim):
+        trace = []
+
+        def script():
+            trace.append(sim.now_ns)
+            yield Timeout(us(5))
+            trace.append(sim.now_ns)
+            yield Timeout(us(10))
+            trace.append(sim.now_ns)
+
+        Process(sim, script())
+        sim.run_until(us(100))
+        assert trace == [0, us(5), us(15)]
+
+    def test_return_value(self, sim):
+        def script():
+            yield Timeout(us(1))
+            return 42
+
+        p = Process(sim, script())
+        sim.run_until(us(2))
+        assert p.finished
+        assert p.result == 42
+
+
+class TestWaitFor:
+    def test_condition_polled(self, sim):
+        flag = {"set": False}
+        sim.schedule_after(us(50), lambda: flag.__setitem__("set", True))
+        seen = []
+
+        def script():
+            yield WaitFor(lambda: flag["set"], poll_ns=us(1))
+            seen.append(sim.now_ns)
+
+        Process(sim, script())
+        sim.run_until(us(100))
+        assert len(seen) == 1
+        assert us(50) <= seen[0] <= us(52)
+
+    def test_immediate_condition(self, sim):
+        seen = []
+
+        def script():
+            yield WaitFor(lambda: True)
+            seen.append(sim.now_ns)
+
+        Process(sim, script())
+        sim.run_until(us(1))
+        assert seen == [0]
+
+    def test_timeout_raises_into_generator(self, sim):
+        outcome = []
+
+        def script():
+            try:
+                yield WaitFor(lambda: False, poll_ns=us(1), timeout_ns=us(10))
+            except ProcessTimeout:
+                outcome.append("timed out")
+
+        Process(sim, script())
+        sim.run_until(us(50))
+        assert outcome == ["timed out"]
+
+
+class TestComposition:
+    def test_wait_on_child_process(self, sim):
+        def child():
+            yield Timeout(us(30))
+            return "done"
+
+        results = []
+
+        def parent():
+            value = yield Process(sim, child())
+            results.append((value, sim.now_ns))
+
+        Process(sim, parent())
+        sim.run_until(us(100))
+        assert results == [("done", us(30))]
+
+    def test_wait_on_finished_process(self, sim):
+        def child():
+            return "early"
+            yield  # pragma: no cover
+
+        done = Process(sim, child())
+        assert done.finished
+        results = []
+
+        def parent():
+            value = yield done
+            results.append(value)
+
+        Process(sim, parent())
+        sim.run_until(us(1))
+        assert results == ["early"]
+
+    def test_invalid_yield_rejected(self, sim):
+        def script():
+            yield "nonsense"
+
+        with pytest.raises(SimulationError):
+            Process(sim, script())
+
+
+class TestWithMachine:
+    def test_script_drives_event_mode_machine(self):
+        from repro.machine import Machine
+        from repro.units import ghz
+        from repro.workloads import SPIN
+
+        m = Machine("EPYC 7502", seed=0)
+        m.os.run(SPIN, [0])
+        m.enable_event_mode()
+        core = m.topology.thread(0).core
+        observations = []
+
+        def script():
+            m.os.set_frequency(0, ghz(2.5))
+            yield WaitFor(
+                lambda: core.applied_freq_hz == ghz(2.5), poll_ns=us(2)
+            )
+            observations.append(m.sim.now_ns)
+
+        Process(m.sim, script())
+        m.sim.run_for(ms(5))
+        m.shutdown()
+        assert len(observations) == 1
+        # slot wait (<=1ms) + 360us up execution
+        assert us(350) <= observations[0] <= ms(1) + us(370)

@@ -1,0 +1,166 @@
+"""Topology construction, enumeration and NUMA partitioning."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology import (
+    NumaConfig,
+    SKUS,
+    SystemTopology,
+    build_numa_nodes,
+    build_topology,
+    sku_by_name,
+)
+from repro.topology.enumeration import cpu_ids_in_sweep_order
+from repro.topology.numa import node_of_core
+from repro.units import ghz
+
+
+class TestStructure:
+    def test_epyc7502_counts(self):
+        topo = build_topology("EPYC 7502", n_packages=2)
+        assert len(topo.packages) == 2
+        assert topo.n_cores == 64
+        assert topo.n_threads == 128
+
+    def test_ccd_ccx_structure(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        pkg = topo.packages[0]
+        assert len(pkg.ccds) == 4
+        for ccd in pkg.ccds:
+            assert len(ccd.ccxs) == 2
+            for ccx in ccd.ccxs:
+                assert len(ccx.cores) == 4
+
+    def test_each_core_has_two_threads(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        for core in topo.cores():
+            assert len(core.threads) == 2
+            assert core.threads[0].sibling is core.threads[1]
+            assert core.threads[1].sibling is core.threads[0]
+
+    def test_global_indices_unique_and_dense(self):
+        topo = build_topology("EPYC 7502", n_packages=2)
+        indices = [c.global_index for c in topo.cores()]
+        assert sorted(indices) == list(range(64))
+        ccx_indices = [x.global_index for x in topo.ccxs()]
+        assert sorted(ccx_indices) == list(range(16))
+
+    def test_l3_size(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        ccx = next(iter(topo.ccxs()))
+        assert ccx.L3_SIZE_BYTES == 16 * 1024 * 1024
+        assert ccx.L3_SLICES == 4
+
+    def test_invalid_package_count(self):
+        with pytest.raises(TopologyError):
+            SystemTopology(n_packages=3, n_ccds=4, cores_per_ccx=4)
+
+    def test_invalid_ccd_count(self):
+        with pytest.raises(TopologyError):
+            SystemTopology(n_packages=1, n_ccds=9, cores_per_ccx=4)
+
+    def test_core_lookup_by_global_index(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        core = topo.core_by_global_index(17)
+        assert core.global_index == 17
+        with pytest.raises(TopologyError):
+            topo.core_by_global_index(999)
+
+
+class TestEnumeration:
+    def test_first_threads_numbered_before_siblings(self):
+        topo = build_topology("EPYC 7502", n_packages=2)
+        # cpu0..63 are thread 0 of all cores; cpu64..127 the siblings
+        for cpu_id in range(64):
+            assert topo.thread(cpu_id).smt_index == 0
+        for cpu_id in range(64, 128):
+            assert topo.thread(cpu_id).smt_index == 1
+
+    def test_package_grouping(self):
+        topo = build_topology("EPYC 7502", n_packages=2)
+        assert topo.thread(0).core.package.index == 0
+        assert topo.thread(31).core.package.index == 0
+        assert topo.thread(32).core.package.index == 1
+        assert topo.thread(63).core.package.index == 1
+
+    def test_sibling_offset(self):
+        topo = build_topology("EPYC 7502", n_packages=2)
+        t0 = topo.thread(0)
+        assert t0.sibling.cpu_id == 64
+
+    def test_lookup_invalid_cpu(self):
+        topo = build_topology("EPYC 7502", n_packages=2)
+        with pytest.raises(TopologyError):
+            topo.thread(128)
+
+    def test_sweep_order_is_ascending(self):
+        topo = build_topology("EPYC 7502", n_packages=2)
+        assert cpu_ids_in_sweep_order(topo) == list(range(128))
+
+
+class TestSkus:
+    def test_catalogue_has_7502(self):
+        sku = sku_by_name("EPYC 7502")
+        assert sku.n_cores == 32
+        assert sku.tdp_w == 180.0
+
+    def test_unknown_sku_raises_with_hint(self):
+        with pytest.raises(ConfigurationError, match="EPYC 7502"):
+            sku_by_name("EPYC 9999")
+
+    def test_available_freqs_match_paper(self):
+        sku = sku_by_name("EPYC 7502")
+        assert sku.available_freqs_hz == (ghz(1.5), ghz(2.2), ghz(2.5))
+
+    def test_all_skus_build(self):
+        for name in SKUS:
+            topo = build_topology(name, n_packages=1)
+            assert topo.n_cores == SKUS[name].n_cores
+
+    def test_initial_frequencies_at_minimum(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        for thread in topo.threads():
+            assert thread.requested_freq_hz == ghz(1.5)
+        for core in topo.cores():
+            assert core.applied_freq_hz == ghz(1.5)
+
+
+class TestNuma:
+    def test_nps4_gives_four_nodes_per_package(self):
+        topo = build_topology("EPYC 7502", n_packages=2)
+        nodes = build_numa_nodes(topo, NumaConfig.NPS4)
+        assert len(nodes) == 8
+        for node in nodes:
+            assert len(node.memory_channels) == 2
+            assert node.n_cores == 8
+
+    def test_nps1_single_node_per_package(self):
+        topo = build_topology("EPYC 7502", n_packages=2)
+        nodes = build_numa_nodes(topo, NumaConfig.NPS1)
+        assert len(nodes) == 2
+        assert nodes[0].n_cores == 32
+        assert len(nodes[0].memory_channels) == 8
+
+    def test_channels_partition_disjointly(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        nodes = build_numa_nodes(topo, NumaConfig.NPS4)
+        seen = [ch for n in nodes for ch in n.memory_channels]
+        assert sorted(seen) == list(range(8))
+
+    def test_node_of_core(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        nodes = build_numa_nodes(topo, NumaConfig.NPS4)
+        node = node_of_core(nodes, 0)
+        assert node.node_id == 0
+
+    def test_node_of_unknown_core_raises(self):
+        topo = build_topology("EPYC 7502", n_packages=1)
+        nodes = build_numa_nodes(topo, NumaConfig.NPS4)
+        with pytest.raises(ConfigurationError):
+            node_of_core(nodes, 1000)
+
+    def test_nps4_rejected_for_too_few_ccds(self):
+        topo = build_topology("EPYC 7252", n_packages=1)  # 2 CCDs
+        with pytest.raises(ConfigurationError):
+            build_numa_nodes(topo, NumaConfig.NPS4)

@@ -1,0 +1,68 @@
+"""Tracepoint buffer (lo2s analogue)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oslayer.tracing import AVAILABLE_TRACEPOINTS, TraceBuffer
+
+
+class TestTraceBuffer:
+    def test_emit_and_read(self):
+        buf = TraceBuffer()
+        buf.emit(100, "sched_waking", 3, target=5)
+        buf.emit(200, "sched_switch", 5)
+        assert len(buf) == 2
+        events = list(buf.events())
+        assert events[0].payload == {"target": 5}
+
+    def test_filter_by_name_and_cpu(self):
+        buf = TraceBuffer()
+        buf.emit(1, "sched_waking", 0)
+        buf.emit(2, "sched_switch", 1)
+        buf.emit(3, "sched_switch", 2)
+        assert len(list(buf.events(name="sched_switch"))) == 2
+        assert len(list(buf.events(cpu_id=1))) == 1
+
+    def test_disabled_tracepoint_dropped(self):
+        buf = TraceBuffer({"sched_waking"})
+        buf.emit(1, "sched_switch", 0)
+        assert len(buf) == 0
+
+    def test_unavailable_tracepoint_rejected(self):
+        # the event the paper had to migrate away from (§VI-C)
+        with pytest.raises(ConfigurationError, match="sched_wake_idle_without_ipi"):
+            TraceBuffer({"sched_wake_idle_without_ipi"})
+
+    def test_available_set_contains_sched_waking(self):
+        assert "sched_waking" in AVAILABLE_TRACEPOINTS
+        assert "sched_wake_idle_without_ipi" not in AVAILABLE_TRACEPOINTS
+
+    def test_last(self):
+        buf = TraceBuffer()
+        buf.emit(1, "sched_waking", 0)
+        buf.emit(9, "sched_waking", 1)
+        assert buf.last("sched_waking").time_ns == 9
+
+    def test_last_missing_raises(self):
+        with pytest.raises(LookupError):
+            TraceBuffer().last("sched_waking")
+
+    def test_pairwise_latencies(self):
+        buf = TraceBuffer()
+        buf.emit(100, "sched_waking", 0)
+        buf.emit(150, "sched_switch", 1)
+        buf.emit(300, "sched_waking", 0)
+        buf.emit(390, "sched_switch", 1)
+        assert buf.pairwise_latencies_ns("sched_waking", "sched_switch") == [50, 90]
+
+    def test_pairwise_ignores_unmatched(self):
+        buf = TraceBuffer()
+        buf.emit(100, "sched_switch", 1)  # switch with no waking: ignored
+        buf.emit(200, "sched_waking", 0)  # waking with no switch: ignored
+        assert buf.pairwise_latencies_ns("sched_waking", "sched_switch") == []
+
+    def test_clear(self):
+        buf = TraceBuffer()
+        buf.emit(1, "sched_waking", 0)
+        buf.clear()
+        assert len(buf) == 0

@@ -1,0 +1,74 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_us_to_ns(self):
+        assert units.us(1) == 1_000
+
+    def test_ms_to_ns(self):
+        assert units.ms(1) == 1_000_000
+
+    def test_s_to_ns(self):
+        assert units.s(1) == 1_000_000_000
+
+    def test_fractional_us_rounds(self):
+        assert units.us(1.5) == 1_500
+        assert units.us(0.0004) == 0  # below resolution rounds to zero
+
+    def test_roundtrip_ms(self):
+        assert units.ns_to_ms(units.ms(2.5)) == pytest.approx(2.5)
+
+    def test_roundtrip_s(self):
+        assert units.ns_to_s(units.s(10)) == pytest.approx(10.0)
+
+    def test_ns_to_us(self):
+        assert units.ns_to_us(2_500) == pytest.approx(2.5)
+
+
+class TestFrequency:
+    def test_ghz(self):
+        assert units.ghz(2.5) == 2.5e9
+
+    def test_mhz(self):
+        assert units.mhz(25) == 25e6
+
+    def test_hz_to_ghz(self):
+        assert units.hz_to_ghz(2.2e9) == pytest.approx(2.2)
+
+    def test_hz_to_mhz(self):
+        assert units.hz_to_mhz(1.5e9) == pytest.approx(1500.0)
+
+    def test_snap_exact_grid_point(self):
+        assert units.snap_to_pstate_grid(2.5e9) == 2.5e9
+
+    def test_snap_rounds_to_nearest_25mhz(self):
+        assert units.snap_to_pstate_grid(2.512e9) == 2.5e9
+        assert units.snap_to_pstate_grid(2.513e9) == 2.525e9
+
+    def test_cycles_to_ns(self):
+        # 2500 cycles at 2.5 GHz = 1 us
+        assert units.cycles_to_ns(2500, 2.5e9) == pytest.approx(1000.0)
+
+    def test_cycles_to_ns_rejects_zero_freq(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_ns(100, 0.0)
+
+    def test_ns_to_cycles_inverse(self):
+        assert units.ns_to_cycles(units.cycles_to_ns(777, 1.5e9), 1.5e9) == pytest.approx(777)
+
+
+class TestEnergy:
+    def test_rapl_unit_is_2e_minus_16(self):
+        assert units.RAPL_ENERGY_UNIT_J == pytest.approx(2.0**-16)
+
+    def test_joules_roundtrip(self):
+        raw = units.joules_to_rapl_units(1.0)
+        assert units.rapl_units_to_joules(raw) == pytest.approx(1.0, rel=1e-4)
+
+    def test_truncation(self):
+        # just under one unit truncates to zero
+        assert units.joules_to_rapl_units(units.RAPL_ENERGY_UNIT_J * 0.999) == 0

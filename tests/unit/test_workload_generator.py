@@ -1,0 +1,102 @@
+"""FIRESTARTER-style payload generation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine import Machine
+from repro.units import ghz
+from repro.workloads import FIRESTARTER
+from repro.workloads.generator import (
+    OP_CACHE_OPS,
+    PayloadSpec,
+    firestarter_spec,
+)
+
+
+class TestSpecValidation:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            PayloadSpec(fma_fraction=0.5, load_store_fraction=0.5, integer_fraction=0.5)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            PayloadSpec(fma_fraction=-0.2, load_store_fraction=0.6, integer_fraction=0.6)
+
+    def test_unknown_mem_level(self):
+        with pytest.raises(WorkloadError):
+            PayloadSpec(mem_level="L4")
+
+    def test_too_short_loop(self):
+        with pytest.raises(WorkloadError):
+            PayloadSpec(unrolled_instructions=4)
+
+
+class TestStructuralAnalysis:
+    def test_op_cache_residency(self):
+        small = PayloadSpec(unrolled_instructions=1000)
+        big = PayloadSpec(unrolled_instructions=6000)
+        assert small.fits_op_cache and not big.fits_op_cache
+        assert small.front_end_ipc_limit() > big.front_end_ipc_limit()
+
+    def test_l1i_miss_halves_front_end(self):
+        huge = PayloadSpec(unrolled_instructions=20_000)
+        assert not huge.fits_l1i
+        assert huge.front_end_ipc_limit() == pytest.approx(2.0)
+
+    def test_fma_pipes_bind_heavy_fma_mix(self):
+        heavy = PayloadSpec(fma_fraction=0.8, load_store_fraction=0.1, integer_fraction=0.1)
+        assert heavy.back_end_ipc_limit() == pytest.approx(
+            2.0 / 0.8 * 1.0, rel=0.01
+        )
+
+    def test_ram_level_collapses_ipc(self):
+        l1 = PayloadSpec(mem_level="L1", load_store_fraction=0.5,
+                         fma_fraction=0.25, integer_fraction=0.25)
+        ram = PayloadSpec(mem_level="RAM", load_store_fraction=0.5,
+                          fma_fraction=0.25, integer_fraction=0.25)
+        assert ram.sustained_ipc(2) < l1.sustained_ipc(2) / 2
+
+    def test_smt_raises_sustained_ipc(self):
+        spec = firestarter_spec()
+        assert spec.sustained_ipc(2) > spec.sustained_ipc(1)
+
+
+class TestGeneration:
+    def test_canonical_spec_matches_firestarter_descriptor(self):
+        gen = firestarter_spec().generate()
+        assert gen.ipc_2t == pytest.approx(FIRESTARTER.ipc_2t, abs=0.02)
+        assert gen.ipc_1t == pytest.approx(FIRESTARTER.ipc_1t, abs=0.02)
+        assert gen.power_coeff_2t == pytest.approx(FIRESTARTER.power_coeff_2t, rel=0.02)
+        assert gen.edc_weight == pytest.approx(FIRESTARTER.edc_weight, abs=0.05)
+
+    def test_canonical_spec_sized_for_l1i_not_op_cache(self):
+        spec = firestarter_spec()
+        assert spec.unrolled_instructions > OP_CACHE_OPS
+        assert spec.fits_l1i
+
+    def test_generated_payload_throttles_like_firestarter(self):
+        m = Machine("EPYC 7502", seed=0)
+        m.os.set_all_frequencies(ghz(2.5))
+        m.os.run(firestarter_spec().generate(), m.os.all_cpus())
+        f = m.topology.thread(0).core.applied_freq_hz
+        m.shutdown()
+        assert abs(f - ghz(2.0)) <= 75e6  # within 3 grid steps
+
+    def test_ram_payload_generates_traffic(self):
+        spec = PayloadSpec(
+            name="ram", fma_fraction=0.2, load_store_fraction=0.6,
+            integer_fraction=0.2, mem_level="RAM",
+        )
+        wl = spec.generate()
+        assert wl.dram_gbs_1t > 5.0
+        assert wl.edc_weight < 0.6  # memory-bound code draws less current
+
+    def test_operand_weight_propagates(self):
+        wl = PayloadSpec(operand_hamming_weight=1.0).generate()
+        assert wl.toggle_rate == 1.0
+
+    def test_integer_only_payload_scalar(self):
+        wl = PayloadSpec(
+            fma_fraction=0.0, load_store_fraction=0.2, integer_fraction=0.8
+        ).generate()
+        assert wl.simd_width_bits == 0

@@ -1,0 +1,113 @@
+"""Workload descriptor validation and the library's calibration facts."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    FIRESTARTER,
+    IDLE,
+    PAUSE_LOOP,
+    POLL,
+    SPIN,
+    STREAM_TRIAD,
+    WORKLOAD_SET,
+    Workload,
+    instruction_block,
+    pointer_chase,
+)
+
+
+class TestDescriptor:
+    def test_ipc_by_smt(self):
+        assert FIRESTARTER.ipc(1) == 3.23
+        assert FIRESTARTER.ipc(2) == 3.56
+
+    def test_invalid_smt_count(self):
+        with pytest.raises(WorkloadError):
+            FIRESTARTER.ipc(3)
+        with pytest.raises(WorkloadError):
+            FIRESTARTER.power_coeff(0)
+
+    def test_negative_ipc_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="bad", ipc_1t=-1.0)
+
+    def test_toggle_rate_bounds(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="bad", toggle_rate=1.5)
+
+    def test_util_bounds(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="bad", fp_util=2.0)
+        with pytest.raises(WorkloadError):
+            Workload(name="bad", ls_util=-0.1)
+
+    def test_freq_scaling_bounds(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="bad", freq_scaling=1.2)
+
+    def test_negative_power_coeff_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="bad", power_coeff_1t=-0.5)
+
+    def test_with_operand_weight_copies(self):
+        w = FIRESTARTER.with_operand_weight(1.0)
+        assert w.toggle_rate == 1.0
+        assert FIRESTARTER.toggle_rate == 0.5  # original untouched
+        assert "w=1" in w.name
+
+    def test_with_name(self):
+        assert SPIN.with_name("spin2").name == "spin2"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SPIN.ipc_1t = 2.0
+
+
+class TestLibrary:
+    def test_pause_has_no_dynamic_power(self):
+        # Fig 7's per-core adders carry the pause cost entirely
+        assert PAUSE_LOOP.power_coeff_1t == 0.0
+        assert PAUSE_LOOP.uses_pause
+
+    def test_poll_noisier_than_pause(self):
+        assert POLL.power_coeff_1t > PAUSE_LOOP.power_coeff_1t
+
+    def test_idle_has_no_activity(self):
+        assert IDLE.ipc_1t == 0.0
+        assert IDLE.alu_util == 0.0
+
+    def test_firestarter_is_edc_reference(self):
+        assert FIRESTARTER.edc_weight == 1.0
+        assert FIRESTARTER.simd_width_bits == 256
+
+    def test_stream_memory_bound(self):
+        assert STREAM_TRIAD.freq_scaling < 0.5
+        assert STREAM_TRIAD.dram_gbs_1t == 22.0
+
+    def test_instruction_block_known(self):
+        vx = instruction_block("vxorps", 1.0)
+        assert vx.toggle_rate == 1.0
+        assert vx.toggle_width_bits == 256
+
+    def test_instruction_block_unknown(self):
+        with pytest.raises(KeyError, match="vxorps"):
+            instruction_block("fma231")
+
+    def test_shr_narrow_toggle_path(self):
+        shr = instruction_block("shr")
+        assert shr.toggle_width_bits < 64  # operand held, not toggled
+
+    def test_pointer_chase_levels(self):
+        l3 = pointer_chase("L3")
+        dram = pointer_chase("DRAM")
+        assert l3.l3_util > dram.l3_util
+        assert dram.dram_gbs_1t > 0
+
+    def test_workload_set_covers_classes(self):
+        names = {w.name for w in WORKLOAD_SET}
+        assert {"idle", "firestarter", "memory_read", "vxorps", "pause_loop"} <= names
+
+    def test_workload_set_unique_names(self):
+        names = [w.name for w in WORKLOAD_SET]
+        assert len(names) == len(set(names))
