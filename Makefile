@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint lint-json ordering-check selfcheck
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.lint src/repro tests benchmarks examples
+
+lint-json:
+	$(PYTHON) -m repro.lint src/repro --format json
+
+ordering-check:
+	$(PYTHON) -m repro.lint --ordering-check --ordering-seeds 1,2,3
+
+selfcheck:
+	$(PYTHON) -m repro.cli selfcheck

@@ -154,9 +154,19 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # `repro-zen2 lint [...]` forwards to the static-analysis CLI
+        # (also reachable as `python -m repro.lint` / `repro-lint`).
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-zen2",
-        description="Reproduce the CLUSTER 2021 Zen 2 energy-efficiency paper",
+        description="Reproduce the CLUSTER 2021 Zen 2 energy-efficiency paper "
+        "(run 'repro-zen2 lint --help' for the static-analysis pass)",
     )
     parser.add_argument(
         "experiment",
@@ -205,9 +215,9 @@ def main(argv: list[str] | None = None) -> int:
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        t0 = time.time()
+        t0 = time.time()  # lint: disable=DET001 (wall-clock progress display only)
         print(EXPERIMENTS[name](cfg))
-        print(f"[{name}: {time.time() - t0:.1f} s]\n")
+        print(f"[{name}: {time.time() - t0:.1f} s]\n")  # lint: disable=DET001
     return 0
 
 

@@ -45,6 +45,7 @@ class CStateLatencyResult:
         for s in self.samples:
             if s.state == state and abs(s.freq_ghz - freq_ghz) < 1e-9 and s.remote == remote:
                 return s
+        # EXC001: mapping-style lookup facade; callers expect KeyError
         raise KeyError((state, freq_ghz, remote))
 
 

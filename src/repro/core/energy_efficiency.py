@@ -51,7 +51,7 @@ class EfficiencyResult:
     def optimal_freq_ghz(self, name: str, metric: str = "energy_j") -> float:
         pts = self.of_workload(name)
         if not pts:
-            raise KeyError(f"no points for {name!r}")
+            raise KeyError(f"no points for {name!r}")  # EXC001: dict-like lookup
         best = min(pts, key=lambda p: getattr(p, metric))
         return best.freq_ghz
 

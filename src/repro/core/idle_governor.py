@@ -26,6 +26,7 @@ class GovernorSweepResult:
         for rate, state in zip(self.rates_hz, self.selected_state):
             if state != "C2":
                 return rate
+        # EXC001: search miss, mirrors stdlib lookup semantics
         raise LookupError("no cliff within the swept range")
 
 

@@ -1,3 +1,5 @@
+# lint: disable-file=UNIT001 — measured latency curves hold fractional ns
+# medians (analytic results, not event-engine time).
 """Working-set latency curve (the Molka et al. pointer-chase sweep).
 
 Not a numbered figure of this paper, but the instrument behind Fig 4 and
@@ -34,7 +36,7 @@ class LatencyCurve:
         """Median latency over the sizes resolved to ``level``."""
         vals = [l for l, lev in zip(self.latencies_ns, self.levels) if lev == level]
         if not vals:
-            raise KeyError(f"no sizes landed in {level}")
+            raise KeyError(f"no sizes landed in {level}")  # EXC001: dict-like lookup
         return float(np.median(vals))
 
 

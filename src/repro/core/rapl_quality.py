@@ -116,6 +116,7 @@ class RaplQualityExperiment:
                 t.cpu_id
                 for t in machine.topology.packages[0].threads()
             ]
+        # EXC001: caller-supplied argument validation; tests pin ValueError
         raise ValueError(f"unknown placement {placement!r}")
 
     # ------------------------------------------------------------------

@@ -10,18 +10,25 @@ at the broken anchor before any full experiment runs.
 from __future__ import annotations
 
 from repro.core.report import ComparisonTable
+from repro.lint.monitor import InvariantMonitor
 from repro.units import ghz
 from repro.workloads import FIRESTARTER, PAUSE_LOOP, SPIN
 
 
-def selfcheck(machine) -> ComparisonTable:
+def selfcheck(machine, *, monitor: bool = True) -> ComparisonTable:
     """Run the anchor checks on a freshly built machine.
 
     The machine must be idle (newly constructed); the check reconfigures
-    it repeatedly and leaves it stopped.
+    it repeatedly and leaves it stopped.  With ``monitor`` (default) an
+    :class:`~repro.lint.monitor.InvariantMonitor` rides along in
+    collecting mode and its violation count becomes the last table row —
+    every selfcheck sweeps the physical invariants too.
     """
     table = ComparisonTable(f"selfcheck: {machine.sku.name}")
     cal = machine.cal
+    sanitizer = None
+    if monitor:
+        sanitizer = InvariantMonitor(machine, raise_on_violation=False).attach()
 
     # --- idle floor (Fig 7) -------------------------------------------------
     machine.os.stop()
@@ -109,4 +116,16 @@ def selfcheck(machine) -> ComparisonTable:
         "us",
         0.0,
     )
+
+    # --- runtime invariants (repro.lint.monitor) -------------------------------
+    if sanitizer is not None:
+        sanitizer.check()
+        sanitizer.detach()
+        table.add(
+            "invariant violations",
+            0.0,
+            float(len(sanitizer.violations)),
+            "",
+            0.0,
+        )
     return table

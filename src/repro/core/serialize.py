@@ -59,6 +59,7 @@ def table_to_dict(table: ComparisonTable) -> dict[str, Any]:
 def table_from_dict(data: dict[str, Any]) -> ComparisonTable:
     """Rebuild a :class:`ComparisonTable` from its dict form."""
     if data.get("schema_version", 1) != SCHEMA_VERSION:
+        # EXC001: malformed external input; tests pin ValueError
         raise ValueError(
             f"unsupported schema version {data.get('schema_version')!r}"
         )

@@ -123,7 +123,7 @@ def run_suite(
     names = list(SUITE) if only is None else only
     unknown = set(names) - set(SUITE)
     if unknown:
-        raise KeyError(f"unknown suite entries: {sorted(unknown)}")
+        raise KeyError(f"unknown suite entries: {sorted(unknown)}")  # EXC001: dict-like lookup
     result = SuiteResult(config=cfg)
     for name in names:
         result.tables[name] = SUITE[name](cfg)

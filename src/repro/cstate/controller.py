@@ -50,7 +50,7 @@ class CStateController:
         """Disable an idle state for one logical CPU (sysfs write 1)."""
         depth_of(name)  # validate
         if name == "C0":
-            raise ValueError("C0 cannot be disabled")
+            raise ValueError("C0 cannot be disabled")  # EXC001: argument validation, test-pinned
         self._disabled.setdefault(cpu_id, set()).add(name)
         self.refresh()
 

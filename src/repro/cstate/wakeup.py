@@ -1,3 +1,5 @@
+# lint: disable-file=UNIT001 — analytic latency model: fractional nanoseconds
+# by design (distribution parameters, not event-engine timestamps).
 """Wake-up latency model (§VI-C, Fig 8).
 
 Measured behaviour reproduced:

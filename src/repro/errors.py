@@ -56,3 +56,21 @@ class MeasurementError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload descriptor or placement."""
+
+
+class LintError(ReproError):
+    """Static-analysis misuse (bad path, unknown rule id)."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime physical invariant was breached (see repro.lint.monitor).
+
+    Carries the individual violation messages so tooling can report all
+    breaches of one check batch, not just the first.
+    """
+
+    def __init__(self, violations: list[str]):
+        super().__init__(
+            f"{len(violations)} invariant violation(s): " + "; ".join(violations)
+        )
+        self.violations = list(violations)

@@ -59,5 +59,5 @@ class X86EnergyReader:
     ) -> float:
         """Mean power between two snapshots."""
         if duration_s <= 0:
-            raise ValueError(f"duration must be positive, got {duration_s}")
+            raise ValueError(f"duration must be positive, got {duration_s}")  # EXC001: argument validation
         return self.delta_joules(before, after) / duration_s

@@ -1,0 +1,92 @@
+"""``python -m repro.lint`` / ``repro-lint`` / ``repro-zen2 lint``.
+
+Exit codes: 0 clean, 1 unsuppressed error findings (or a failed
+ordering check), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import LintError
+from repro.lint.engine import lint_paths
+from repro.lint.formatters import format_human, format_json
+from repro.lint.rules import all_rules, rules_by_id
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Simulator-aware static analysis for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="output format",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--ordering-check",
+        action="store_true",
+        help="also run the event-order shuffle race detector (re-runs the "
+        "machine selfcheck under randomized same-timestamp tie-breaking)",
+    )
+    parser.add_argument(
+        "--ordering-seeds",
+        default="1,2,3",
+        metavar="S1,S2,...",
+        help="shuffle seeds for --ordering-check (default: 1,2,3)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in sorted(rules_by_id().items()):
+            print(f"{rule_id}  {cls.title}")
+        return 0
+
+    try:
+        select = (
+            [r.strip() for r in args.select.split(",") if r.strip()]
+            if args.select
+            else None
+        )
+        rules = all_rules(select)
+        report = lint_paths(args.paths, rules)
+    except LintError as err:
+        print(f"repro-lint: {err}", file=sys.stderr)
+        return 2
+
+    print(format_json(report) if args.format == "json" else format_human(report))
+    status = 0 if report.clean else 1
+
+    if args.ordering_check:
+        from repro.lint.shuffle import selfcheck_ordering
+
+        seeds = tuple(int(s) for s in args.ordering_seeds.split(",") if s.strip())
+        ordering = selfcheck_ordering(seeds=seeds)
+        print(ordering.render())
+        if not ordering.deterministic:
+            status = 1
+
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""File discovery, parsing, rule dispatch and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import LintError
+from repro.lint.findings import Finding, SuppressionIndex
+from repro.lint.rules import LintRule, ModuleContext, all_rules
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def iter_python_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                found.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+                found.extend(
+                    os.path.join(root, f) for f in sorted(files) if f.endswith(".py")
+                )
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return sorted(set(found))
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Iterable[LintRule] | None = None
+) -> tuple[list[Finding], int]:
+    """Lint one source string; returns (findings, n_suppressed)."""
+    rules = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        finding = Finding(
+            path=path,
+            line=err.lineno or 1,
+            col=(err.offset or 0) + 1,
+            rule="PARSE",
+            message=f"syntax error: {err.msg}",
+        )
+        return [finding], 0
+    ctx = ModuleContext(path, source, tree)
+    suppressions = SuppressionIndex(source)
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if suppressions.suppresses(finding):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Iterable[LintRule] | None = None
+) -> LintReport:
+    """Lint every python file under ``paths``."""
+    rules = list(rules) if rules is not None else all_rules()
+    report = LintReport()
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        findings, suppressed = lint_source(source, path, rules)
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    return report

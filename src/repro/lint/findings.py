@@ -1,0 +1,66 @@
+"""Finding records and inline-suppression bookkeeping.
+
+A finding pins one rule violation to a file/line/column.  Suppressions
+are comment-driven so they live next to the code they excuse:
+
+* ``# lint: disable=RULE[,RULE...]`` — suppresses matching findings on
+  that physical line (put it on the line the linter reports).
+* ``# lint: disable-file=RULE[,RULE...]`` — suppresses a rule for the
+  whole file; reserved for modules that *are* the authority the rule
+  defends (e.g. :mod:`repro.units` legitimately mixes unit suffixes).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+_LINE_RE = re.compile(r"#\s*lint:\s*disable=([A-Z]+[0-9]*(?:\s*,\s*[A-Z]+[0-9]*)*)")
+_FILE_RE = re.compile(r"#\s*lint:\s*disable-file=([A-Z]+[0-9]*(?:\s*,\s*[A-Z]+[0-9]*)*)")
+
+
+def _split(group: str) -> set[str]:
+    return {rule.strip() for rule in group.split(",") if rule.strip()}
+
+
+class SuppressionIndex:
+    """Per-file map of which rules are disabled on which lines."""
+
+    def __init__(self, source: str) -> None:
+        self.line_rules: dict[int, set[str]] = {}
+        self.file_rules: set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            file_match = _FILE_RE.search(text)
+            if file_match:
+                self.file_rules |= _split(file_match.group(1))
+                continue
+            line_match = _LINE_RE.search(text)
+            if line_match:
+                self.line_rules[lineno] = _split(line_match.group(1))
+
+    def suppresses(self, finding: Finding) -> bool:
+        if finding.rule in self.file_rules:
+            return True
+        return finding.rule in self.line_rules.get(finding.line, ())

@@ -1,0 +1,32 @@
+"""Human and JSON rendering of lint reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+
+def format_human(report: LintReport) -> str:
+    """Compiler-style one-line-per-finding output with a summary."""
+    lines = [finding.render() for finding in report.findings]
+    counts = report.counts_by_rule()
+    by_rule = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+    summary = (
+        f"{len(report.findings)} finding(s)"
+        + (f" [{by_rule}]" if by_rule else "")
+        + f", {report.suppressed} suppressed, {report.files_checked} file(s) checked"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order for diffing in CI)."""
+    payload = {
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "counts_by_rule": dict(sorted(report.counts_by_rule().items())),
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,199 @@
+"""DET001 — no wall-clock reads or unseeded randomness in sim code.
+
+The event engine's bit-exact determinism (DESIGN.md §7) dies the moment
+any model code consults the host: wall-clock time, the process-global
+``random``/``numpy.random`` state, or iteration order of unordered
+containers feeding the event queue.  Every stochastic component must
+draw from :class:`repro.sim.rng.RngFactory` (seeded, named streams).
+
+Flagged:
+
+* ``time.time/«monotonic»/«perf_counter»/...`` and ``datetime.now`` /
+  ``utcnow`` / ``today`` calls;
+* any call through the stdlib ``random`` module (except a *seeded*
+  ``random.Random(seed)``);
+* the process-global numpy RNG (``np.random.<dist>``, ``np.random.seed``)
+  and *unseeded* ``default_rng()`` / ``RandomState()``;
+* ``dict.popitem()`` and direct iteration over ``set`` literals /
+  ``set()``/``frozenset()`` calls (unordered iteration).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import LintRule, ModuleContext, register
+
+_WALL_CLOCK_FUNCS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "clock_gettime",
+}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+#: numpy.random attributes that are fine because they construct seeded /
+#: explicitly-managed generators rather than touching global state.
+_NP_RANDOM_OK = {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+#: numpy.random constructors that are fine only when given a seed.
+_NP_RANDOM_SEEDED = {"default_rng", "RandomState"}
+
+
+@register
+class NondeterminismRule(LintRule):
+    rule_id = "DET001"
+    title = "no wall-clock or unseeded randomness in simulator code"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        imports = _ImportMap(ctx.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                message = self._check_call(node, imports)
+                if message:
+                    findings.append(ctx.finding(node, self.rule_id, message))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                findings.extend(self._check_iter(ctx, node.iter))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    findings.extend(self._check_iter(ctx, gen.iter))
+        return findings
+
+    # --- helpers -----------------------------------------------------------
+
+    def _check_call(self, node: ast.Call, imports: "_ImportMap") -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            origin = imports.direct.get(func.id)
+            if origin == "time":
+                return (
+                    f"wall-clock call {func.id}() in simulator code; "
+                    "simulation time comes from Simulator.now_ns"
+                )
+            if origin == "random":
+                return (
+                    f"global stdlib RNG call {func.id}(); "
+                    "use repro.sim.rng.RngFactory streams"
+                )
+            if (
+                origin == "numpy.random"
+                and func.id not in _NP_RANDOM_OK
+                and (func.id not in _NP_RANDOM_SEEDED or not (node.args or node.keywords))
+            ):
+                return (
+                    f"unseeded numpy RNG {func.id}(); pass an explicit seed "
+                    "or use repro.sim.rng.RngFactory"
+                )
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        if attr == "popitem":
+            return (
+                "dict.popitem() pops in insertion-dependent order; "
+                "index explicitly to keep event ordering reproducible"
+            )
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id in imports.time_aliases and attr in _WALL_CLOCK_FUNCS:
+                return (
+                    f"wall-clock call {value.id}.{attr}() in simulator code; "
+                    "simulation time comes from Simulator.now_ns"
+                )
+            if value.id in imports.random_aliases:
+                if attr == "Random" and (node.args or node.keywords):
+                    return None  # seeded private instance
+                return (
+                    f"global stdlib RNG call {value.id}.{attr}(); "
+                    "use repro.sim.rng.RngFactory streams"
+                )
+            if value.id in imports.datetime_classes and attr in _DATETIME_FUNCS:
+                return (
+                    f"wall-clock call {value.id}.{attr}(); simulation time "
+                    "comes from Simulator.now_ns"
+                )
+        # np.random.X / numpy.random.X / datetime.datetime.now chains
+        if isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+            base, mid = value.value.id, value.attr
+            if base in imports.numpy_aliases and mid == "random":
+                if attr in _NP_RANDOM_OK:
+                    return None
+                if attr in _NP_RANDOM_SEEDED:
+                    if node.args or node.keywords:
+                        return None
+                    return (
+                        f"unseeded numpy RNG {base}.random.{attr}(); pass an "
+                        "explicit seed or use repro.sim.rng.RngFactory"
+                    )
+                return (
+                    f"process-global numpy RNG {base}.random.{attr}(); "
+                    "use repro.sim.rng.RngFactory streams"
+                )
+            if base in imports.datetime_modules and mid in ("datetime", "date"):
+                if attr in _DATETIME_FUNCS:
+                    return (
+                        f"wall-clock call {base}.{mid}.{attr}(); simulation "
+                        "time comes from Simulator.now_ns"
+                    )
+        return None
+
+    def _check_iter(self, ctx: ModuleContext, iter_node: ast.expr) -> list[Finding]:
+        unordered = isinstance(iter_node, ast.Set) or (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in ("set", "frozenset")
+        )
+        if not unordered:
+            return []
+        return [
+            ctx.finding(
+                iter_node,
+                self.rule_id,
+                "iterating a set has no guaranteed order; sort it before it "
+                "can feed the event queue",
+            )
+        ]
+
+
+class _ImportMap:
+    """Names the module binds to time/random/numpy/datetime facilities."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.time_aliases: set[str] = set()
+        self.random_aliases: set[str] = set()
+        self.numpy_aliases: set[str] = set()
+        self.datetime_modules: set[str] = set()
+        self.datetime_classes: set[str] = set()
+        #: direct name -> originating module ("time" | "random" | "numpy.random")
+        self.direct: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self.time_aliases.add(bound)
+                    elif alias.name == "random":
+                        self.random_aliases.add(bound)
+                    elif alias.name in ("numpy", "numpy.random"):
+                        self.numpy_aliases.add(bound)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if node.module == "time" and alias.name in _WALL_CLOCK_FUNCS:
+                        self.direct[bound] = "time"
+                    elif node.module == "random":
+                        self.direct[bound] = "random"
+                    elif node.module == "numpy.random":
+                        self.direct[bound] = "numpy.random"
+                    elif node.module == "numpy" and alias.name == "random":
+                        self.numpy_aliases.add(bound)
+                    elif node.module == "datetime" and alias.name in ("datetime", "date"):
+                        self.datetime_classes.add(bound)

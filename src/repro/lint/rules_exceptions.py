@@ -1,0 +1,119 @@
+"""EXC001 — raises stay inside the :class:`repro.errors.ReproError` family.
+
+Applications catch everything this package raises with one ``except
+ReproError`` clause; a stray ad-hoc exception type silently escapes
+that contract.  The rule allows:
+
+* any class from :mod:`repro.errors` (or a local subclass of one);
+* re-raising a caught exception (``raise`` / ``raise err``);
+* a stdlib builtin exception **with a justification comment** — an
+  ``# EXC001: <reason>`` comment on the raise line or the line above —
+  for sites that deliberately mirror stdlib semantics (e.g. a mapping
+  facade raising ``KeyError``).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import re
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import LintRule, ModuleContext, register
+
+#: The hierarchy in repro/errors.py.  Kept as a fallback so the linter
+#: works on single files; names imported from repro.errors are accepted
+#: dynamically too.
+REPRO_ERRORS = {
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "PStateError",
+    "CStateError",
+    "SysfsError",
+    "MsrError",
+    "SimulationError",
+    "MeasurementError",
+    "WorkloadError",
+    "LintError",
+    "InvariantViolation",
+}
+
+_BUILTIN_EXCEPTIONS = {
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+}
+
+_JUSTIFIED_RE = re.compile(r"#\s*EXC001:\s*\S")
+
+
+@register
+class ReproErrorHierarchyRule(LintRule):
+    rule_id = "EXC001"
+    title = "raises use the ReproError hierarchy (or justified builtins)"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        allowed = set(REPRO_ERRORS)
+        caught_names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "repro.errors":
+                allowed.update(alias.asname or alias.name for alias in node.names)
+            elif isinstance(node, ast.ClassDef):
+                bases = {b.id for b in node.bases if isinstance(b, ast.Name)}
+                bases |= {b.attr for b in node.bases if isinstance(b, ast.Attribute)}
+                if bases & allowed:
+                    allowed.add(node.name)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                caught_names.add(node.name)
+
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            exc = node.exc
+            if exc is None:
+                continue  # bare re-raise
+            name = self._raised_name(exc)
+            if name is None or name in allowed or name in caught_names:
+                continue
+            if name in _BUILTIN_EXCEPTIONS:
+                if self._justified(ctx, node.lineno):
+                    continue
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"raises builtin {name} without justification; use a "
+                        "ReproError subclass or add an '# EXC001: reason' "
+                        "comment explaining the stdlib semantics",
+                    )
+                )
+            else:
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"raises {name}, which is not part of the ReproError "
+                        "hierarchy",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _raised_name(exc: ast.expr) -> str | None:
+        node = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    @staticmethod
+    def _justified(ctx: ModuleContext, lineno: int) -> bool:
+        return bool(
+            _JUSTIFIED_RE.search(ctx.line_text(lineno))
+            or _JUSTIFIED_RE.search(ctx.line_text(lineno - 1))
+        )

@@ -1,0 +1,256 @@
+"""UNIT001 — suffix-driven unit and representation checking.
+
+The codebase encodes units in trailing name suffixes (``units.py``'s
+conventions: ``*_ns`` integer nanoseconds, ``*_w``/``*_hz``/``*_j``/
+``*_v`` float watts/hertz/joules/volts, ...).  This rule makes the
+convention machine-checked:
+
+* annotations: a ``*_ns`` parameter/return/variable must not be
+  annotated ``float``; float-unit suffixes must not be annotated ``int``;
+* representation drift: assigning a float literal or a true-division
+  result to a ``*_ns`` name loses the integer-time guarantee — wrap in
+  ``round()``/``int()`` or use a :mod:`repro.units` converter;
+* cross-suffix flow: assigning ``x_ns = y_us`` or calling
+  ``f(time_ns=y_us)`` mixes scales/dimensions without a conversion.
+
+The check is name-driven and deliberately conservative: only bare
+names/attributes with a recognized suffix participate, so untyped
+helpers never false-positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import LintRule, ModuleContext, register
+
+#: suffix -> (dimension, scale-token).  Scale tokens are only compared
+#: for equality; conversions between any two distinct entries must go
+#: through repro.units.
+SUFFIXES: dict[str, tuple[str, str]] = {
+    "ns": ("time", "ns"),
+    "us": ("time", "us"),
+    "ms": ("time", "ms"),
+    "s": ("time", "s"),
+    "hz": ("frequency", "hz"),
+    "khz": ("frequency", "khz"),
+    "mhz": ("frequency", "mhz"),
+    "ghz": ("frequency", "ghz"),
+    "w": ("power", "w"),
+    "mw": ("power", "mw"),
+    "j": ("energy", "j"),
+    "v": ("voltage", "v"),
+    "mv": ("voltage", "mv"),
+    "a": ("current", "a"),
+    "c": ("temperature", "c"),
+    "k": ("temperature", "k"),
+}
+
+#: The one integer-representation suffix (DESIGN.md §7: integer time).
+INT_SUFFIXES = {"ns"}
+#: Suffixes whose values are physical floats.
+FLOAT_SUFFIXES = {"w", "hz", "j", "v", "mw", "khz", "mhz", "ghz", "a", "mv"}
+
+#: Calls whose result is acceptable for an ``*_ns`` target: explicit
+#: integer coercions and the repro.units time converters.
+INT_PRODUCING_CALLS = {"int", "round", "len", "floor", "ceil", "us", "ms", "s", "seconds", "index"}
+
+
+def suffix_of(name: str) -> str | None:
+    """The recognized unit suffix of ``name``, if any."""
+    if "_" not in name:
+        return None
+    tail = name.rsplit("_", 1)[1].lower()
+    return tail if tail in SUFFIXES else None
+
+
+def _target_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _annotation_names(node: ast.expr | None) -> set[str]:
+    """Bare type names in a simple annotation (``float``, ``int | None``)."""
+    if node is None:
+        return set()
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_names(node.left) | _annotation_names(node.right)
+    if isinstance(node, ast.Constant) and node.value is None:
+        return set()
+    return set()  # subscripted / complex annotations: out of scope
+
+
+def _is_int_producing_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    return name in INT_PRODUCING_CALLS
+
+
+def _float_hazard(node: ast.expr) -> str | None:
+    """Why ``node``'s value is a float, if statically evident."""
+    if _is_int_producing_call(node):
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return f"float literal {node.value!r}"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return "true division (float result)"
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Mod, ast.Pow)):
+            return _float_hazard(node.left) or _float_hazard(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _float_hazard(node.operand)
+    return None
+
+
+@register
+class UnitSuffixRule(LintRule):
+    rule_id = "UNIT001"
+    title = "unit-suffix consistency (types, conversions, int nanoseconds)"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_signature(ctx, node))
+            elif isinstance(node, ast.AnnAssign):
+                findings.extend(self._check_annotation(ctx, node.target, node.annotation))
+                if node.value is not None:
+                    findings.extend(self._check_assign(ctx, node.target, node.value))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    findings.extend(self._check_assign(ctx, target, node.value))
+            elif isinstance(node, ast.AugAssign):
+                findings.extend(self._check_assign(ctx, node.target, node.value, aug=True))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(ctx, node))
+        return findings
+
+    # --- annotations -------------------------------------------------------
+
+    def _check_signature(self, ctx, node) -> list[Finding]:
+        findings = []
+        args = [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]
+        for arg in args:
+            findings.extend(self._check_annotation(ctx, arg, arg.annotation, name=arg.arg))
+        if node.returns is not None:
+            findings.extend(
+                self._check_annotation(ctx, node, node.returns, name=node.name, kind="return of")
+            )
+        return findings
+
+    def _check_annotation(self, ctx, node, annotation, *, name=None, kind="") -> list[Finding]:
+        if name is None:
+            name = _target_name(node) if isinstance(node, ast.expr) else None
+        if name is None:
+            return []
+        suffix = suffix_of(name)
+        if suffix is None:
+            return []
+        names = _annotation_names(annotation)
+        label = f"{kind} {name}".strip() if kind else name
+        if suffix in INT_SUFFIXES and "float" in names:
+            return [
+                ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"'{label}' carries integer-nanosecond suffix '_{suffix}' "
+                    "but is annotated float (integer time keeps the event "
+                    "engine exact)",
+                )
+            ]
+        if suffix in FLOAT_SUFFIXES and "int" in names:
+            return [
+                ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"'{label}' carries float-unit suffix '_{suffix}' but is "
+                    "annotated int",
+                )
+            ]
+        return []
+
+    # --- assignments -------------------------------------------------------
+
+    def _check_assign(self, ctx, target, value, *, aug=False) -> list[Finding]:
+        name = _target_name(target)
+        if name is None:
+            return []
+        suffix = suffix_of(name)
+        if suffix is None:
+            return []
+        findings = []
+        if suffix in INT_SUFFIXES:
+            hazard = _float_hazard(value)
+            if hazard:
+                op = "augmented with" if aug else "assigned"
+                findings.append(
+                    ctx.finding(
+                        target,
+                        self.rule_id,
+                        f"integer-nanosecond name '{name}' {op} {hazard}; "
+                        "wrap in round()/int() or use a repro.units converter",
+                    )
+                )
+        source = _target_name(value) if isinstance(value, (ast.Name, ast.Attribute)) else None
+        if source is not None:
+            other = suffix_of(source)
+            if other is not None and other != suffix:
+                findings.append(
+                    ctx.finding(
+                        target,
+                        self.rule_id,
+                        self._mismatch_message(name, suffix, source, other),
+                    )
+                )
+        return findings
+
+    # --- calls -------------------------------------------------------------
+
+    def _check_call(self, ctx, node: ast.Call) -> list[Finding]:
+        findings = []
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            suffix = suffix_of(kw.arg)
+            if suffix is None:
+                continue
+            source = (
+                _target_name(kw.value)
+                if isinstance(kw.value, (ast.Name, ast.Attribute))
+                else None
+            )
+            if source is None:
+                continue
+            other = suffix_of(source)
+            if other is not None and other != suffix:
+                findings.append(
+                    ctx.finding(
+                        kw.value,
+                        self.rule_id,
+                        self._mismatch_message(kw.arg, suffix, source, other),
+                    )
+                )
+        return findings
+
+    def _mismatch_message(self, dst: str, dst_suffix: str, src: str, src_suffix: str) -> str:
+        dst_dim, dst_scale = SUFFIXES[dst_suffix]
+        src_dim, src_scale = SUFFIXES[src_suffix]
+        if dst_dim != src_dim:
+            detail = f"{src_dim} value into a {dst_dim} slot"
+        else:
+            detail = f"{src_scale} value into a {dst_scale} slot (scale mismatch)"
+        return (
+            f"'{src}' flows into '{dst}' without conversion: {detail}; "
+            "convert via repro.units"
+        )

@@ -1,0 +1,101 @@
+"""Event-order shuffle mode: a race detector for the discrete-event engine.
+
+The event queue breaks same-timestamp ties in scheduling order — a
+*stable* order the machine model may rely on only where DESIGN.md says
+it may.  Any *other* dependence on tie-breaking is an ordering race: a
+refactor that changes scheduling order would silently change results.
+
+Shuffle mode randomizes the tie-break (seeded through
+:class:`repro.sim.rng.RngFactory`, so each shuffle seed is itself
+reproducible) and re-runs a scenario.  If a digest of the scenario's
+observable results differs between the stable order and any shuffle
+seed, the scenario depends on event ordering beyond the documented
+contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+def digest(text: str) -> str:
+    """Stable short digest of an observable-result rendering."""
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass
+class OrderingReport:
+    """Digests of one scenario under stable and shuffled tie-breaking."""
+
+    scenario: str
+    digests: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def deterministic(self) -> bool:
+        return len(set(self.digests.values())) <= 1
+
+    def mismatches(self) -> list[str]:
+        baseline = self.digests.get("stable")
+        return [
+            label
+            for label, value in self.digests.items()
+            if baseline is not None and value != baseline
+        ]
+
+    def render(self) -> str:
+        verdict = (
+            "order-independent"
+            if self.deterministic
+            else f"ORDERING RACE (mismatched: {', '.join(self.mismatches())})"
+        )
+        rows = "\n".join(
+            f"  {label:>10}: {value}" for label, value in self.digests.items()
+        )
+        return f"== event-order shuffle: {self.scenario} ==\n{rows}\n{verdict}"
+
+
+def ordering_check(
+    run: Callable[[int | None], str],
+    *,
+    scenario: str = "scenario",
+    seeds: Sequence[int] = (1, 2, 3),
+) -> OrderingReport:
+    """Run ``run(shuffle_seed)`` under stable + shuffled orders.
+
+    ``run`` receives ``None`` for the stable baseline, then each shuffle
+    seed, and returns any string capturing the observable results.
+    """
+    report = OrderingReport(scenario=scenario)
+    report.digests["stable"] = digest(run(None))
+    for seed in seeds:
+        report.digests[f"shuffle[{seed}]"] = digest(run(seed))
+    return report
+
+
+def selfcheck_ordering(
+    sku: str = "EPYC 7502",
+    *,
+    n_packages: int = 2,
+    machine_seed: int = 0,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> OrderingReport:
+    """The canned race check: machine selfcheck under shuffled ordering."""
+    # Imported here: repro.core.selfcheck itself imports the monitor.
+    from repro.core.selfcheck import selfcheck
+    from repro.machine import Machine
+
+    def run(shuffle_seed: int | None) -> str:
+        machine = Machine(
+            sku,
+            n_packages=n_packages,
+            seed=machine_seed,
+            event_order_shuffle=shuffle_seed,
+        )
+        try:
+            return selfcheck(machine).render()
+        finally:
+            machine.shutdown()
+
+    return ordering_check(run, scenario=f"selfcheck {sku}", seeds=seeds)

@@ -78,7 +78,7 @@ class BandwidthModel:
         two channels through at most one CCD link per CCX.
         """
         if n_cores < 1:
-            raise ValueError(f"need at least one core, got {n_cores}")
+            raise ValueError(f"need at least one core, got {n_cores}")  # EXC001: argument validation
         io = fclk_ctrl.io_die
         memclk = io.memclk_hz if memclk_hz is None else memclk_hz
         fclk = fclk_ctrl.fclk_for(fclk_ctrl.mode, memclk)

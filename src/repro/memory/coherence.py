@@ -1,3 +1,5 @@
+# lint: disable-file=UNIT001 — analytic latency model: fractional nanoseconds
+# by design (model outputs, not event-engine timestamps).
 """Cache-coherence transfer latencies (Molka et al.'s subject matter).
 
 The paper's latency tool comes from Molka et al.'s coherence study; the

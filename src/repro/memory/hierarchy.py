@@ -54,7 +54,7 @@ def by_name(name: str) -> CacheLevel:
     for level in ZEN2_HIERARCHY:
         if level.name == name:
             return level
-    raise KeyError(f"no cache level named {name!r}")
+    raise KeyError(f"no cache level named {name!r}")  # EXC001: dict-like lookup, test-pinned
 
 
 def level_for_footprint(footprint_bytes: int) -> CacheLevel | None:

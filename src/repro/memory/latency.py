@@ -1,3 +1,5 @@
+# lint: disable-file=UNIT001 — analytic latency model: fractional nanoseconds
+# by design (model outputs, not event-engine timestamps).
 """Load-to-use latency model (Fig 4, Fig 5 right panel).
 
 The latency of a dependent-load chain decomposes by clock domain:

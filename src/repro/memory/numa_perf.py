@@ -1,3 +1,5 @@
+# lint: disable-file=UNIT001 — analytic latency model: fractional nanoseconds
+# by design (model outputs, not event-engine timestamps).
 """NUMA-mode (NPS) performance model.
 
 The paper's testbed runs "2-Channel Interleaving (per Quadrant)" — NPS4

@@ -1,3 +1,5 @@
+# lint: disable-file=UNIT001 — the governor's sleep-length prediction is a
+# fractional-ns analytic estimate, not an event-engine timestamp.
 """The cpuidle menu governor.
 
 Linux's menu governor predicts how long the CPU will sleep (here: the
@@ -69,4 +71,4 @@ class MenuGovernor:
         for entry in RESIDENCY_TABLE:
             if entry.state == state:
                 return NS_PER_S / entry.target_residency_ns
-        raise KeyError(f"no residency entry for {state!r}")
+        raise KeyError(f"no residency entry for {state!r}")  # EXC001: dict-like lookup

@@ -77,7 +77,7 @@ class TraceBuffer:
         for ev in reversed(self._events):
             if ev.name == name:
                 return ev
-        raise LookupError(f"no {name!r} event recorded")
+        raise LookupError(f"no {name!r} event recorded")  # EXC001: search miss, test-pinned
 
     def pairwise_latencies_ns(
         self, first: str, second: str

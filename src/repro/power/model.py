@@ -148,7 +148,10 @@ class PowerModel:
                         * scale
                     )
         if any_active:
-            active_w += cal.active_first_core_adjust_w
+            # The first-core adjustment is negative; at low frequencies it
+            # can exceed a lone core's pause power.  Active power is
+            # physically non-negative, so clamp.
+            active_w = max(0.0, active_w + cal.active_first_core_adjust_w)
 
         dram_w = sum(
             cal.dram_w_per_gbs * self.package_dram_traffic_gbs(pkg)

@@ -51,7 +51,7 @@ class ThermalModel:
     def evolve_c(self, temp_c: float, package_power_w: float, dt_s: float) -> float:
         """Temperature after ``dt_s`` seconds of constant power."""
         if dt_s < 0:
-            raise ValueError(f"negative dt {dt_s}")
+            raise ValueError(f"negative dt {dt_s}")  # EXC001: argument validation
         eq = self.equilibrium_c(package_power_w)
         return eq + (temp_c - eq) * math.exp(-dt_s / self.time_constant_s)
 

@@ -10,18 +10,42 @@ of events per run).
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventQueue
 
 
-class Simulator:
-    """Integer-nanosecond discrete-event simulator."""
+def _as_int_ns(value: Any, what: str) -> int:
+    """Coerce a nanosecond count to int, rejecting floats at the boundary.
 
-    def __init__(self) -> None:
+    Accepts anything with ``__index__`` (int, numpy integers); rejects
+    floats so representation drift cannot creep into the integer clock
+    (DESIGN.md §7).  Convert explicitly via :mod:`repro.units` instead.
+    """
+    try:
+        return operator.index(value)
+    except TypeError:
+        raise SimulationError(
+            f"{what} must be an integer nanosecond count, got "
+            f"{type(value).__name__} {value!r}; convert with repro.units "
+            "(us/ms/s) or round() explicitly"
+        ) from None
+
+
+class Simulator:
+    """Integer-nanosecond discrete-event simulator.
+
+    ``tiebreak_rng`` (a seeded generator from
+    :class:`repro.sim.rng.RngFactory`) enables event-order shuffle mode:
+    same-timestamp ties fire in a seeded-random order instead of
+    scheduling order.  See :mod:`repro.lint.shuffle`.
+    """
+
+    def __init__(self, *, tiebreak_rng=None) -> None:
         self._now_ns = 0
-        self._queue = EventQueue()
+        self._queue = EventQueue(tiebreak_rng=tiebreak_rng)
         self._running = False
 
     # --- clock ---------------------------------------------------------
@@ -35,6 +59,7 @@ class Simulator:
 
     def schedule_at(self, time_ns: int, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` at absolute time ``time_ns`` (>= now)."""
+        time_ns = _as_int_ns(time_ns, "time_ns")
         if time_ns < self._now_ns:
             raise SimulationError(
                 f"cannot schedule at {time_ns} ns; clock is at {self._now_ns} ns"
@@ -43,6 +68,7 @@ class Simulator:
 
     def schedule_after(self, delay_ns: int, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` ``delay_ns`` nanoseconds from now."""
+        delay_ns = _as_int_ns(delay_ns, "delay_ns")
         if delay_ns < 0:
             raise SimulationError(f"negative delay {delay_ns}")
         return self._queue.push(self._now_ns + delay_ns, callback)
@@ -71,6 +97,7 @@ class Simulator:
         ends at ``time_ns`` even if the queue drains earlier, so periodic
         samplers and experiments can rely on wall-time alignment.
         """
+        time_ns = _as_int_ns(time_ns, "time_ns")
         if time_ns < self._now_ns:
             raise SimulationError(
                 f"cannot run backwards to {time_ns} ns from {self._now_ns} ns"
@@ -96,12 +123,18 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute exactly one event. Returns False if the queue is empty."""
+        if self._running:
+            raise SimulationError("step called re-entrantly from a callback")
         next_time = self._queue.peek_time()
         if next_time is None:
             return False
         event = self._queue.pop()
         self._now_ns = event.time_ns
-        event.callback()
+        self._running = True
+        try:
+            event.callback()
+        finally:
+            self._running = False
         return True
 
     @property
@@ -125,6 +158,7 @@ class PeriodicTask:
         *,
         phase_ns: int = 0,
     ) -> None:
+        period_ns = _as_int_ns(period_ns, "period_ns")
         if period_ns <= 0:
             raise SimulationError(f"period must be positive, got {period_ns}")
         self._sim = sim

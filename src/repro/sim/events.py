@@ -35,7 +35,7 @@ class Event:
     """
 
     time_ns: int
-    seq: int
+    seq: int | tuple[int, int]
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
 
@@ -45,11 +45,25 @@ class Event:
 
 
 class EventQueue:
-    """A stable min-heap of :class:`Event` objects."""
+    """A stable min-heap of :class:`Event` objects.
 
-    def __init__(self) -> None:
+    With ``tiebreak_rng`` set (a seeded :class:`numpy.random.Generator`,
+    derived via :class:`repro.sim.rng.RngFactory`), same-timestamp ties
+    are broken by a random draw instead of scheduling order — the
+    event-order shuffle mode :mod:`repro.lint.shuffle` uses to detect
+    ordering races.  Each shuffled ordering is itself reproducible; the
+    scheduling counter still backs the draw so the order stays total.
+    """
+
+    def __init__(self, *, tiebreak_rng=None) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._tiebreak_rng = tiebreak_rng
+
+    def _next_seq(self) -> int | tuple[int, int]:
+        if self._tiebreak_rng is None:
+            return next(self._counter)
+        return (int(self._tiebreak_rng.integers(1 << 62)), next(self._counter))
 
     def __len__(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
@@ -61,7 +75,7 @@ class EventQueue:
         """Schedule ``callback`` at absolute time ``time_ns``."""
         if time_ns < 0:
             raise SimulationError(f"cannot schedule at negative time {time_ns}")
-        event = Event(time_ns=time_ns, seq=next(self._counter), callback=callback)
+        event = Event(time_ns=time_ns, seq=self._next_seq(), callback=callback)
         heapq.heappush(self._heap, event)
         return event
 

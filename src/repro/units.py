@@ -1,3 +1,6 @@
+# lint: disable-file=UNIT001 — this module IS the conversion authority: it
+# crosses unit scales on purpose, and cycles_to_ns deliberately returns
+# fractional ns (analytic quantity, not event-engine time).
 """Unit helpers and conversions used across the simulator.
 
 Conventions (see DESIGN.md §7):
@@ -99,7 +102,7 @@ def snap_to_pstate_grid(f_hz: float) -> float:
 def cycles_to_ns(cycles: float, f_hz: float) -> float:
     """Duration of ``cycles`` clock cycles at ``f_hz``, in nanoseconds."""
     if f_hz <= 0:
-        raise ValueError(f"frequency must be positive, got {f_hz!r}")
+        raise ValueError(f"frequency must be positive, got {f_hz!r}")  # EXC001: argument validation
     return cycles * NS_PER_S / f_hz
 
 

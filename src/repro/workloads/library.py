@@ -219,6 +219,7 @@ def instruction_block(mnemonic: str, operand_weight: float = 0.5) -> Workload:
         params = dict(_INSTRUCTION_PARAMS[mnemonic])
     except KeyError:
         known = ", ".join(sorted(_INSTRUCTION_PARAMS))
+        # EXC001: dict-like lookup with suggestion list; tests pin KeyError
         raise KeyError(f"unknown instruction {mnemonic!r}; known: {known}") from None
     return Workload(name=mnemonic, toggle_rate=operand_weight, **params)
 

@@ -1,0 +1,85 @@
+"""The linter eats its own dogfood: src/repro must be clean.
+
+Also drives the CLI end-to-end on a deliberately bad fixture (all four
+rules must fire with a non-zero exit) and the event-order shuffle
+self-check (results must not depend on same-timestamp tie-breaking).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_paths, selfcheck_ordering
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+BAD_FIXTURE = '''\
+import time
+
+
+def measure(delay_ns: float):
+    t = time.time()
+    if t < 0:
+        raise RuntimeError("bad clock")
+    return t
+
+
+def cb():
+    sim.run_until(10)
+
+
+sim.schedule_after(5, cb)
+'''
+
+
+def test_src_repro_is_lint_clean():
+    report = lint_paths([str(SRC_REPRO)])
+    assert report.files_checked > 100
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.clean, f"unsuppressed lint findings:\n{rendered}"
+
+
+def test_tests_tree_is_lint_clean():
+    report = lint_paths([str(REPO_ROOT / "tests")])
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.clean, f"unsuppressed lint findings:\n{rendered}"
+
+
+def test_cli_clean_tree_exits_zero(capsys):
+    assert lint_main([str(SRC_REPRO)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_cli_bad_fixture_fires_all_rules(tmp_path, capsys):
+    bad = tmp_path / "bad_fixture.py"
+    bad.write_text(BAD_FIXTURE)
+    assert lint_main([str(bad), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert set(data["counts_by_rule"]) >= {"DET001", "UNIT001", "EXC001", "SIM001"}
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "UNIT001", "EXC001", "SIM001"):
+        assert rule_id in out
+
+
+def test_cli_bad_path_exits_two(capsys):
+    assert lint_main(["/no/such/path-xyz"]) == 2
+
+
+def test_selfcheck_is_event_order_independent():
+    report = selfcheck_ordering(seeds=(1, 2, 3))
+    assert len(report.digests) == 4  # stable + three shuffles
+    assert report.deterministic, report.render()
+
+
+def test_cli_ordering_check(capsys):
+    assert lint_main(["--ordering-check", "--ordering-seeds", "1,2"]) == 0
+    out = capsys.readouterr().out
+    assert "order-independent" in out
