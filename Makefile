@@ -1,9 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json ordering-check selfcheck
+.PHONY: test lint lint-json ordering-check selfcheck suite-parallel golden
 
-test:
+# The default gate: static analysis first (DET001/SIM001/... keep the
+# cache/parallel code deterministic), then the full pytest tree — which
+# includes the golden-snapshot suite regression.
+test: lint
 	$(PYTHON) -m pytest -x -q
 
 lint:
@@ -17,3 +20,12 @@ ordering-check:
 
 selfcheck:
 	$(PYTHON) -m repro.cli selfcheck
+
+# Full suite across 4 worker processes with the result cache + counters.
+suite-parallel:
+	$(PYTHON) -m repro.cli suite --jobs 4 --cache-stats
+
+# Deliberately regenerate the checked-in golden snapshot; review the
+# JSON diff before committing (see docs/parallelism.md).
+golden:
+	$(PYTHON) -m pytest tests/integration/test_golden_suite.py --update-golden -q

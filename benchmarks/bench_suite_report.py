@@ -11,12 +11,17 @@ from repro.core.report_md import render_markdown
 from repro.core.serialize import dump_json
 from repro.core.suite import run_suite, suite_to_dict
 
-from _common import RESULTS_DIR, bench_config, publish
+from _common import BENCH_JOBS, RESULTS_DIR, bench_cache, bench_config, publish
 
 
 def test_suite_report(benchmark):
     cfg = bench_config(scale=0.02)
-    result = benchmark.pedantic(lambda: run_suite(cfg), rounds=1, iterations=1)
+    cache = bench_cache()
+    result = benchmark.pedantic(
+        lambda: run_suite(cfg, parallel=BENCH_JOBS, cache=cache),
+        rounds=1,
+        iterations=1,
+    )
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     dump_json(suite_to_dict(result), os.path.join(RESULTS_DIR, "suite_report.json"))

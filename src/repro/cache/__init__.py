@@ -1,0 +1,30 @@
+"""Content-addressed result cache for experiment/suite runs.
+
+``ResultCache`` stores the JSON documents produced by
+:func:`repro.core.serialize.table_to_dict` keyed by
+:func:`~repro.cache.keys.cache_key` — a stable hash of the experiment
+name, every :class:`~repro.core.experiment.ExperimentConfig` field, the
+package version, and a digest of the package source tree.  Identical
+configurations re-use prior results; touching any source file or
+version bump invalidates the whole cache implicitly.
+
+See docs/parallelism.md for the key definition and invalidation rules.
+"""
+
+from repro.cache.keys import cache_key, config_fingerprint, source_digest
+from repro.cache.store import (
+    DEFAULT_MAX_BYTES,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "config_fingerprint",
+    "default_cache_dir",
+    "source_digest",
+]

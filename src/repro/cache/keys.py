@@ -1,0 +1,85 @@
+"""Content-addressed cache keys for experiment results.
+
+A cached suite entry is only valid while *everything* that could change
+its output is unchanged.  The key therefore hashes four ingredients:
+
+* the experiment name (the ``SUITE`` registry entry);
+* every field of the :class:`~repro.core.experiment.ExperimentConfig`
+  (seed, scale, interval, SKU, package count);
+* the package version string;
+* a digest over the package's own source tree, so editing any model or
+  experiment invalidates previous results without a manual flush.
+
+The source digest walks every ``*.py`` file under the installed
+``repro`` package in sorted path order and hashes paths plus contents;
+it is computed once per process and memoized (the tree is ~100 small
+files, a few milliseconds of I/O).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any
+
+import repro
+
+
+def config_fingerprint(config: Any) -> dict[str, Any]:
+    """The cache-relevant identity of an experiment configuration."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    if isinstance(config, dict):
+        return dict(config)
+    raise TypeError(  # EXC001: programming error, mirrors stdlib semantics
+        f"cannot fingerprint configuration of type {type(config).__name__}"
+    )
+
+
+_SOURCE_DIGEST: str | None = None
+
+
+def source_digest() -> str:
+    """Digest of the installed ``repro`` package's Python sources."""
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        hasher = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, root)
+                hasher.update(rel.encode())
+                hasher.update(b"\0")
+                with open(path, "rb") as fh:
+                    hasher.update(fh.read())
+                hasher.update(b"\0")
+        _SOURCE_DIGEST = hasher.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def cache_key(
+    experiment: str,
+    config: Any,
+    *,
+    version: str | None = None,
+    source: str | None = None,
+) -> str:
+    """The content address of one (experiment, config, code) result.
+
+    ``version`` and ``source`` default to the live package; tests pass
+    explicit values to pin keys without touching the real tree.
+    """
+    payload = {
+        "experiment": str(experiment),
+        "config": config_fingerprint(config),
+        "version": repro.__version__ if version is None else version,
+        "source": source_digest() if source is None else source,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,267 @@
+"""Disk-backed result cache with an LRU-evicting index.
+
+Layout under the cache root (default ``~/.cache/repro-zen2``, override
+with ``REPRO_CACHE_DIR``)::
+
+    objects/<key[:2]>/<key>.json   one cached JSON document per key
+    index.json                     {"seq": int, "entries": {key: {size, seq}}}
+
+Every write lands via a same-directory temp file plus ``os.replace`` so
+readers never observe a torn document, and a crashed writer leaves at
+worst an orphaned ``*.tmp`` file that the next eviction sweep removes.
+The index records a monotonically increasing access sequence per entry;
+when the object store exceeds ``max_bytes`` the lowest-sequence (least
+recently used) entries are evicted first.
+
+The cache is an optimization layer, never an oracle: any I/O or decode
+problem on the read path degrades to a miss, and the caller recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CacheError
+
+#: Default size cap for the object store (bytes).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-zen2``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(xdg, "repro-zen2")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/latency counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    get_s: float = 0.0
+    put_s: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "stores": int(self.stores),
+            "evictions": int(self.evictions),
+            "hit_rate": float(self.hit_rate),
+            "get_s": float(self.get_s),
+            "put_s": float(self.put_s),
+        }
+
+    def render(self) -> str:
+        return (
+            f"cache: {self.hits} hit / {self.misses} miss "
+            f"({100 * self.hit_rate:.0f}%), {self.stores} stored, "
+            f"{self.evictions} evicted, "
+            f"lookup {1e3 * self.get_s:.1f} ms, store {1e3 * self.put_s:.1f} ms"
+        )
+
+
+@dataclass
+class _IndexEntry:
+    size: int
+    seq: int
+
+
+@dataclass
+class _Index:
+    seq: int = 0
+    entries: dict[str, _IndexEntry] = field(default_factory=dict)
+
+
+class ResultCache:
+    """Content-addressed JSON document store with LRU size capping."""
+
+    def __init__(
+        self,
+        root: str | None = None,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if max_bytes <= 0:
+            raise CacheError(f"max_bytes must be positive, got {max_bytes}")
+        self.root = os.path.abspath(root or default_cache_dir())
+        self.max_bytes = int(max_bytes)
+        self.stats = CacheStats()
+        self._objects_dir = os.path.join(self.root, "objects")
+        self._index_path = os.path.join(self.root, "index.json")
+
+    # --- public API --------------------------------------------------------
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached document for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU sequence; any unreadable or
+        corrupt object degrades to a miss (and drops the stale index
+        entry) rather than raising.
+        """
+        t0 = time.perf_counter()  # lint: disable=DET001 (host-side cache latency accounting)
+        try:
+            doc = self._read_object(key)
+        finally:
+            self.stats.get_s += time.perf_counter() - t0  # lint: disable=DET001 (host-side cache latency accounting)
+        if doc is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._touch(key)
+        return doc
+
+    def put(self, key: str, doc: dict[str, Any]) -> None:
+        """Store ``doc`` under ``key`` atomically and update the index."""
+        t0 = time.perf_counter()  # lint: disable=DET001 (host-side cache latency accounting)
+        try:
+            path = self._object_path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            blob = json.dumps(doc, sort_keys=True, indent=2) + "\n"
+            self._atomic_write(path, blob)
+            index = self._load_index()
+            index.seq += 1
+            index.entries[key] = _IndexEntry(size=len(blob), seq=index.seq)
+            self._evict(index)
+            self._save_index(index)
+            self.stats.stores += 1
+        finally:
+            self.stats.put_s += time.perf_counter() - t0  # lint: disable=DET001 (host-side cache latency accounting)
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` has a stored object (no stats, no LRU touch)."""
+        return os.path.exists(self._object_path(key))
+
+    def size_bytes(self) -> int:
+        """Total size of all indexed objects."""
+        index = self._load_index()
+        return sum(e.size for e in index.entries.values())
+
+    def keys(self) -> list[str]:
+        """All indexed keys, least recently used first."""
+        index = self._load_index()
+        return sorted(index.entries, key=lambda k: index.entries[k].seq)
+
+    def clear(self) -> None:
+        """Drop every object and reset the index."""
+        index = self._load_index()
+        for key in list(index.entries):
+            self._remove_object(key)
+        index.entries.clear()
+        self._save_index(index)
+
+    # --- internals ---------------------------------------------------------
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self._objects_dir, key[:2], f"{key}.json")
+
+    def _read_object(self, key: str) -> dict[str, Any] | None:
+        path = self._object_path(key)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            self._drop_entry(key)
+            return None
+        if not isinstance(doc, dict):
+            self._drop_entry(key)
+            return None
+        return doc
+
+    def _atomic_write(self, path: str, blob: str) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError as err:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise CacheError(f"cannot write cache object {path}: {err}") from err
+
+    def _touch(self, key: str) -> None:
+        index = self._load_index()
+        entry = index.entries.get(key)
+        if entry is None:
+            # Object exists but predates the index (or the index was
+            # lost): adopt it so eviction accounting stays truthful.
+            try:
+                size = os.path.getsize(self._object_path(key))
+            except OSError:
+                return
+            entry = _IndexEntry(size=size, seq=0)
+            index.entries[key] = entry
+        index.seq += 1
+        entry.seq = index.seq
+        self._save_index(index)
+
+    def _drop_entry(self, key: str) -> None:
+        index = self._load_index()
+        if key in index.entries:
+            del index.entries[key]
+            self._save_index(index)
+
+    def _remove_object(self, key: str) -> None:
+        try:
+            os.unlink(self._object_path(key))
+        except OSError:
+            pass
+
+    def _evict(self, index: _Index) -> None:
+        total = sum(e.size for e in index.entries.values())
+        if total <= self.max_bytes:
+            return
+        for key in sorted(index.entries, key=lambda k: index.entries[k].seq):
+            if total <= self.max_bytes or len(index.entries) == 1:
+                break
+            total -= index.entries[key].size
+            del index.entries[key]
+            self._remove_object(key)
+            self.stats.evictions += 1
+
+    def _load_index(self) -> _Index:
+        try:
+            with open(self._index_path) as fh:
+                raw = json.load(fh)
+            entries = {
+                str(key): _IndexEntry(size=int(e["size"]), seq=int(e["seq"]))
+                for key, e in raw.get("entries", {}).items()
+            }
+            return _Index(seq=int(raw.get("seq", 0)), entries=entries)
+        except (OSError, ValueError, KeyError, TypeError):
+            return _Index()
+
+    def _save_index(self, index: _Index) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        raw = {
+            "seq": index.seq,
+            "entries": {
+                key: {"size": e.size, "seq": e.seq}
+                for key, e in sorted(index.entries.items())
+            },
+        }
+        self._atomic_write(self._index_path, json.dumps(raw, sort_keys=True))

@@ -187,6 +187,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="with 'suite': also write the structured report to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with 'suite': run experiments across N worker processes "
+        "(default 1 = serial in-process; results are byte-identical)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with 'suite': recompute everything, bypassing the "
+        "content-addressed result cache (REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="with 'suite': print cache hit/miss/latency counters",
+    )
     args = parser.parse_args(argv)
 
     cfg = ExperimentConfig(seed=args.seed, scale=args.scale)
@@ -202,12 +221,18 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if table.all_ok else 1
 
     if args.experiment == "suite":
+        from repro.cache import ResultCache
         from repro.core.serialize import dump_json
         from repro.core.suite import run_suite, suite_to_dict
 
-        result = run_suite(cfg)
+        cache = None if args.no_cache else ResultCache()
+        result = run_suite(cfg, parallel=args.jobs, cache=cache)
         print(result.render())
         print(f"\nsuite verdict: {'OK' if result.all_ok else 'FAILURES'}")
+        if args.cache_stats and cache is not None:
+            import json as _json
+
+            print("cache stats: " + _json.dumps(cache.stats.as_dict(), sort_keys=True))
         if args.json:
             dump_json(suite_to_dict(result), args.json)
             print(f"structured report written to {args.json}")

@@ -1,0 +1,104 @@
+"""Tolerance-aware comparison of serialized artifacts against goldens.
+
+A golden snapshot is a checked-in ``suite_to_dict``/``table_to_dict``
+document; :func:`diff_documents` walks an actual document against it and
+returns one human-readable line per divergence.  Structure (keys, list
+lengths, types) must match exactly; floats are compared with a relative
+plus absolute tolerance so a golden survives harmless representation
+drift while still pinning every physical quantity.
+
+The simulator is bit-exact at fixed (seed, scale, code), so the default
+tolerances are tight — a golden failure almost always means a model
+changed behaviour, and the snapshot must be regenerated *deliberately*
+(``pytest --update-golden`` / ``make golden``), never loosened to make
+a diff disappear.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+#: Default relative tolerance for float leaves.  Well below any physical
+#: acceptance band, far above representation noise.
+DEFAULT_RTOL = 1e-9
+DEFAULT_ATOL = 0.0
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff_documents(
+    expected: Any,
+    actual: Any,
+    *,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+    path: str = "$",
+) -> list[str]:
+    """Every divergence between ``actual`` and the ``expected`` golden.
+
+    Returns an empty list when the documents match within tolerance;
+    otherwise one ``"<json-path>: <what differs>"`` line per divergence
+    (all of them, not just the first — a regression report, not an
+    assertion).
+    """
+    if _is_number(expected) and _is_number(actual):
+        if math.isclose(
+            float(expected), float(actual), rel_tol=rtol, abs_tol=atol
+        ):
+            return []
+        return [f"{path}: {expected!r} != {actual!r} (rtol={rtol}, atol={atol})"]
+    if type(expected) is not type(actual):
+        return [
+            f"{path}: type {type(expected).__name__} != "
+            f"{type(actual).__name__} ({expected!r} vs {actual!r})"
+        ]
+    if isinstance(expected, dict):
+        diffs: list[str] = []
+        for key in sorted(set(expected) - set(actual)):
+            diffs.append(f"{path}.{key}: missing from actual")
+        for key in sorted(set(actual) - set(expected)):
+            diffs.append(f"{path}.{key}: unexpected key")
+        for key in expected:
+            if key in actual:
+                diffs.extend(
+                    diff_documents(
+                        expected[key],
+                        actual[key],
+                        rtol=rtol,
+                        atol=atol,
+                        path=f"{path}.{key}",
+                    )
+                )
+        return diffs
+    if isinstance(expected, list):
+        if len(expected) != len(actual):
+            return [
+                f"{path}: length {len(expected)} != {len(actual)}"
+            ]
+        diffs = []
+        for i, (exp_item, act_item) in enumerate(zip(expected, actual)):
+            diffs.extend(
+                diff_documents(
+                    exp_item, act_item, rtol=rtol, atol=atol, path=f"{path}[{i}]"
+                )
+            )
+        return diffs
+    if expected != actual:
+        return [f"{path}: {expected!r} != {actual!r}"]
+    return []
+
+
+def render_diff(diffs: list[str], *, limit: int = 40) -> str:
+    """Format a diff list for an assertion message, truncated sanely."""
+    if not diffs:
+        return "documents match"
+    shown = diffs[:limit]
+    suffix = (
+        f"\n... and {len(diffs) - limit} more divergence(s)"
+        if len(diffs) > limit
+        else ""
+    )
+    return f"{len(diffs)} divergence(s):\n" + "\n".join(shown) + suffix

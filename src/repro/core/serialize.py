@@ -8,6 +8,7 @@ types the comparison machinery uses.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -80,6 +81,22 @@ def series_to_dict(name: str, values, **metadata) -> dict[str, Any]:
         "n": int(arr.size),
         "metadata": metadata,
     }
+
+
+def canonical_json(data: dict[str, Any]) -> str:
+    """A byte-stable encoding: sorted keys, no incidental whitespace.
+
+    Two documents are equal iff their canonical encodings are equal;
+    this is the form :func:`document_digest` hashes, and what the
+    parallel-equals-serial guarantee (docs/parallelism.md) is stated
+    over.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def document_digest(data: dict[str, Any]) -> str:
+    """SHA-256 over the canonical encoding of a serialized artifact."""
+    return hashlib.sha256(canonical_json(data).encode()).hexdigest()
 
 
 def dump_json(data: dict[str, Any], path: str) -> None:

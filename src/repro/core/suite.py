@@ -4,12 +4,21 @@
 scale and collects the :class:`~repro.core.report.ComparisonTable` of
 each; ``suite_to_dict`` turns the lot into a JSON document for
 regression tracking (the structured sibling of EXPERIMENTS.md).
+
+The ten artifacts are independent, so ``run_suite(parallel=N)`` fans
+them out across worker processes via :mod:`repro.parallel`; passing a
+:class:`repro.cache.ResultCache` re-uses results of identical
+(experiment, config, code) combinations across runs.  Both paths are
+guaranteed byte-identical to the default serial single-process run:
+every table — serial, parallel, or cached — travels through the same
+``table_to_dict``/``table_from_dict`` round trip, so ``suite_to_dict``
+digests match regardless of execution mode (docs/parallelism.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.cstate_latency import CStateLatencyExperiment
 from repro.core.data_power import DataPowerExperiment
@@ -22,9 +31,14 @@ from repro.core.mixed_freq import MixedFrequencyExperiment
 from repro.core.rapl_quality import RaplQualityExperiment
 from repro.core.rapl_rate import RaplUpdateRateExperiment
 from repro.core.report import ComparisonTable
-from repro.core.serialize import table_to_dict
+from repro.core.serialize import table_from_dict, table_to_dict
 from repro.core.throughput import ThroughputLimitExperiment
+from repro.errors import SuiteError
+from repro.parallel import Task, TaskFailure, run_tasks
 from repro.units import ghz
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import CacheStats, ResultCache
 
 
 def _run_sec5a(cfg: ExperimentConfig) -> ComparisonTable:
@@ -94,16 +108,34 @@ SUITE: dict[str, Callable[[ExperimentConfig], ComparisonTable]] = {
 }
 
 
+def _execute_entry(name: str, cfg: ExperimentConfig) -> dict[str, Any]:
+    """Run one registry entry and return its serialized table.
+
+    This is the unit of work shipped to pool workers, so it returns the
+    plain-dict form: cheap to pickle, and the same representation the
+    cache stores — every execution mode shares one canonical format.
+    """
+    return table_to_dict(SUITE[name](cfg))
+
+
 @dataclass
 class SuiteResult:
-    """All comparison tables plus the aggregate verdict."""
+    """All comparison tables plus the aggregate verdict.
+
+    ``errors`` holds structured pool failures (worker raised, timed out,
+    or died and exhausted its retries) keyed by experiment name; a
+    failed entry has no table.  ``cache_stats`` is the live counter
+    object of the cache used for the run, if any.
+    """
 
     config: ExperimentConfig
     tables: dict[str, ComparisonTable] = field(default_factory=dict)
+    errors: dict[str, TaskFailure] = field(default_factory=dict)
+    cache_stats: "CacheStats | None" = None
 
     @property
     def all_ok(self) -> bool:
-        return all(t.all_ok for t in self.tables.values())
+        return not self.errors and all(t.all_ok for t in self.tables.values())
 
     def failures(self) -> dict[str, list]:
         return {
@@ -111,28 +143,111 @@ class SuiteResult:
         }
 
     def render(self) -> str:
-        return "\n\n".join(t.render() for t in self.tables.values())
+        parts = [t.render() for t in self.tables.values()]
+        for name, failure in self.errors.items():
+            parts.append(
+                f"== {name} ==\nFAILED ({failure.kind} after "
+                f"{failure.attempts} attempt(s)): {failure.message}"
+            )
+        if self.cache_stats is not None:
+            parts.append(self.cache_stats.render())
+        return "\n\n".join(parts)
+
+
+def _resolve_names(only: list[str] | None) -> list[str]:
+    """Validate the ``only`` filter: known entries, no duplicates."""
+    if only is None:
+        return list(SUITE)
+    names = list(only)
+    unknown = set(names) - set(SUITE)
+    if unknown:
+        raise KeyError(f"unknown suite entries: {sorted(unknown)}")  # EXC001: dict-like lookup
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise SuiteError(
+            f"duplicate suite entries in only=: {dupes} — tables are keyed "
+            "by name, so a repeated entry would silently collapse into one "
+            "result; list each experiment once"
+        )
+    return names
 
 
 def run_suite(
     config: ExperimentConfig | None = None,
     only: list[str] | None = None,
+    *,
+    parallel: int = 1,
+    cache: "ResultCache | None" = None,
+    timeout_s: float | None = None,
+    retries: int = 1,
 ) -> SuiteResult:
-    """Execute the (optionally filtered) suite."""
+    """Execute the (optionally filtered) suite.
+
+    ``parallel=N`` runs cache-miss entries across ``N`` worker processes
+    (serial in-process execution remains the default); ``cache`` re-uses
+    results of identical (experiment, config, code) combinations.  In
+    parallel mode a misbehaving worker is retried up to ``retries``
+    times and then reported in :attr:`SuiteResult.errors` instead of
+    crashing the suite; in serial mode exceptions propagate unchanged.
+    """
     cfg = config or ExperimentConfig(scale=0.02)
-    names = list(SUITE) if only is None else only
-    unknown = set(names) - set(SUITE)
-    if unknown:
-        raise KeyError(f"unknown suite entries: {sorted(unknown)}")  # EXC001: dict-like lookup
+    names = _resolve_names(only)
+    if parallel < 1:
+        raise SuiteError(f"parallel must be >= 1, got {parallel}")
     result = SuiteResult(config=cfg)
+
+    docs: dict[str, dict[str, Any]] = {}
+    keys: dict[str, str] = {}
+    to_run: list[str] = []
+    if cache is not None:
+        from repro.cache import cache_key
+
+        result.cache_stats = cache.stats
+        for name in names:
+            keys[name] = cache_key(name, cfg)
+            doc = cache.get(keys[name])
+            if doc is not None:
+                docs[name] = doc
+            else:
+                to_run.append(name)
+    else:
+        to_run = list(names)
+
+    if parallel > 1 and len(to_run) > 1:
+        tasks = [
+            Task(name=name, fn=_execute_entry, args=(name, cfg))
+            for name in to_run
+        ]
+        outcomes = run_tasks(
+            tasks, jobs=parallel, timeout_s=timeout_s, retries=retries
+        )
+        for outcome in outcomes:
+            if outcome.ok:
+                docs[outcome.name] = outcome.value
+            else:
+                result.errors[outcome.name] = outcome.failure
+    else:
+        for name in to_run:
+            docs[name] = _execute_entry(name, cfg)
+
     for name in names:
-        result.tables[name] = SUITE[name](cfg)
+        if name not in docs:
+            continue
+        result.tables[name] = table_from_dict(docs[name])
+        if cache is not None and name in to_run:
+            cache.put(keys[name], docs[name])
     return result
 
 
 def suite_to_dict(result: SuiteResult) -> dict[str, Any]:
-    """The JSON document for regression tracking."""
-    return {
+    """The JSON document for regression tracking.
+
+    The document depends only on the experiment outputs — never on the
+    execution mode — so serial, parallel, and cached runs of one
+    configuration serialize byte-identically.  Structured pool failures
+    add a ``"failures"`` key only when present.
+    """
+    doc: dict[str, Any] = {
         "seed": int(result.config.seed),
         "scale": float(result.config.scale),
         "sku": str(result.config.sku),
@@ -141,3 +256,8 @@ def suite_to_dict(result: SuiteResult) -> dict[str, Any]:
             name: table_to_dict(table) for name, table in result.tables.items()
         },
     }
+    if result.errors:
+        doc["failures"] = {
+            name: failure.as_dict() for name, failure in result.errors.items()
+        }
+    return doc

@@ -62,6 +62,18 @@ class LintError(ReproError):
     """Static-analysis misuse (bad path, unknown rule id)."""
 
 
+class SuiteError(ReproError):
+    """Invalid suite invocation (e.g. duplicate entry names in ``only``)."""
+
+
+class ParallelError(ReproError):
+    """Invalid parallel-runner invocation (bad job count, duplicate tasks)."""
+
+
+class CacheError(ReproError):
+    """The result cache store is unusable (bad root, corrupt index)."""
+
+
 class InvariantViolation(ReproError):
     """A runtime physical invariant was breached (see repro.lint.monitor).
 

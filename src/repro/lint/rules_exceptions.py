@@ -37,6 +37,9 @@ REPRO_ERRORS = {
     "MeasurementError",
     "WorkloadError",
     "LintError",
+    "SuiteError",
+    "ParallelError",
+    "CacheError",
     "InvariantViolation",
 }
 

@@ -1,0 +1,19 @@
+"""Process-pool execution engine for embarrassingly parallel sweeps.
+
+The paper's evaluation is ten independent artifacts; ``run_tasks`` fans
+any list of picklable thunks out across worker processes with per-task
+timeouts, bounded retries on worker crash, and deterministic result
+ordering.  :func:`repro.core.suite.run_suite` builds on it via its
+``parallel=N`` argument; see docs/parallelism.md for the execution
+model and determinism guarantees.
+"""
+
+from repro.parallel.pool import (
+    MAX_JOBS,
+    Task,
+    TaskFailure,
+    TaskOutcome,
+    run_tasks,
+)
+
+__all__ = ["MAX_JOBS", "Task", "TaskFailure", "TaskOutcome", "run_tasks"]

@@ -14,6 +14,32 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate checked-in golden snapshots instead of "
+        "comparing against them (review the diff before committing)",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether this run should rewrite golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the result cache at a per-test directory.
+
+    Keeps tests hermetic: nothing reads or pollutes the developer's
+    ``~/.cache/repro-zen2``, and cross-test cache hits are impossible.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

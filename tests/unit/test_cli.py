@@ -57,6 +57,40 @@ class TestCli:
         assert "suite verdict: OK" in capsys.readouterr().out
         assert path.exists()
 
+    def test_suite_parallel_jobs_and_cache_flags(self, capsys, monkeypatch):
+        import repro.core.suite as suite_mod
+
+        monkeypatch.setattr(
+            suite_mod,
+            "SUITE",
+            {
+                name: suite_mod.SUITE[name]
+                for name in ("sec5a_idle_sibling", "sec7_rapl_update_rate")
+            },
+        )
+        assert main(["suite", "--scale", "0.02", "--jobs", "2", "--cache-stats"]) == 0
+        cold = capsys.readouterr().out
+        assert "suite verdict: OK" in cold
+        assert "cache stats:" in cold
+        assert '"misses": 2' in cold
+        # second invocation hits the (test-isolated) cache
+        assert main(["suite", "--scale", "0.02", "--jobs", "2", "--cache-stats"]) == 0
+        warm = capsys.readouterr().out
+        assert '"hits": 2' in warm
+
+    def test_suite_no_cache_bypasses_store(self, capsys, monkeypatch):
+        import repro.core.suite as suite_mod
+
+        monkeypatch.setattr(
+            suite_mod,
+            "SUITE",
+            {"sec5a_idle_sibling": suite_mod.SUITE["sec5a_idle_sibling"]},
+        )
+        assert main(["suite", "--scale", "0.02", "--no-cache", "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "suite verdict: OK" in out
+        assert "cache stats:" not in out
+
     def test_seed_changes_nothing_structural(self, capsys):
         main(["fig1", "--seed", "1"])
         first = capsys.readouterr().out

@@ -1,0 +1,186 @@
+"""Fault injection for the process-pool runner.
+
+Workers that misbehave in every way the OS allows — raise, hang past
+the timeout, or die without a Python traceback (``os._exit``) — must be
+retried up to the bound and then reported as structured failures, while
+innocent tasks in the same gang still complete.  Result order must
+always equal submission order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import Task, TaskFailure, run_tasks
+
+
+# --- worker functions (module-level: must be picklable) --------------------
+
+
+def _double(x: int) -> int:
+    return x * 2
+
+
+def _slow_double(x: int) -> int:
+    time.sleep(0.05 * (x % 3))
+    return x * 2
+
+
+def _boom() -> None:
+    raise ValueError("boom")  # EXC001: injected fault, deliberately outside ReproError
+
+
+def _die() -> None:
+    os._exit(17)
+
+
+def _hang() -> None:
+    time.sleep(30.0)
+
+
+def _flaky_crash(marker: str) -> str:
+    """Dies on the first call, succeeds once the marker exists."""
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(9)
+    return "recovered"
+
+
+def _flaky_raise(marker: str) -> str:
+    """Raises on the first call, succeeds once the marker exists."""
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise RuntimeError("transient")  # EXC001: injected fault, deliberately outside ReproError
+    return "recovered"
+
+
+class TestOrderingAndSuccess:
+    def test_results_in_submission_order(self):
+        outcomes = run_tasks(
+            [Task(f"t{i}", _slow_double, (i,)) for i in range(9)], jobs=4
+        )
+        assert [o.name for o in outcomes] == [f"t{i}" for i in range(9)]
+        assert [o.value for o in outcomes] == [2 * i for i in range(9)]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_empty_task_list(self):
+        assert run_tasks([], jobs=4) == []
+
+    def test_single_worker_pool(self):
+        outcomes = run_tasks(
+            [Task(f"t{i}", _double, (i,)) for i in range(3)], jobs=1
+        )
+        assert [o.value for o in outcomes] == [0, 2, 4]
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParallelError, match="duplicate task names"):
+            run_tasks([Task("a", _double, (1,)), Task("a", _double, (2,))])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ParallelError, match="jobs"):
+            run_tasks([Task("a", _double, (1,))], jobs=0)
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ParallelError, match="retries"):
+            run_tasks([Task("a", _double, (1,))], retries=-1)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ParallelError, match="timeout_s"):
+            run_tasks([Task("a", _double, (1,))], timeout_s=0.0)
+
+
+class TestFaultInjection:
+    def test_raising_task_is_structured_failure(self):
+        outcomes = run_tasks(
+            [
+                Task("a", _double, (1,)),
+                Task("b", _boom),
+                Task("c", _double, (3,)),
+            ],
+            jobs=2,
+            retries=1,
+        )
+        by_name = {o.name: o for o in outcomes}
+        assert by_name["a"].ok and by_name["a"].value == 2
+        assert by_name["c"].ok and by_name["c"].value == 6
+        failure = by_name["b"].failure
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "error"
+        assert "boom" in failure.message
+        assert failure.attempts == 2  # gang attempt + one isolated retry
+
+    def test_dying_worker_does_not_sink_the_gang(self):
+        outcomes = run_tasks(
+            [
+                Task("a", _double, (1,)),
+                Task("d", _die),
+                Task("c", _double, (3,)),
+            ],
+            jobs=2,
+            retries=1,
+        )
+        by_name = {o.name: o for o in outcomes}
+        assert by_name["a"].ok and by_name["a"].value == 2
+        assert by_name["c"].ok and by_name["c"].value == 6
+        failure = by_name["d"].failure
+        assert failure is not None
+        assert failure.kind == "crash"
+        assert failure.attempts == 2
+
+    def test_timeout_is_bounded_and_attributed(self):
+        t0 = time.perf_counter()  # lint: disable=DET001 (test bounds host wall-clock)
+        outcomes = run_tasks(
+            [Task("h", _hang), Task("a", _double, (5,))],
+            jobs=2,
+            timeout_s=0.3,
+            retries=0,
+        )
+        elapsed = time.perf_counter() - t0  # lint: disable=DET001 (test bounds host wall-clock)
+        by_name = {o.name: o for o in outcomes}
+        assert by_name["a"].ok and by_name["a"].value == 10
+        failure = by_name["h"].failure
+        assert failure is not None
+        assert failure.kind == "timeout"
+        # One gang timeout, no retries; the hung worker was terminated,
+        # not awaited (a join would take the task's full 30 s sleep).
+        assert elapsed < 10.0
+
+    def test_crash_retry_recovers_flaky_task(self, tmp_path):
+        marker = str(tmp_path / "crash-marker")
+        outcomes = run_tasks(
+            [Task("f", _flaky_crash, (marker,))], jobs=2, retries=2
+        )
+        assert outcomes[0].ok
+        assert outcomes[0].value == "recovered"
+
+    def test_raise_retry_recovers_flaky_task(self, tmp_path):
+        marker = str(tmp_path / "raise-marker")
+        outcomes = run_tasks(
+            [Task("f", _flaky_raise, (marker,))], jobs=2, retries=1
+        )
+        assert outcomes[0].ok
+        assert outcomes[0].value == "recovered"
+        assert outcomes[0].attempts == 2
+
+    def test_retry_bound_exhausts(self, tmp_path):
+        outcomes = run_tasks([Task("b", _boom)], jobs=1, retries=3)
+        failure = outcomes[0].failure
+        assert failure is not None
+        assert failure.attempts == 4  # 1 + 3 retries
+
+    def test_failure_as_dict_is_json_shaped(self):
+        outcomes = run_tasks([Task("b", _boom)], jobs=1, retries=0)
+        doc = outcomes[0].failure.as_dict()
+        assert doc == {
+            "name": "b",
+            "kind": "error",
+            "message": doc["message"],
+            "attempts": 1,
+        }
+        assert "boom" in doc["message"]

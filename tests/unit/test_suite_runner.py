@@ -1,0 +1,69 @@
+"""Suite-runner semantics: name validation, failure containment, modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.suite import SUITE, run_suite, suite_to_dict
+from repro.errors import MeasurementError, SuiteError
+
+FAST_ENTRY = "sec5a_idle_sibling"
+
+
+def _boom_entry(cfg):
+    """A registry entry that always fails (module-level: picklable)."""
+    raise MeasurementError("injected failure")
+
+
+@pytest.fixture
+def cfg() -> ExperimentConfig:
+    return ExperimentConfig(seed=11, scale=0.02)
+
+
+class TestNameValidation:
+    def test_duplicate_only_entries_rejected(self, cfg):
+        with pytest.raises(SuiteError, match="duplicate suite entries"):
+            run_suite(cfg, only=[FAST_ENTRY, FAST_ENTRY])
+
+    def test_duplicate_message_names_the_entry(self, cfg):
+        with pytest.raises(SuiteError, match=FAST_ENTRY):
+            run_suite(cfg, only=[FAST_ENTRY, "sec7_rapl_update_rate", FAST_ENTRY])
+
+    def test_unknown_entries_still_keyerror(self, cfg):
+        with pytest.raises(KeyError, match="fig99"):
+            run_suite(cfg, only=["fig99"])
+
+    def test_bad_parallel_rejected(self, cfg):
+        with pytest.raises(SuiteError, match="parallel"):
+            run_suite(cfg, only=[FAST_ENTRY], parallel=0)
+
+
+class TestFailureContainment:
+    def test_serial_exceptions_propagate_unchanged(self, cfg, monkeypatch):
+        monkeypatch.setitem(SUITE, "boom", _boom_entry)
+        with pytest.raises(MeasurementError, match="injected"):
+            run_suite(cfg, only=["boom"])
+
+    def test_parallel_failure_is_structured_not_fatal(self, cfg, monkeypatch):
+        monkeypatch.setitem(SUITE, "boom", _boom_entry)
+        result = run_suite(
+            cfg, only=["boom", FAST_ENTRY], parallel=2, retries=0
+        )
+        assert FAST_ENTRY in result.tables
+        assert "boom" not in result.tables
+        failure = result.errors["boom"]
+        assert failure.kind == "error"
+        assert "injected" in failure.message
+        assert not result.all_ok
+        assert "FAILED" in result.render()
+
+    def test_failures_key_in_document_only_when_failing(self, cfg, monkeypatch):
+        monkeypatch.setitem(SUITE, "boom", _boom_entry)
+        bad = suite_to_dict(
+            run_suite(cfg, only=["boom", FAST_ENTRY], parallel=2, retries=0)
+        )
+        good = suite_to_dict(run_suite(cfg, only=[FAST_ENTRY]))
+        assert bad["failures"]["boom"]["kind"] == "error"
+        assert bad["all_ok"] is False
+        assert "failures" not in good
