@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json ordering-check selfcheck suite-parallel golden
+.PHONY: test lint lint-json lint-flow baseline-update ordering-check selfcheck suite-parallel golden
 
 # The default gate: static analysis first (DET001/SIM001/... keep the
 # cache/parallel code deterministic), then the full pytest tree — which
@@ -14,6 +14,16 @@ lint:
 
 lint-json:
 	$(PYTHON) -m repro.lint src/repro --format json
+
+# Whole-program dimensional-dataflow + determinism-taint analysis,
+# failing only on findings not recorded in the checked-in baseline.
+lint-flow:
+	$(PYTHON) -m repro.lint src/repro --flow --baseline lint-flow.baseline.json
+
+# Accept the current flow findings as the new baseline; review the JSON
+# diff before committing (each entry is a finding you chose to live with).
+baseline-update:
+	$(PYTHON) -m repro.lint src/repro --flow --baseline lint-flow.baseline.json --update-baseline
 
 ordering-check:
 	$(PYTHON) -m repro.lint --ordering-check --ordering-seeds 1,2,3

@@ -206,6 +206,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with 'suite': print cache hit/miss/latency counters",
     )
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="with 'suite': attach the runtime invariant monitor to every "
+        "machine and fail on violations (slower; bypasses the cache)",
+    )
     args = parser.parse_args(argv)
 
     cfg = ExperimentConfig(seed=args.seed, scale=args.scale)
@@ -225,8 +231,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core.serialize import dump_json
         from repro.core.suite import run_suite, suite_to_dict
 
-        cache = None if args.no_cache else ResultCache()
-        result = run_suite(cfg, parallel=args.jobs, cache=cache)
+        cache = None if (args.no_cache or args.monitor) else ResultCache()
+        result = run_suite(
+            cfg, parallel=args.jobs, cache=cache, monitor=args.monitor
+        )
         print(result.render())
         print(f"\nsuite verdict: {'OK' if result.all_ok else 'FAILURES'}")
         if args.cache_stats and cache is not None:

@@ -8,9 +8,30 @@ scale where affordable.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
+from typing import Callable, Iterator
 
 from repro.machine import Machine
+
+#: Active machine-construction hooks (see :func:`machine_hook`).
+_MACHINE_HOOKS: list[Callable[[Machine], None]] = []
+
+
+@contextmanager
+def machine_hook(hook: Callable[[Machine], None]) -> Iterator[None]:
+    """Run ``hook`` on every machine built while the context is active.
+
+    This is how cross-cutting observers (the runtime invariant monitor,
+    tracing) reach machines that experiments construct internally —
+    every experiment funnels through :meth:`ExperimentConfig.build_machine`.
+    Hooks nest; each ``with`` removes exactly the hook it added.
+    """
+    _MACHINE_HOOKS.append(hook)
+    try:
+        yield
+    finally:
+        _MACHINE_HOOKS.remove(hook)
 
 
 @dataclass(frozen=True)
@@ -37,4 +58,9 @@ class ExperimentConfig:
 
     def build_machine(self, **kwargs) -> Machine:
         """A fresh machine for this experiment."""
-        return Machine(self.sku, n_packages=self.n_packages, seed=self.seed, **kwargs)
+        machine = Machine(
+            self.sku, n_packages=self.n_packages, seed=self.seed, **kwargs
+        )
+        for hook in _MACHINE_HOOKS:
+            hook(machine)
+        return machine

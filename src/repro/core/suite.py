@@ -108,14 +108,74 @@ SUITE: dict[str, Callable[[ExperimentConfig], ComparisonTable]] = {
 }
 
 
-def _execute_entry(name: str, cfg: ExperimentConfig) -> dict[str, Any]:
+def _execute_entry(
+    name: str, cfg: ExperimentConfig, monitor: bool = False
+) -> dict[str, Any]:
     """Run one registry entry and return its serialized table.
 
     This is the unit of work shipped to pool workers, so it returns the
     plain-dict form: cheap to pickle, and the same representation the
     cache stores — every execution mode shares one canonical format.
+
+    With ``monitor=True`` an :class:`~repro.lint.monitor.InvariantMonitor`
+    is attached (in collecting mode) to every machine the entry builds,
+    and the document grows an ``"invariants"`` key.  Monitored documents
+    never enter the result cache — their shape differs, and a cache hit
+    would skip the sweep the caller asked for.
     """
-    return table_to_dict(SUITE[name](cfg))
+    if not monitor:
+        return table_to_dict(SUITE[name](cfg))
+
+    from repro.core.experiment import machine_hook
+    from repro.lint.monitor import InvariantMonitor
+
+    monitors: list[InvariantMonitor] = []
+
+    def attach(machine) -> None:
+        monitors.append(
+            InvariantMonitor(machine, raise_on_violation=False).attach()
+        )
+
+    with machine_hook(attach):
+        table = SUITE[name](cfg)
+    for mon in monitors:
+        mon.detach()
+    return {
+        "table": table_to_dict(table),
+        "invariants": {
+            "machines": len(monitors),
+            "checks": sum(mon.checks_run for mon in monitors),
+            "violations": [v for mon in monitors for v in mon.violations],
+        },
+    }
+
+
+@dataclass
+class InvariantSummary:
+    """Runtime invariant sweep of one monitored suite entry."""
+
+    machines: int = 0
+    checks: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "InvariantSummary":
+        return cls(
+            machines=int(doc.get("machines", 0)),
+            checks=int(doc.get("checks", 0)),
+            violations=[str(v) for v in doc.get("violations", [])],
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "machines": self.machines,
+            "checks": self.checks,
+            "violations": list(self.violations),
+        }
 
 
 @dataclass
@@ -125,17 +185,24 @@ class SuiteResult:
     ``errors`` holds structured pool failures (worker raised, timed out,
     or died and exhausted its retries) keyed by experiment name; a
     failed entry has no table.  ``cache_stats`` is the live counter
-    object of the cache used for the run, if any.
+    object of the cache used for the run, if any.  ``invariants`` is
+    populated only by monitored runs (``run_suite(monitor=True)``); a
+    violation fails the suite exactly like a mismatching table.
     """
 
     config: ExperimentConfig
     tables: dict[str, ComparisonTable] = field(default_factory=dict)
     errors: dict[str, TaskFailure] = field(default_factory=dict)
     cache_stats: "CacheStats | None" = None
+    invariants: dict[str, InvariantSummary] = field(default_factory=dict)
 
     @property
     def all_ok(self) -> bool:
-        return not self.errors and all(t.all_ok for t in self.tables.values())
+        return (
+            not self.errors
+            and all(t.all_ok for t in self.tables.values())
+            and all(inv.ok for inv in self.invariants.values())
+        )
 
     def failures(self) -> dict[str, list]:
         return {
@@ -149,6 +216,16 @@ class SuiteResult:
                 f"== {name} ==\nFAILED ({failure.kind} after "
                 f"{failure.attempts} attempt(s)): {failure.message}"
             )
+        if self.invariants:
+            checks = sum(inv.checks for inv in self.invariants.values())
+            bad = {n: inv for n, inv in self.invariants.items() if not inv.ok}
+            lines = [f"invariant sweep: {checks} check(s) across "
+                     f"{len(self.invariants)} entr(ies), "
+                     f"{len(bad)} with violations"]
+            for name, inv in sorted(bad.items()):
+                for violation in inv.violations:
+                    lines.append(f"  {name}: {violation}")
+            parts.append("\n".join(lines))
         if self.cache_stats is not None:
             parts.append(self.cache_stats.render())
         return "\n\n".join(parts)
@@ -180,6 +257,7 @@ def run_suite(
     cache: "ResultCache | None" = None,
     timeout_s: float | None = None,
     retries: int = 1,
+    monitor: bool = False,
 ) -> SuiteResult:
     """Execute the (optionally filtered) suite.
 
@@ -189,12 +267,21 @@ def run_suite(
     parallel mode a misbehaving worker is retried up to ``retries``
     times and then reported in :attr:`SuiteResult.errors` instead of
     crashing the suite; in serial mode exceptions propagate unchanged.
+
+    ``monitor=True`` attaches the runtime
+    :class:`~repro.lint.monitor.InvariantMonitor` to every machine each
+    entry builds and records the sweep in :attr:`SuiteResult.invariants`
+    (violations fail :attr:`SuiteResult.all_ok`).  Monitored runs bypass
+    the cache entirely — a cached table proves nothing about invariants
+    — and cost the sweep's overhead, so monitoring is strictly opt-in.
     """
     cfg = config or ExperimentConfig(scale=0.02)
     names = _resolve_names(only)
     if parallel < 1:
         raise SuiteError(f"parallel must be >= 1, got {parallel}")
     result = SuiteResult(config=cfg)
+    if monitor:
+        cache = None
 
     docs: dict[str, dict[str, Any]] = {}
     keys: dict[str, str] = {}
@@ -215,7 +302,7 @@ def run_suite(
 
     if parallel > 1 and len(to_run) > 1:
         tasks = [
-            Task(name=name, fn=_execute_entry, args=(name, cfg))
+            Task(name=name, fn=_execute_entry, args=(name, cfg, monitor))
             for name in to_run
         ]
         outcomes = run_tasks(
@@ -228,14 +315,21 @@ def run_suite(
                 result.errors[outcome.name] = outcome.failure
     else:
         for name in to_run:
-            docs[name] = _execute_entry(name, cfg)
+            docs[name] = _execute_entry(name, cfg, monitor)
 
     for name in names:
         if name not in docs:
             continue
-        result.tables[name] = table_from_dict(docs[name])
-        if cache is not None and name in to_run:
-            cache.put(keys[name], docs[name])
+        doc = docs[name]
+        if monitor:
+            result.tables[name] = table_from_dict(doc["table"])
+            result.invariants[name] = InvariantSummary.from_dict(
+                doc["invariants"]
+            )
+        else:
+            result.tables[name] = table_from_dict(doc)
+            if cache is not None and name in to_run:
+                cache.put(keys[name], doc)
     return result
 
 
@@ -259,5 +353,11 @@ def suite_to_dict(result: SuiteResult) -> dict[str, Any]:
     if result.errors:
         doc["failures"] = {
             name: failure.as_dict() for name, failure in result.errors.items()
+        }
+    if result.invariants:
+        # Present only on monitored runs, so unmonitored documents stay
+        # byte-identical to every previously recorded golden snapshot.
+        doc["invariants"] = {
+            name: inv.as_dict() for name, inv in result.invariants.items()
         }
     return doc

@@ -11,7 +11,7 @@ import sys
 
 from repro.errors import LintError
 from repro.lint.engine import lint_paths
-from repro.lint.formatters import format_human, format_json
+from repro.lint.formatters import format_human, format_json, format_sarif
 from repro.lint.rules import all_rules, rules_by_id
 
 
@@ -28,9 +28,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=["human", "json"],
+        choices=["human", "json", "sarif"],
         default="human",
         help="output format",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the whole-program dimensional-dataflow and "
+        "determinism-taint analysis (rules DIM001-DIM003, DET002)",
+    )
+    parser.add_argument(
+        "--no-flow-cache",
+        action="store_true",
+        help="bypass the flow-analysis result cache (forces a cold run)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of accepted flow findings; matching findings "
+        "are filtered from the report (implies --flow)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from this run's flow findings",
     )
     parser.add_argument(
         "--select",
@@ -61,6 +83,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule_id}  {cls.title}")
         return 0
 
+    if args.update_baseline and not args.baseline:
+        print("repro-lint: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
+
     try:
         select = (
             [r.strip() for r in args.select.split(",") if r.strip()]
@@ -68,12 +94,20 @@ def main(argv: list[str] | None = None) -> int:
             else None
         )
         rules = all_rules(select)
-        report = lint_paths(args.paths, rules)
+        report = lint_paths(
+            args.paths,
+            rules,
+            flow=args.flow or args.baseline is not None,
+            flow_cache=not args.no_flow_cache,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+        )
     except LintError as err:
         print(f"repro-lint: {err}", file=sys.stderr)
         return 2
 
-    print(format_json(report) if args.format == "json" else format_human(report))
+    formatters = {"json": format_json, "sarif": format_sarif, "human": format_human}
+    print(formatters[args.format](report))
     status = 0 if report.clean else 1
 
     if args.ordering_check:

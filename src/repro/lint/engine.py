@@ -4,14 +4,39 @@ from __future__ import annotations
 
 import ast
 import os
+import tokenize
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.errors import LintError
-from repro.lint.findings import Finding, SuppressionIndex
+from repro.lint.findings import SEVERITY_WARNING, Finding, SuppressionIndex
 from repro.lint.rules import LintRule, ModuleContext, all_rules
 
-_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+#: Pruned while walking directory arguments.  ``fixtures`` holds test
+#: *data* — deliberately-buggy inputs — linted only when named directly.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    "build",
+    "dist",
+    "fixtures",
+}
+
+#: Engine-level rule: a ``# lint: disable=RULE`` that excused nothing.
+UNUSED_SUPPRESSION_RULE = "LINT001"
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every analysis pass."""
+
+    path: str
+    source: str
+    suppressions: SuppressionIndex
+    ctx: ModuleContext | None = None
+    parse_finding: Finding | None = None
 
 
 @dataclass
@@ -21,6 +46,9 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Statistics of the whole-program flow analysis, when it ran
+    #: (module/function counts, fixpoint rounds, cache status).
+    flow: dict[str, Any] | None = None
 
     @property
     def errors(self) -> list[Finding]:
@@ -55,47 +83,161 @@ def iter_python_files(paths: Sequence[str]) -> list[str]:
     return sorted(set(found))
 
 
-def lint_source(
-    source: str, path: str = "<string>", rules: Iterable[LintRule] | None = None
-) -> tuple[list[Finding], int]:
-    """Lint one source string; returns (findings, n_suppressed)."""
-    rules = list(rules) if rules is not None else all_rules()
+def read_source(path: str) -> str:
+    """Read a Python source file the way the interpreter would.
+
+    ``tokenize.open`` honours a PEP 263 ``# -*- coding: ... -*-`` cookie
+    and a UTF-8/UTF-16 BOM, defaulting to UTF-8 — never the platform
+    default encoding, so results do not depend on the host locale.
+    """
+    try:
+        with tokenize.open(path) as handle:
+            return handle.read()
+    except (SyntaxError, UnicodeDecodeError) as err:
+        # A bogus cookie or undecodable bytes: surface as a lint error
+        # rather than crashing the whole run.
+        raise LintError(f"cannot decode {path}: {err}") from err
+
+
+def parse_module(source: str, path: str = "<string>") -> ParsedModule:
+    """Parse one source string into the shared per-module record."""
+    parsed = ParsedModule(
+        path=path, source=source, suppressions=SuppressionIndex(source)
+    )
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as err:
-        finding = Finding(
+        parsed.parse_finding = Finding(
             path=path,
             line=err.lineno or 1,
             col=(err.offset or 0) + 1,
             rule="PARSE",
             message=f"syntax error: {err.msg}",
         )
-        return [finding], 0
-    ctx = ModuleContext(path, source, tree)
-    suppressions = SuppressionIndex(source)
+        return parsed
+    parsed.ctx = ModuleContext(path, source, tree)
+    return parsed
+
+
+def _apply_rules(
+    parsed: ParsedModule, rules: Sequence[LintRule]
+) -> tuple[list[Finding], int]:
+    """Run ``rules`` over one parsed module, filtering suppressions."""
+    if parsed.ctx is None:
+        assert parsed.parse_finding is not None
+        return [parsed.parse_finding], 0
     kept: list[Finding] = []
     suppressed = 0
     for rule in rules:
-        for finding in rule.check(ctx):
-            if suppressions.suppresses(finding):
+        for finding in rule.check(parsed.ctx):
+            if parsed.suppressions.suppresses(finding):
                 suppressed += 1
             else:
                 kept.append(finding)
+    return kept, suppressed
+
+
+def unused_suppression_findings(
+    parsed: ParsedModule, checkable: set[str]
+) -> tuple[list[Finding], int]:
+    """LINT001 warnings for stale suppressions in one module.
+
+    A LINT001 finding is itself suppressible (``# lint:
+    disable=LINT001`` on the stale comment's line), which the second
+    return value counts.
+    """
+    kept: list[Finding] = []
+    suppressed = 0
+    for lineno, rule in parsed.suppressions.unused(checkable):
+        finding = Finding(
+            path=parsed.path,
+            line=lineno,
+            col=1,
+            rule=UNUSED_SUPPRESSION_RULE,
+            message=(
+                f"suppression of {rule} never matched a finding; "
+                "remove the stale '# lint: disable' comment"
+            ),
+            severity=SEVERITY_WARNING,
+        )
+        if parsed.suppressions.suppresses(finding):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Iterable[LintRule] | None = None,
+    *,
+    unused_check: bool = True,
+) -> tuple[list[Finding], int]:
+    """Lint one source string; returns (findings, n_suppressed)."""
+    rules = list(rules) if rules is not None else all_rules()
+    parsed = parse_module(source, path)
+    kept, suppressed = _apply_rules(parsed, rules)
+    if unused_check and parsed.ctx is not None:
+        checkable = {rule.rule_id for rule in rules}
+        stale, stale_suppressed = unused_suppression_findings(parsed, checkable)
+        kept.extend(stale)
+        suppressed += stale_suppressed
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return kept, suppressed
 
 
 def lint_paths(
-    paths: Sequence[str], rules: Iterable[LintRule] | None = None
+    paths: Sequence[str],
+    rules: Iterable[LintRule] | None = None,
+    *,
+    unused_check: bool = True,
+    flow: bool = False,
+    flow_cache: bool = True,
+    baseline: str | None = None,
+    update_baseline: bool = False,
 ) -> LintReport:
-    """Lint every python file under ``paths``."""
+    """Lint every python file under ``paths``.
+
+    With ``flow=True`` the whole-program dimensional-dataflow analysis
+    (:mod:`repro.lint.flow`) runs over the same parsed modules and its
+    DIM/DET findings join the report; ``baseline`` names a baseline file
+    whose known findings are filtered out (``update_baseline`` rewrites
+    it from the current run instead).
+    """
     rules = list(rules) if rules is not None else all_rules()
     report = LintReport()
+    modules: list[ParsedModule] = []
     for path in iter_python_files(paths):
-        with open(path, encoding="utf-8") as handle:
-            source = handle.read()
-        findings, suppressed = lint_source(source, path, rules)
+        parsed = parse_module(read_source(path), path)
+        modules.append(parsed)
+        findings, suppressed = _apply_rules(parsed, rules)
         report.findings.extend(findings)
         report.suppressed += suppressed
         report.files_checked += 1
+
+    checkable = {rule.rule_id for rule in rules}
+    if flow:
+        from repro.lint.flow import FLOW_RULE_IDS, analyze_modules
+
+        flow_report = analyze_modules(
+            modules,
+            use_cache=flow_cache,
+            baseline_path=baseline,
+            update_baseline=update_baseline,
+        )
+        report.findings.extend(flow_report.findings)
+        report.suppressed += flow_report.suppressed
+        report.flow = flow_report.stats()
+        checkable |= FLOW_RULE_IDS
+
+    if unused_check:
+        for parsed in modules:
+            if parsed.ctx is None:
+                continue
+            stale, stale_suppressed = unused_suppression_findings(parsed, checkable)
+            report.findings.extend(stale)
+            report.suppressed += stale_suppressed
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report

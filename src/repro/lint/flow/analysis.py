@@ -1,0 +1,1210 @@
+"""Fixpoint abstract interpreter over the whole-program cell store.
+
+Every function parameter, local, return slot, class attribute and
+module-level variable is an addressable *cell*.  Each round evaluates
+every statement of every function against the shared store, binding
+call arguments to callee parameter cells and reading callee return
+cells, until no cell changes (monotone joins over finite-height
+lattices guarantee termination).  A final *emit* round re-walks the
+program with reporting enabled:
+
+* **DIM001** — dimension-mismatched arithmetic or a dimensioned value
+  crossing a call/assignment boundary into a slot of another dimension
+  or scale.
+* **DIM002** — a bare numeric literal (not 0/±1) passed straight into a
+  dimensioned parameter without a :mod:`repro.units` constructor.
+* **DIM003** — a definitely-float value flowing through a call or
+  name indirection into an integer-nanosecond cell (UNIT001 already
+  owns the *direct* literal/division cases).
+* **DET002** — a nondeterminism taint (wall-clock, unseeded RNG,
+  set-iteration) reaching Machine/Simulator state or event scheduling.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+
+from repro.lint.findings import SEVERITY_WARNING, Finding
+from repro.lint.flow.graph import (
+    ClassInfo,
+    FuncInfo,
+    Program,
+    _dotted_parts,
+)
+from repro.lint.flow.intrinsics import (
+    MATH_DIM_PRESERVING,
+    SCHEDULE_METHODS,
+    STATE_BASENAMES,
+    UNITS_CONSTANTS,
+    UNITS_INTRINSICS,
+    Intrinsic,
+    rep_from_annotation,
+    taint_source,
+)
+from repro.lint.flow.lattice import (
+    BOT,
+    BOTTOM,
+    DIMENSIONLESS,
+    TOP,
+    UNKNOWN,
+    AbsValue,
+    Dim,
+    Taint,
+    binop,
+    dim_for_suffix,
+    factors_conflict,
+    join,
+    join_taints,
+    with_taints,
+)
+from repro.lint.rules_units import FLOAT_SUFFIXES, INT_SUFFIXES, suffix_of
+
+#: Rules this analysis can emit.
+RULE_DIM_MISMATCH = "DIM001"
+RULE_BARE_LITERAL = "DIM002"
+RULE_FLOAT_INTO_NS = "DIM003"
+RULE_TAINTED_STATE = "DET002"
+
+_MAX_ROUNDS = 50
+
+_BINOP_NAMES = {
+    ast.Add: "add",
+    ast.Sub: "sub",
+    ast.Mult: "mult",
+    ast.Div: "div",
+    ast.FloorDiv: "floordiv",
+    ast.Mod: "mod",
+    ast.Pow: "pow",
+}
+
+_INT_BUILTINS = {"int", "round"}
+
+
+def _annotation_names(node: ast.expr | None) -> set[str]:
+    if node is None:
+        return set()
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_names(node.left) | _annotation_names(node.right)
+    if isinstance(node, ast.Subscript):
+        # ``set[int]`` — the outer name carries the container kind.
+        return _annotation_names(node.value)
+    return set()
+
+
+def _literal_const(node: ast.expr) -> float | None:
+    """The numeric value of a (possibly negated) literal expression."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_const(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+def _is_indirect(node: ast.expr | None) -> bool:
+    """Whether a value arrived through a name/attribute/call indirection.
+
+    Direct literals and inline arithmetic are UNIT001's jurisdiction;
+    DIM003 only reports flows UNIT001 cannot see.
+    """
+    if isinstance(node, ast.UnaryOp):
+        return _is_indirect(node.operand)
+    return isinstance(node, (ast.Name, ast.Attribute, ast.Call))
+
+
+class Analyzer:
+    """Whole-program dataflow over the linked :class:`Program`."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.store: dict[tuple, AbsValue] = {}
+        self.decl: dict[tuple, AbsValue] = {}
+        #: class qname -> attrs any of its methods assign via ``self.X``.
+        self.assigned_attrs: dict[str, set[str]] = {}
+        self.emit = False
+        self.changed = False
+        self.rounds = 0
+        self.findings: list[Finding] = []
+        self._finding_keys: set[tuple] = set()
+        self.current: FuncInfo | None = None
+        self._globals: set[str] = set()
+        self._seed()
+
+    # --- seeding -----------------------------------------------------------
+
+    def _seed(self) -> None:
+        for func in self.program.functions.values():
+            for index, param in enumerate(func.params):
+                cell = ("var", func.qname, param.name)
+                value = self._seed_value(param.name, param.annotation, func)
+                if index == 0 and func.cls is not None and value.cls is BOTTOM:
+                    value = replace(value, cls=func.cls.qname)
+                self.decl[cell] = value
+            ret = self._seed_value(func.qname.rsplit(".", 1)[-1], func.returns, func)
+            self.decl[("ret", func.qname)] = ret
+        for cls in self.program.classes.values():
+            assigned: set[str] = set(cls.fields)
+            for method in cls.methods.values():
+                for node in ast.walk(method.node):
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Store)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                    ):
+                        assigned.add(node.attr)
+            self.assigned_attrs[cls.qname] = assigned
+            for name, (annotation, _default) in cls.fields.items():
+                cell = ("attr", cls.qname, name)
+                self.decl[cell] = self._seed_value(name, annotation, None)
+
+    def _seed_value(
+        self, name: str, annotation: ast.expr | None, func: FuncInfo | None
+    ) -> AbsValue:
+        suffix = suffix_of(name)
+        if "_PER_" in name.upper():
+            # Ratio constants (NS_PER_S, ...) are scale factors, not
+            # quantities of the suffix's dimension.
+            suffix = None
+        dim: object = BOTTOM
+        rep: object = BOTTOM
+        if suffix is not None:
+            dim = dim_for_suffix(suffix)
+            if suffix in INT_SUFFIXES:
+                rep = "int"
+            elif suffix in FLOAT_SUFFIXES:
+                rep = "float"
+        names = _annotation_names(annotation)
+        ann_rep = rep_from_annotation(names)
+        if ann_rep is not BOTTOM:
+            rep = ann_rep
+        cls: object = BOTTOM
+        if annotation is not None and func is not None:
+            resolved = self._annotation_class(annotation, func)
+            if resolved is not None:
+                cls = resolved
+        container: object = BOTTOM
+        if names & {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}:
+            container = "set"
+        return AbsValue(dim=dim, rep=rep, cls=cls, container=container)
+
+    def _annotation_class(self, annotation: ast.expr, func: FuncInfo) -> str | None:
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        parts = _dotted_parts(annotation)
+        if parts is None:
+            return None
+        dotted = self._resolve_parts(parts, func)
+        if dotted is not None and dotted in self.program.classes:
+            return dotted
+        return None
+
+    # --- cells -------------------------------------------------------------
+
+    def _cell_decl(self, cell: tuple) -> AbsValue:
+        value = self.decl.get(cell)
+        if value is None:
+            value = self._seed_value(cell[-1], None, None)
+            self.decl[cell] = value
+        return value
+
+    def read_cell(self, cell: tuple) -> AbsValue:
+        if cell not in self.store:
+            # Parameters, attributes and module vars start at their
+            # declared seed (the entry assumption: trust the suffix).
+            # Return slots start at bottom — the body alone defines them,
+            # and seeding them would blur e.g. definitely-float results.
+            self.store[cell] = BOT if cell[0] == "ret" else self._cell_decl(cell)
+        return self.store[cell]
+
+    def bind(
+        self,
+        cell: tuple,
+        value: AbsValue,
+        node: ast.AST,
+        expr: ast.expr | None,
+        *,
+        what: str = "",
+        skip_dim001: bool = False,
+    ) -> None:
+        decl = self._cell_decl(cell)
+        ddim = decl.dim
+        vdim = value.dim
+        # A dimensionless value entering a suffixed cell adopts the
+        # declared dimension: the suffix names the unit of the raw number.
+        if (
+            isinstance(ddim, Dim)
+            and ddim.kind != "dimensionless"
+            and isinstance(vdim, Dim)
+            and vdim.kind == "dimensionless"
+        ):
+            value = replace(value, dim=ddim)
+            vdim = ddim
+        if self.emit:
+            self._check_binding(
+                cell, decl, value, node, expr, what, skip_dim001
+            )
+        current = self.read_cell(cell)
+        merged = join(current, value)
+        if merged != current:
+            self.store[cell] = merged
+            self.changed = True
+
+    def _check_binding(
+        self,
+        cell: tuple,
+        decl: AbsValue,
+        value: AbsValue,
+        node: ast.AST,
+        expr: ast.expr | None,
+        what: str,
+        skip_dim001: bool,
+    ) -> None:
+        if cell[0] == "ret":
+            name = f"return of {cell[1].rsplit('.', 1)[-1]}()"
+        else:
+            name = cell[-1]
+        ddim, vdim = decl.dim, value.dim
+        if (
+            not skip_dim001
+            and isinstance(ddim, Dim)
+            and isinstance(vdim, Dim)
+            and ddim.kind != "dimensionless"
+            and vdim.kind != "dimensionless"
+            and not self._unit001_owns(expr, name, what)
+        ):
+            if ddim.kind != vdim.kind:
+                self.report(
+                    node,
+                    RULE_DIM_MISMATCH,
+                    f"{vdim.render()} value flows into '{name}' "
+                    f"({what or 'binding'}) declared {ddim.render()}; "
+                    "convert via repro.units",
+                )
+            elif factors_conflict(ddim.factor, vdim.factor):
+                self.report(
+                    node,
+                    RULE_DIM_MISMATCH,
+                    f"{vdim.render()} value flows into '{name}' "
+                    f"({what or 'binding'}) declared {ddim.render()} "
+                    "(same dimension, different scale); convert via "
+                    "repro.units",
+                )
+        if (
+            decl.rep == "int"
+            and isinstance(ddim, Dim)
+            and ddim.kind == "time"
+            and value.rep == "float"
+            and _is_indirect(expr)
+        ):
+            self.report(
+                node,
+                RULE_FLOAT_INTO_NS,
+                f"definitely-float value reaches integer-nanosecond "
+                f"'{name}' ({what or 'binding'}); wrap in round()/int() "
+                "(integer time keeps the event engine exact)",
+            )
+        if value.taints and self._is_state_cell(cell):
+            self._report_taints(
+                node,
+                value.taints,
+                f"simulator state '{cell[1].rsplit('.', 1)[-1]}.{name}'",
+            )
+
+    def _unit001_owns(
+        self, expr: ast.expr | None, target_name: str, what: str
+    ) -> bool:
+        """UNIT001 already reports direct suffixed-name-to-name flows."""
+        if what not in ("assignment", "keyword argument"):
+            return False
+        if not isinstance(expr, (ast.Name, ast.Attribute)):
+            return False
+        source = expr.id if isinstance(expr, ast.Name) else expr.attr
+        src = suffix_of(source)
+        return src is not None and src != suffix_of(target_name)
+
+    def _is_state_cell(self, cell: tuple) -> bool:
+        return cell[0] == "attr" and self.program.is_subclass_of(
+            cell[1], STATE_BASENAMES
+        )
+
+    # --- reporting ---------------------------------------------------------
+
+    def report(
+        self, node: ast.AST, rule: str, message: str, severity: str = "error"
+    ) -> None:
+        assert self.current is not None
+        finding = Finding(
+            path=self.current.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+            severity=severity,
+        )
+        key = (finding.path, finding.line, finding.rule, finding.message)
+        if key not in self._finding_keys:
+            self._finding_keys.add(key)
+            self.findings.append(finding)
+
+    def _report_taints(
+        self, node: ast.AST, taints: frozenset, sink: str
+    ) -> None:
+        detail = "; ".join(t.render() for t in sorted(taints))
+        self.report(
+            node,
+            RULE_TAINTED_STATE,
+            f"nondeterministic value reaches {sink}: {detail}; draw from "
+            "repro.sim.rng.RngFactory / Simulator.now_ns instead",
+        )
+
+    # --- driver ------------------------------------------------------------
+
+    def run(self) -> None:
+        order = sorted(self.program.functions)
+        bodies = [self.program.functions[q] for q in order]
+        for module in self._modules():
+            if module.body is not None:
+                bodies.append(module.body)
+        for round_no in range(_MAX_ROUNDS):
+            self.rounds = round_no + 1
+            self.changed = False
+            self._run_once(bodies)
+            if not self.changed:
+                break
+        self.emit = True
+        self._run_once(bodies)
+        self.emit = False
+
+    def _modules(self):
+        return [self.program.modules[name] for name in sorted(self.program.modules)]
+
+    def _run_once(self, bodies: list[FuncInfo]) -> None:
+        for module in self._modules():
+            for cls in module.classes.values():
+                self._eval_class_defaults(cls)
+        for func in bodies:
+            self._eval_function(func)
+
+    def _eval_class_defaults(self, cls: ClassInfo) -> None:
+        body = cls.module.body
+        if body is None:
+            return
+        self.current = body
+        self._globals = set()
+        for name, (_annotation, default) in cls.fields.items():
+            if default is None:
+                continue
+            value = self.eval(default, body)
+            self.bind(
+                ("attr", cls.qname, name),
+                value,
+                default,
+                default,
+                what="field default",
+            )
+        self.current = None
+
+    def _eval_function(self, func: FuncInfo) -> None:
+        self.current = func
+        self._globals = set()
+        for param in func.params:
+            if param.default is not None:
+                value = self.eval(param.default, func)
+                self.bind(
+                    ("var", func.qname, param.name),
+                    value,
+                    param.default,
+                    param.default,
+                    what="default argument",
+                )
+        for stmt in func.body:
+            self.exec_stmt(stmt, func)
+        self.current = None
+
+    # --- statements --------------------------------------------------------
+
+    def exec_stmt(self, stmt: ast.stmt, func: FuncInfo) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, func)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._exec_annassign(stmt, func)
+        elif isinstance(stmt, ast.AugAssign):
+            self._exec_augassign(stmt, func)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None and func.node is not None:
+                value = self.eval(stmt.value, func)
+                self.bind(
+                    ("ret", func.qname), value, stmt, stmt.value, what="return"
+                )
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, func)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test, func)
+            for child in [*stmt.body, *stmt.orelse]:
+                self.exec_stmt(child, func)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exec_for(stmt, func)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval(item.context_expr, func)
+                if item.optional_vars is not None:
+                    self.assign_target(
+                        item.optional_vars, value, item.context_expr, func
+                    )
+            for child in stmt.body:
+                self.exec_stmt(child, func)
+        elif isinstance(stmt, ast.Try):
+            for child in [*stmt.body, *stmt.orelse, *stmt.finalbody]:
+                self.exec_stmt(child, func)
+            for handler in stmt.handlers:
+                for child in handler.body:
+                    self.exec_stmt(child, func)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, func)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, func)
+        elif isinstance(stmt, ast.Global):
+            self._globals.update(stmt.names)
+        elif isinstance(stmt, ast.Match):
+            self.eval(stmt.subject, func)
+            for case in stmt.cases:
+                for child in case.body:
+                    self.exec_stmt(child, func)
+        elif isinstance(stmt, ast.Delete):
+            pass
+        # Nested function/class definitions and imports: out of scope.
+
+    def _exec_assign(self, stmt: ast.Assign, func: FuncInfo) -> None:
+        for target in stmt.targets:
+            if (
+                isinstance(target, (ast.Tuple, ast.List))
+                and isinstance(stmt.value, (ast.Tuple, ast.List))
+                and len(target.elts) == len(stmt.value.elts)
+                and not any(isinstance(e, ast.Starred) for e in target.elts)
+                and not any(isinstance(e, ast.Starred) for e in stmt.value.elts)
+            ):
+                for t_elt, v_elt in zip(target.elts, stmt.value.elts):
+                    self.assign_target(t_elt, self.eval(v_elt, func), v_elt, func)
+                continue
+            value = self.eval(stmt.value, func)
+            self.assign_target(target, value, stmt.value, func)
+
+    def _exec_annassign(self, stmt: ast.AnnAssign, func: FuncInfo) -> None:
+        if isinstance(stmt.target, ast.Name):
+            cell = self._store_cell(stmt.target.id, func)
+            if cell is not None and cell not in self.decl:
+                self.decl[cell] = self._seed_value(
+                    stmt.target.id, stmt.annotation, func
+                )
+        if stmt.value is not None:
+            value = self.eval(stmt.value, func)
+            self.assign_target(stmt.target, value, stmt.value, func)
+
+    def _target_cell(self, target: ast.expr, func: FuncInfo) -> tuple | None:
+        if isinstance(target, ast.Name):
+            return self._store_cell(target.id, func)
+        if isinstance(target, ast.Attribute):
+            base = self.eval(target.value, func)
+            if isinstance(base.cls, str):
+                return self._attr_cell(base.cls, target.attr)
+        return None
+
+    def _exec_augassign(self, stmt: ast.AugAssign, func: FuncInfo) -> None:
+        current = self.eval(stmt.target, func)
+        cell = self._target_cell(stmt.target, func)
+        if cell is not None:
+            decl = self._cell_decl(cell)
+            if isinstance(decl.dim, Dim) and decl.dim.kind != "dimensionless":
+                # Anchor to the declared dimension: the store may already
+                # be widened by the very flow under inspection, which
+                # would mask the mismatch at fixpoint.
+                current = replace(current, dim=decl.dim)
+        value = self.eval(stmt.value, func)
+        op = _BINOP_NAMES.get(type(stmt.op))
+        if op is None:
+            result = UNKNOWN
+        else:
+            out = binop(op, current, value)
+            if self.emit and out.mismatch:
+                self.report(
+                    stmt, RULE_DIM_MISMATCH, f"dimension mismatch: {out.mismatch}"
+                )
+            # Only the right-hand side's taints are *new* to the target;
+            # re-reporting the cell's own converged taints at every
+            # augmented assignment would be noise (bind() re-joins them).
+            result = replace(out.value, taints=value.taints)
+        self.assign_target(
+            target=stmt.target,
+            value=result,
+            expr=stmt.value,
+            func=func,
+            skip_dim001=True,
+        )
+
+    def _exec_for(self, stmt: ast.For | ast.AsyncFor, func: FuncInfo) -> None:
+        iter_val = self.eval(stmt.iter, func)
+        element = self._element_of(stmt.iter, iter_val, func)
+        self.assign_target(stmt.target, element, None, func)
+        for child in [*stmt.body, *stmt.orelse]:
+            self.exec_stmt(child, func)
+
+    def _element_of(
+        self, iter_expr: ast.expr, iter_val: AbsValue, func: FuncInfo
+    ) -> AbsValue:
+        if isinstance(iter_expr, (ast.Tuple, ast.List)):
+            element = BOT
+            for elt in iter_expr.elts:
+                if isinstance(elt, ast.Starred):
+                    return with_taints(UNKNOWN, iter_val.taints)
+                element = join(element, self.eval(elt, func))
+            return element
+        if isinstance(iter_expr, ast.Call) and isinstance(iter_expr.func, ast.Name):
+            name = iter_expr.func.id
+            if name == "range":
+                taints = frozenset()
+                for arg in iter_expr.args:
+                    taints = join_taints(taints, self.eval(arg, func).taints)
+                return AbsValue(dim=DIMENSIONLESS, rep="int", taints=taints)
+            if name == "sorted" and iter_expr.args:
+                # sorted() imposes a deterministic order, legitimizing
+                # iteration over a set — no set-iteration taint.
+                inner = self.eval(iter_expr.args[0], func)
+                return with_taints(UNKNOWN, inner.taints)
+            if name in ("list", "reversed", "tuple") and iter_expr.args:
+                inner = iter_expr.args[0]
+                return self._element_of(inner, self.eval(inner, func), func)
+        unordered = isinstance(iter_expr, ast.Set) or (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Name)
+            and iter_expr.func.id in ("set", "frozenset")
+        )
+        if unordered or iter_val.container == "set":
+            taint = Taint(
+                kind="set-iteration",
+                detail="iteration over an unordered set",
+                path=func.path,
+                line=getattr(iter_expr, "lineno", 1),
+            )
+            return with_taints(UNKNOWN, join_taints(iter_val.taints, {taint}))
+        return with_taints(UNKNOWN, iter_val.taints)
+
+    # --- assignment targets ------------------------------------------------
+
+    def _store_cell(self, name: str, func: FuncInfo) -> tuple | None:
+        if func.node is None or name in self._globals:
+            return ("mod", func.module.name, name)
+        if name in func.local_names:
+            return ("var", func.qname, name)
+        return ("var", func.qname, name)
+
+    def assign_target(
+        self,
+        target: ast.expr,
+        value: AbsValue,
+        expr: ast.expr | None,
+        func: FuncInfo,
+        *,
+        skip_dim001: bool = False,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            cell = self._store_cell(target.id, func)
+            if cell is not None:
+                self.bind(
+                    cell,
+                    value,
+                    target,
+                    expr,
+                    what="assignment",
+                    skip_dim001=skip_dim001,
+                )
+        elif isinstance(target, ast.Attribute):
+            base = self.eval(target.value, func)
+            if isinstance(base.cls, str):
+                cell = self._attr_cell(base.cls, target.attr)
+                self.bind(
+                    cell,
+                    value,
+                    target,
+                    expr,
+                    what="attribute assignment",
+                    skip_dim001=skip_dim001,
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            derived = with_taints(UNKNOWN, value.taints)
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self.assign_target(inner, derived, None, func)
+        elif isinstance(target, ast.Subscript):
+            self.eval(target.value, func)
+            self.eval(target.slice, func)
+            base = self.eval(target.value, func)
+            if (
+                self.emit
+                and value.taints
+                and isinstance(base.cls, str)
+                and self.program.is_subclass_of(base.cls, STATE_BASENAMES)
+            ):
+                self._report_taints(
+                    target,
+                    value.taints,
+                    f"simulator state '{base.cls.rsplit('.', 1)[-1]}[...]'",
+                )
+        elif isinstance(target, ast.Starred):
+            self.assign_target(target.value, value, None, func)
+
+    def _attr_cell(self, cls_qname: str, attr: str) -> tuple:
+        """The cell of an instance attribute, keyed by its defining class."""
+        seen: set[str] = set()
+        queue = [cls_qname]
+        while queue:
+            qname = queue.pop(0)
+            if qname in seen:
+                continue
+            seen.add(qname)
+            cls = self.program.classes.get(qname)
+            if cls is None:
+                continue
+            if attr in self.assigned_attrs.get(qname, ()) or attr in cls.fields:
+                return ("attr", qname, attr)
+            queue.extend(cls.bases)
+        return ("attr", cls_qname, attr)
+
+    # --- expressions -------------------------------------------------------
+
+    def eval(self, node: ast.expr, func: FuncInfo) -> AbsValue:
+        if isinstance(node, ast.Constant):
+            return self._eval_constant(node)
+        if isinstance(node, ast.Name):
+            return self._eval_name(node, func)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, func)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, func)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, func)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval_unaryop(node, func)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, func)
+            return join(self.eval(node.body, func), self.eval(node.orelse, func))
+        if isinstance(node, ast.BoolOp):
+            value = BOT
+            for operand in node.values:
+                value = join(value, self.eval(operand, func))
+            return value
+        if isinstance(node, ast.Compare):
+            taints = self.eval(node.left, func).taints
+            for comparator in node.comparators:
+                taints = join_taints(taints, self.eval(comparator, func).taints)
+            return AbsValue(dim=DIMENSIONLESS, rep="int", taints=taints)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            taints = frozenset()
+            for elt in node.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                taints = join_taints(taints, self.eval(inner, func).taints)
+            return AbsValue(
+                dim=TOP, rep=TOP, cls=TOP, container="list", taints=taints
+            )
+        if isinstance(node, ast.Set):
+            for elt in node.elts:
+                self.eval(elt, func)
+            return AbsValue(dim=TOP, rep=TOP, cls=TOP, container="set")
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self.eval(key, func)
+            for value_node in node.values:
+                self.eval(value_node, func)
+            return AbsValue(dim=TOP, rep=TOP, cls=TOP, container="dict")
+        if isinstance(node, ast.Subscript):
+            base = self.eval(node.value, func)
+            self.eval(node.slice, func)
+            return with_taints(UNKNOWN, base.taints)
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value, func)
+            self.assign_target(node.target, value, node.value, func)
+            return value
+        if isinstance(node, ast.JoinedStr):
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    self.eval(part.value, func)
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, func)
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            return self._eval_comprehension(node, func)
+        if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+            if getattr(node, "value", None) is not None:
+                self.eval(node.value, func)
+            return UNKNOWN
+        if isinstance(node, ast.Lambda):
+            return UNKNOWN
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part, func)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _eval_binop(self, node: ast.BinOp, func: FuncInfo) -> AbsValue:
+        left = self.eval(node.left, func)
+        right = self.eval(node.right, func)
+        op = _BINOP_NAMES.get(type(node.op))
+        if op is None:
+            return AbsValue(
+                dim=TOP, rep=TOP, taints=join_taints(left.taints, right.taints)
+            )
+        out = binop(op, left, right)
+        if self.emit and out.mismatch:
+            self.report(
+                node, RULE_DIM_MISMATCH, f"dimension mismatch: {out.mismatch}"
+            )
+        return out.value
+
+    def _eval_unaryop(self, node: ast.UnaryOp, func: FuncInfo) -> AbsValue:
+        value = self.eval(node.operand, func)
+        if isinstance(node.op, (ast.USub, ast.UAdd)):
+            const = value.const
+            if const is not None and isinstance(node.op, ast.USub):
+                const = -const
+            return replace(value, const=const)
+        if isinstance(node.op, ast.Not):
+            return AbsValue(dim=DIMENSIONLESS, rep="int", taints=value.taints)
+        return with_taints(UNKNOWN, value.taints)
+
+    def _eval_comprehension(self, node: ast.expr, func: FuncInfo) -> AbsValue:
+        taints = frozenset()
+        for gen in node.generators:
+            iter_val = self.eval(gen.iter, func)
+            element = self._element_of(gen.iter, iter_val, func)
+            self.assign_target(gen.target, element, None, func)
+            taints = join_taints(taints, element.taints)
+            for cond in gen.ifs:
+                self.eval(cond, func)
+        container = "set" if isinstance(node, ast.SetComp) else "list"
+        element_taints = taints
+        if isinstance(node, ast.DictComp):
+            element_taints = join_taints(
+                element_taints, self.eval(node.key, func).taints
+            )
+            element_taints = join_taints(
+                element_taints, self.eval(node.value, func).taints
+            )
+            container = "dict"
+        else:
+            element_taints = join_taints(
+                element_taints, self.eval(node.elt, func).taints
+            )
+        return AbsValue(
+            dim=TOP, rep=TOP, cls=TOP, container=container, taints=element_taints
+        )
+
+    def _eval_constant(self, node: ast.Constant) -> AbsValue:
+        value = node.value
+        if isinstance(value, bool):
+            return AbsValue(dim=DIMENSIONLESS, rep="int", const=float(value))
+        if isinstance(value, int):
+            return AbsValue(dim=DIMENSIONLESS, rep="int", const=float(value))
+        if isinstance(value, float):
+            return AbsValue(dim=DIMENSIONLESS, rep="float", const=value)
+        return UNKNOWN
+
+    def _maybe_scale_const(self, name: str, value: AbsValue) -> AbsValue:
+        """Mark ALL_CAPS numeric constants as deliberate scale factors."""
+        if (
+            value.const is not None
+            and not value.scale_const
+            and name == name.upper()
+            and isinstance(value.dim, Dim)
+            and value.dim.kind == "dimensionless"
+        ):
+            return replace(value, scale_const=True)
+        return value
+
+    def _eval_name(self, node: ast.Name, func: FuncInfo) -> AbsValue:
+        name = node.id
+        module = func.module
+        if func.node is not None and name not in self._globals:
+            if name in func.local_names:
+                return self.read_cell(("var", func.qname, name))
+        if name in module.functions or name in module.classes:
+            return UNKNOWN
+        # Bindings take priority over module-body names: import aliases
+        # are collected into the body's local names too, but their value
+        # lives behind the dotted target, not in a module-var cell.
+        if name in module.bindings:
+            return self._dotted_value(module.bindings[name])
+        body = module.body
+        if body is not None and name in body.local_names:
+            value = self.read_cell(("mod", module.name, name))
+            return self._maybe_scale_const(name, value)
+        if name in ("True", "False"):
+            return AbsValue(dim=DIMENSIONLESS, rep="int", const=float(name == "True"))
+        return UNKNOWN
+
+    def _dotted_value(self, dotted: str) -> AbsValue:
+        if dotted in UNITS_CONSTANTS:
+            return UNITS_CONSTANTS[dotted]
+        if dotted in self.program.functions or dotted in self.program.classes:
+            return UNKNOWN
+        cell = self._module_var_cell(dotted)
+        if cell is not None:
+            value = self.read_cell(cell)
+            return self._maybe_scale_const(cell[-1], value)
+        return UNKNOWN
+
+    def _module_var_cell(self, dotted: str) -> tuple | None:
+        if "." not in dotted:
+            return None
+        prefix, name = dotted.rsplit(".", 1)
+        module = self.program.modules.get(prefix)
+        if module is not None and module.body is not None:
+            if name in module.body.local_names:
+                return ("mod", prefix, name)
+        return None
+
+    def _resolve_parts(self, parts: list[str], func: FuncInfo) -> str | None:
+        """Absolute dotted target of a static name chain, if resolvable."""
+        head = parts[0]
+        module = func.module
+        if func.node is not None and head in func.local_names:
+            return None
+        if head in module.bindings:
+            return ".".join([module.bindings[head], *parts[1:]])
+        if head in module.functions or head in module.classes:
+            return ".".join([module.name, *parts])
+        return None
+
+    def _eval_attribute(self, node: ast.Attribute, func: FuncInfo) -> AbsValue:
+        parts = _dotted_parts(node)
+        if parts is not None:
+            dotted = self._resolve_parts(parts, func)
+            if dotted is not None:
+                return self._dotted_value(dotted)
+        base = self.eval(node.value, func)
+        if isinstance(base.cls, str):
+            method = self.program.method_of(base.cls, node.attr)
+            if method is not None and method.is_property:
+                return self.read_cell(("ret", method.qname))
+            if method is not None:
+                return UNKNOWN  # bound method object
+            return self.read_cell(self._attr_cell(base.cls, node.attr))
+        return UNKNOWN
+
+    # --- calls -------------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call, func: FuncInfo) -> AbsValue:
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            return self._call_name(node, callee.id, func)
+        if isinstance(callee, ast.Attribute):
+            return self._call_attribute(node, callee, func)
+        self._eval_args(node, func)
+        return UNKNOWN
+
+    def _eval_args(self, node: ast.Call, func: FuncInfo) -> frozenset:
+        taints = frozenset()
+        for arg in node.args:
+            inner = arg.value if isinstance(arg, ast.Starred) else arg
+            taints = join_taints(taints, self.eval(inner, func).taints)
+        for kw in node.keywords:
+            taints = join_taints(taints, self.eval(kw.value, func).taints)
+        return taints
+
+    def _call_name(self, node: ast.Call, name: str, func: FuncInfo) -> AbsValue:
+        module = func.module
+        if func.node is not None and name in func.local_names:
+            self.eval(node.func, func)
+            self._eval_args(node, func)
+            return UNKNOWN
+        if name in module.functions:
+            return self._call_function(module.functions[name], node, func)
+        if name in module.classes:
+            return self._construct(module.classes[name], node, func)
+        if name in module.bindings:
+            return self._call_dotted(module.bindings[name], node, func)
+        return self._call_builtin(name, node, func)
+
+    def _call_attribute(
+        self, node: ast.Call, callee: ast.Attribute, func: FuncInfo
+    ) -> AbsValue:
+        parts = _dotted_parts(callee)
+        if parts is not None:
+            dotted = self._resolve_parts(parts, func)
+            if dotted is not None:
+                return self._call_dotted(dotted, node, func)
+        base = self.eval(callee.value, func)
+        if isinstance(base.cls, str):
+            method = self.program.method_of(base.cls, callee.attr)
+            if method is not None:
+                return self._call_function(
+                    method, node, func, self_value=base
+                )
+        if callee.attr in SCHEDULE_METHODS:
+            taints = self._eval_args(node, func)
+            if self.emit and taints:
+                self._report_taints(
+                    node, taints, f"event scheduling via .{callee.attr}(...)"
+                )
+            return UNKNOWN
+        self._eval_args(node, func)
+        # A method result on a tainted receiver is tainted: e.g. draws
+        # from an unseeded random.Random() instance.
+        return with_taints(UNKNOWN, base.taints)
+
+    def _call_dotted(self, dotted: str, node: ast.Call, func: FuncInfo) -> AbsValue:
+        if dotted in UNITS_INTRINSICS:
+            return self._call_intrinsic(UNITS_INTRINSICS[dotted], dotted, node, func)
+        if dotted in self.program.functions:
+            return self._call_function(self.program.functions[dotted], node, func)
+        if dotted in self.program.classes:
+            return self._construct(self.program.classes[dotted], node, func)
+        source = taint_source(dotted, node)
+        if source is not None:
+            self._eval_args(node, func)
+            kind, detail = source
+            taint = Taint(
+                kind=kind,
+                detail=detail,
+                path=func.path,
+                line=getattr(node, "lineno", 1),
+            )
+            rep = "int" if dotted.endswith("_ns") else TOP
+            return AbsValue(dim=TOP, rep=rep, cls=TOP, taints=frozenset({taint}))
+        if dotted in MATH_DIM_PRESERVING and node.args:
+            value = self.eval(node.args[0], func)
+            self._eval_args(node, func)
+            return replace(value, rep=MATH_DIM_PRESERVING[dotted], const=None)
+        self._eval_args(node, func)
+        return UNKNOWN
+
+    def _call_intrinsic(
+        self, intr: Intrinsic, dotted: str, node: ast.Call, func: FuncInfo
+    ) -> AbsValue:
+        taints = frozenset()
+        bindings: list[tuple[str, Dim, ast.expr]] = []
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                self.eval(arg.value, func)
+                continue
+            if index < len(intr.params):
+                pname, pdim = intr.params[index]
+                bindings.append((pname, pdim, arg))
+        by_name = dict(intr.params)
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in by_name:
+                bindings.append((kw.arg, by_name[kw.arg], kw.value))
+            else:
+                self.eval(kw.value, func)
+        short = dotted.rsplit(".", 1)[-1]
+        for pname, pdim, arg in bindings:
+            value = self.eval(arg, func)
+            taints = join_taints(taints, value.taints)
+            vdim = value.dim
+            if (
+                self.emit
+                and isinstance(vdim, Dim)
+                and vdim.kind != "dimensionless"
+                and pdim.kind != "dimensionless"
+            ):
+                if vdim.kind != pdim.kind:
+                    self.report(
+                        node,
+                        RULE_DIM_MISMATCH,
+                        f"{vdim.render()} value passed to '{pname}' of "
+                        f"units.{short}() which expects {pdim.render()}",
+                    )
+                elif factors_conflict(vdim.factor, pdim.factor):
+                    self.report(
+                        node,
+                        RULE_DIM_MISMATCH,
+                        f"{vdim.render()} value passed to '{pname}' of "
+                        f"units.{short}() which expects {pdim.render()} "
+                        "(same dimension, different scale)",
+                    )
+        return with_taints(intr.ret, taints)
+
+    def _call_function(
+        self,
+        finfo: FuncInfo,
+        node: ast.Call,
+        func: FuncInfo,
+        self_value: AbsValue | None = None,
+    ) -> AbsValue:
+        params = list(finfo.params)
+        if self_value is not None and params:
+            self.bind(
+                ("var", finfo.qname, params[0].name),
+                self_value,
+                node,
+                None,
+                what="receiver",
+                skip_dim001=True,
+            )
+            params = params[1:]
+        index = 0
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                self.eval(arg.value, func)
+                index = len(params)  # alignment lost beyond a *args splat
+                continue
+            value = self.eval(arg, func)
+            if index < len(params):
+                self._bind_argument(
+                    finfo, params[index], value, arg, node, keyword=False
+                )
+            index += 1
+        names = {p.name: p for p in params}
+        for kw in node.keywords:
+            value = self.eval(kw.value, func)
+            if kw.arg is not None and kw.arg in names:
+                self._bind_argument(
+                    finfo, names[kw.arg], value, kw.value, node, keyword=True
+                )
+        return self.read_cell(("ret", finfo.qname))
+
+    def _bind_argument(
+        self,
+        finfo: FuncInfo,
+        param,
+        value: AbsValue,
+        expr: ast.expr,
+        node: ast.Call,
+        *,
+        keyword: bool,
+    ) -> None:
+        cell = ("var", finfo.qname, param.name)
+        decl = self._cell_decl(cell)
+        if self.emit:
+            literal = _literal_const(expr)
+            if (
+                literal is not None
+                and abs(literal) not in (0.0, 1.0)
+                and isinstance(decl.dim, Dim)
+                and decl.dim.kind != "dimensionless"
+                # Only canonical-scale parameters (SI base or the integer
+                # nanosecond convention): display-unit parameters such as
+                # ``freq_ghz`` legitimately take literal table keys.
+                and decl.dim.factor in (1.0, 1e-9)
+            ):
+                self.report(
+                    expr,
+                    RULE_BARE_LITERAL,
+                    f"bare numeric literal {literal:g} passed to "
+                    f"'{param.name}' of {finfo.qname.rsplit('.', 1)[-1]}() "
+                    f"declared {decl.dim.render()}; construct the value via "
+                    "repro.units",
+                    severity=SEVERITY_WARNING,
+                )
+        self.bind(
+            cell,
+            value,
+            expr,
+            expr,
+            what="keyword argument" if keyword else "argument",
+        )
+
+    def _construct(
+        self, cinfo: ClassInfo, node: ast.Call, func: FuncInfo
+    ) -> AbsValue:
+        init = self.program.method_of(cinfo.qname, "__init__")
+        if init is not None:
+            instance = AbsValue(dim=TOP, rep=TOP, cls=cinfo.qname, container=TOP)
+            self._call_function(init, node, func, self_value=instance)
+        elif cinfo.is_dataclass:
+            field_names = list(cinfo.fields)
+            for index, arg in enumerate(node.args):
+                if isinstance(arg, ast.Starred):
+                    self.eval(arg.value, func)
+                    break
+                value = self.eval(arg, func)
+                if index < len(field_names):
+                    self.bind(
+                        ("attr", cinfo.qname, field_names[index]),
+                        value,
+                        arg,
+                        arg,
+                        what="argument",
+                    )
+            for kw in node.keywords:
+                value = self.eval(kw.value, func)
+                if kw.arg is not None and kw.arg in cinfo.fields:
+                    self.bind(
+                        ("attr", cinfo.qname, kw.arg),
+                        value,
+                        kw.value,
+                        kw.value,
+                        what="keyword argument",
+                    )
+        else:
+            self._eval_args(node, func)
+        return AbsValue(dim=TOP, rep=TOP, cls=cinfo.qname, container=TOP)
+
+    def _call_builtin(self, name: str, node: ast.Call, func: FuncInfo) -> AbsValue:
+        if name in _INT_BUILTINS:
+            if not node.args:
+                return AbsValue(dim=DIMENSIONLESS, rep="int", const=0.0)
+            value = self.eval(node.args[0], func)
+            for extra in node.args[1:]:
+                self.eval(extra, func)
+            # round(x, ndigits) returns a float, unlike round(x).
+            rep = "float" if (name == "round" and len(node.args) > 1) else "int"
+            const = value.const
+            if const is not None and rep == "int":
+                const = float(int(const)) if name == "int" else float(round(const))
+            return replace(value, rep=rep, const=const)
+        if name == "float":
+            if not node.args:
+                return AbsValue(dim=DIMENSIONLESS, rep="float", const=0.0)
+            value = self.eval(node.args[0], func)
+            return replace(value, rep="float")
+        if name == "abs" and len(node.args) == 1:
+            value = self.eval(node.args[0], func)
+            const = abs(value.const) if value.const is not None else None
+            return replace(value, const=const, scale_const=False)
+        if name in ("min", "max") and len(node.args) >= 2:
+            value = BOT
+            for arg in node.args:
+                value = join(value, self.eval(arg, func))
+            for kw in node.keywords:
+                self.eval(kw.value, func)
+            return replace(value, const=None, scale_const=False)
+        if name == "len":
+            self._eval_args(node, func)
+            return AbsValue(dim=DIMENSIONLESS, rep="int")
+        if name in ("set", "frozenset"):
+            self._eval_args(node, func)
+            return AbsValue(dim=TOP, rep=TOP, cls=TOP, container="set")
+        if name in ("sorted", "list", "tuple", "reversed"):
+            self._eval_args(node, func)
+            return AbsValue(dim=TOP, rep=TOP, cls=TOP, container="list")
+        if name == "dict":
+            self._eval_args(node, func)
+            return AbsValue(dim=TOP, rep=TOP, cls=TOP, container="dict")
+        if name in ("bool", "isinstance", "issubclass", "hasattr"):
+            self._eval_args(node, func)
+            return AbsValue(dim=DIMENSIONLESS, rep="int")
+        taints = self._eval_args(node, func)
+        if name in ("sum",):
+            return AbsValue(dim=TOP, rep=TOP, cls=TOP, taints=taints)
+        return UNKNOWN
+
+
+def analyze_program(program: Program) -> Analyzer:
+    """Run the fixpoint plus reporting pass; returns the analyzer."""
+    analyzer = Analyzer(program)
+    analyzer.run()
+    analyzer.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return analyzer

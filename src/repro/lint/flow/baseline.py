@@ -1,0 +1,87 @@
+"""Baseline file support: accepted findings for gradual adoption.
+
+A baseline records the flow findings a project has reviewed and chosen
+to live with (or fix later), so ``lint --flow`` only fails on *new*
+problems.  Entries are fingerprinted by (rule, path, message) with line
+numbers inside the message normalized away, so unrelated edits that
+shift lines do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Line references embedded in messages (taint witnesses carry
+#: ``path:123``); normalized so fingerprints survive line drift.
+_LINE_REF = re.compile(r":\d+")
+
+
+def fingerprint(finding: Finding) -> tuple[str, str, str]:
+    return (
+        finding.rule,
+        finding.path.replace("\\", "/"),
+        _LINE_REF.sub(":_", finding.message),
+    )
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    """The fingerprints recorded in ``path`` (empty set if absent)."""
+    if not os.path.exists(path):
+        return set()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        raise LintError(f"cannot read baseline {path}: {err}") from err
+    entries = doc.get("findings", [])
+    return {
+        (e["rule"], e["path"], _LINE_REF.sub(":_", e["message"]))
+        for e in entries
+        if isinstance(e, dict) and {"rule", "path", "message"} <= e.keys()
+    }
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    """Record ``findings`` as the accepted baseline at ``path``."""
+    entries = sorted(
+        {
+            (f.rule, f.path.replace("\\", "/"), _LINE_REF.sub(":_", f.message))
+            for f in findings
+        }
+    )
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": p, "message": message}
+            for rule, p, message in entries
+        ],
+    }
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as err:
+        raise LintError(f"cannot write baseline {path}: {err}") from err
+
+
+def split_baselined(
+    findings: list[Finding], accepted: set[tuple[str, str, str]]
+) -> tuple[list[Finding], int]:
+    """(new findings, count matched by the baseline)."""
+    if not accepted:
+        return list(findings), 0
+    kept: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        if fingerprint(finding) in accepted:
+            matched += 1
+        else:
+            kept.append(finding)
+    return kept, matched

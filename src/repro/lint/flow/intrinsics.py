@@ -1,0 +1,164 @@
+"""Intrinsic summaries: units.py constructors, builtins, taint sources.
+
+The flow analysis never interprets :mod:`repro.units` bodies; each
+converter gets a hand-written summary (expected argument dimension,
+result dimension and representation) keyed by qualified name.  That
+makes the seeds exact — ``us(...)`` *defines* integer nanoseconds — and
+lets fixture programs that merely ``from repro.units import us`` get the
+same treatment without the real module in the analyzed set.
+
+The taint tables mirror :mod:`repro.lint.rules_determinism` (DET001)
+sources; DET002 differs by *carrying* the taint interprocedurally to
+simulator-state sinks instead of flagging the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.flow.lattice import BOTTOM, TOP, AbsValue, Dim
+from repro.lint.rules_determinism import (
+    _DATETIME_FUNCS,
+    _NP_RANDOM_OK,
+    _NP_RANDOM_SEEDED,
+    _WALL_CLOCK_FUNCS,
+)
+
+_NS = Dim("time", 1e-9)
+_US = Dim("time", 1e-6)
+_MS = Dim("time", 1e-3)
+_S = Dim("time", 1.0)
+_HZ = Dim("frequency", 1.0)
+_MHZ = Dim("frequency", 1e6)
+_GHZ = Dim("frequency", 1e9)
+_J = Dim("energy", 1.0)
+#: One RAPL counter increment is 2**-16 J (family 17h energy status unit).
+_RAPL = Dim("energy", 2.0**-16)
+_NUM = Dim("dimensionless", 1.0)
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """Summary of one units.py converter: param dims and result value."""
+
+    ret: AbsValue
+    params: tuple[tuple[str, Dim], ...] = ()
+
+
+def _val(dim: Dim, rep: str) -> AbsValue:
+    return AbsValue(dim=dim, rep=rep)
+
+
+_U = "repro.units."
+
+#: qname -> summary for every :mod:`repro.units` converter.
+UNITS_INTRINSICS: dict[str, Intrinsic] = {
+    _U + "us": Intrinsic(_val(_NS, "int"), (("value", _US),)),
+    _U + "ms": Intrinsic(_val(_NS, "int"), (("value", _MS),)),
+    _U + "s": Intrinsic(_val(_NS, "int"), (("value", _S),)),
+    _U + "ns_to_us": Intrinsic(_val(_US, "float"), (("t_ns", _NS),)),
+    _U + "ns_to_ms": Intrinsic(_val(_MS, "float"), (("t_ns", _NS),)),
+    _U + "ns_to_s": Intrinsic(_val(_S, "float"), (("t_ns", _NS),)),
+    _U + "mhz": Intrinsic(_val(_HZ, "float"), (("value", _MHZ),)),
+    _U + "ghz": Intrinsic(_val(_HZ, "float"), (("value", _GHZ),)),
+    _U + "hz_to_mhz": Intrinsic(_val(_MHZ, "float"), (("f_hz", _HZ),)),
+    _U + "hz_to_ghz": Intrinsic(_val(_GHZ, "float"), (("f_hz", _HZ),)),
+    _U + "snap_to_pstate_grid": Intrinsic(_val(_HZ, "float"), (("f_hz", _HZ),)),
+    # Deliberately fractional nanoseconds: an analytic quantity.  This is
+    # the canonical DIM003 source when assigned to an integer *_ns cell.
+    _U + "cycles_to_ns": Intrinsic(
+        _val(_NS, "float"), (("cycles", _NUM), ("f_hz", _HZ))
+    ),
+    _U + "ns_to_cycles": Intrinsic(
+        _val(_NUM, "float"), (("t_ns", _NS), ("f_hz", _HZ))
+    ),
+    _U + "joules_to_rapl_units": Intrinsic(_val(_RAPL, "int"), (("e_j", _J),)),
+    _U + "rapl_units_to_joules": Intrinsic(_val(_J, "float"), (("raw", _RAPL),)),
+}
+
+
+def _const(value: float, rep: str, dim: Dim = _NUM, scale: bool = True) -> AbsValue:
+    return AbsValue(dim=dim, rep=rep, const=value, scale_const=scale)
+
+
+#: qname -> value for units.py module constants (for programs importing
+#: them when repro.units itself is outside the analyzed set).
+UNITS_CONSTANTS: dict[str, AbsValue] = {
+    _U + "NS_PER_US": _const(1e3, "int"),
+    _U + "NS_PER_MS": _const(1e6, "int"),
+    _U + "NS_PER_S": _const(1e9, "int"),
+    _U + "KHZ": _const(1e3, "float"),
+    _U + "MHZ": _const(1e6, "float"),
+    _U + "GHZ": _const(1e9, "float"),
+    _U + "PSTATE_FREQ_STEP_HZ": _const(25e6, "float", _HZ, scale=False),
+    _U + "RAPL_ENERGY_UNIT_J": _const(2.0**-16, "float", _J, scale=False),
+    _U + "RAPL_COUNTER_WRAP": _const(float(2**32), "int"),
+}
+
+
+#: Wall-clock reads, by resolved dotted name.
+WALL_CLOCK_DOTTED = (
+    {f"time.{name}" for name in _WALL_CLOCK_FUNCS}
+    | {f"datetime.datetime.{name}" for name in _DATETIME_FUNCS}
+    | {"datetime.date.today"}
+)
+
+_EXTRA_RNG = {
+    "os.urandom",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+    "secrets.choice",
+}
+
+
+def taint_source(dotted: str, node: ast.Call) -> tuple[str, str] | None:
+    """(kind, detail) when a resolved external call is nondeterministic."""
+    if dotted in WALL_CLOCK_DOTTED:
+        return ("wall-clock", f"{dotted}()")
+    parts = dotted.split(".")
+    if parts[0] == "random" and len(parts) > 1:
+        if parts[-1] == "Random" and (node.args or node.keywords):
+            return None  # seeded private instance
+        return ("unseeded-rng", f"{dotted}()")
+    if dotted.startswith("numpy.random."):
+        attr = parts[-1]
+        if attr in _NP_RANDOM_OK:
+            return None
+        if attr in _NP_RANDOM_SEEDED and (node.args or node.keywords):
+            return None
+        return ("unseeded-rng", f"{dotted}()")
+    if dotted in _EXTRA_RNG:
+        return ("unseeded-rng", f"{dotted}()")
+    return None
+
+
+#: math.* functions that keep their argument's dimension.
+MATH_DIM_PRESERVING = {
+    "math.floor": "int",
+    "math.ceil": "int",
+    "math.trunc": "int",
+    "math.fabs": "float",
+}
+
+#: Classes whose attributes are simulator state (DET002 sinks), matched
+#: by basename so fixture programs need no package layout.
+STATE_BASENAMES = {"Machine", "Simulator"}
+
+#: Methods that feed the event queue; tainted arguments are DET002.
+SCHEDULE_METHODS = {"schedule_at", "schedule_after", "periodic", "push"}
+
+#: Annotation name -> representation element.
+ANN_REPS = {"int": "int", "float": "float", "bool": "int"}
+
+
+def rep_from_annotation(names: set[str]) -> object:
+    """Representation lattice element implied by annotation type names."""
+    reps = {ANN_REPS[name] for name in names if name in ANN_REPS}
+    if not reps:
+        return BOTTOM
+    if len(reps) == 1:
+        return next(iter(reps))
+    return TOP

@@ -1,0 +1,456 @@
+"""Abstract domain of the dimensional-dataflow analysis.
+
+Each abstract value tracks five independent facts, each a small join
+semilattice (``BOTTOM`` = "nothing known yet", ``TOP`` = "conflicting or
+unknowable"):
+
+* **dim** — the physical dimension: a :class:`Dim` with a kind (time,
+  frequency, power, energy, voltage, current, temperature,
+  dimensionless) and a scale factor relative to the kind's SI base unit
+  (``ns`` is ``1e-9`` of a second, ``mhz`` is ``1e6`` hertz, ...).  A
+  ``None`` factor means "this kind, scale unknown" — the conservative
+  join of two scales of the same kind.
+* **rep** — the numeric representation, ``"int"`` or ``"float"``.
+  DESIGN.md §7 demands integer nanoseconds for event time; a value
+  whose rep is definitely ``"float"`` must never reach an int-ns cell.
+* **taints** — nondeterminism witnesses (wall-clock reads, unseeded
+  RNG draws, set-iteration order) carried from source to sink for
+  DET002.
+* **cls** — the qualified class name of the value when it is a known
+  instance; powers method resolution and Machine/Simulator sink checks.
+* **const** — the numeric value when statically known, used to
+  recognize scale conversions through named unit constants.
+
+Joins are componentwise, monotone and of finite height, so the global
+fixpoint terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.lint.rules_units import SUFFIXES
+
+
+class _Mark:
+    """Lattice bound sentinel with a readable repr."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+BOTTOM = _Mark("<bottom>")
+TOP = _Mark("<top>")
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A physical dimension: kind plus scale factor to the SI base unit."""
+
+    kind: str
+    factor: float | None = None
+
+    def render(self) -> str:
+        if self.kind == "dimensionless":
+            return "dimensionless"
+        if self.factor is None:
+            return self.kind
+        token = scale_token(self.kind, self.factor)
+        if token is not None:
+            return f"{self.kind}[{token}]"
+        return f"{self.kind}[{self.factor:g}]"
+
+
+#: SI base factor is 1.0; every suffix token maps to (kind, factor).
+_SUFFIX_FACTORS: dict[str, float] = {
+    "ns": 1e-9,
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "hz": 1.0,
+    "khz": 1e3,
+    "mhz": 1e6,
+    "ghz": 1e9,
+    "w": 1.0,
+    "mw": 1e-3,
+    "j": 1.0,
+    "v": 1.0,
+    "mv": 1e-3,
+    "a": 1.0,
+    # Temperature scales are affine, not multiplicative: no factor, so
+    # the flow pass never claims a c<->k conversion is a pure rescale.
+    "c": None,
+    "k": None,
+}
+
+DIMENSIONLESS = Dim("dimensionless", 1.0)
+
+
+def dim_for_suffix(suffix: str) -> Dim:
+    """The :class:`Dim` a recognized unit suffix declares."""
+    kind, _scale = SUFFIXES[suffix]
+    return Dim(kind, _SUFFIX_FACTORS[suffix])
+
+
+def scale_token(kind: str, factor: float | None) -> str | None:
+    """The suffix token matching ``factor`` for ``kind``, if canonical."""
+    if factor is None:
+        return None
+    for token, (suffix_kind, _scale) in SUFFIXES.items():
+        if suffix_kind != kind:
+            continue
+        token_factor = _SUFFIX_FACTORS[token]
+        if token_factor is not None and _close(token_factor, factor):
+            return token
+    return None
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= 1e-9 * max(abs(a), abs(b), 1e-30)
+
+
+def factors_conflict(a: float | None, b: float | None) -> bool:
+    """Whether two scale factors are both known and definitely differ."""
+    return a is not None and b is not None and not _close(a, b)
+
+
+@dataclass(frozen=True, order=True)
+class Taint:
+    """One nondeterminism witness attached to a value."""
+
+    kind: str  # "wall-clock" | "unseeded-rng" | "set-iteration"
+    detail: str  # e.g. "time.monotonic()"
+    path: str
+    line: int
+
+    def render(self) -> str:
+        return f"{self.kind} {self.detail} at {self.path}:{self.line}"
+
+
+#: Cap on taints carried per value; keeps joins cheap and messages short.
+MAX_TAINTS = 4
+
+
+@dataclass(frozen=True)
+class AbsValue:
+    """One abstract value: the product of the five component lattices."""
+
+    dim: object = BOTTOM  # BOTTOM | Dim | TOP
+    rep: object = BOTTOM  # BOTTOM | "int" | "float" | TOP
+    taints: frozenset = frozenset()
+    cls: object = BOTTOM  # BOTTOM | qualified class name | TOP
+    container: object = BOTTOM  # BOTTOM | "set" | "list" | ... | TOP
+    const: float | None = None  # statically-known numeric value
+    #: True when ``const`` came from an ALL_CAPS module constant — the
+    #: only multiplications/divisions treated as deliberate rescaling.
+    scale_const: bool = False
+
+
+UNKNOWN = AbsValue(dim=TOP, rep=TOP, cls=TOP, container=TOP)
+BOT = AbsValue()
+
+
+def join_flat(a: object, b: object) -> object:
+    """Join on a flat lattice (BOTTOM < values < TOP)."""
+    if a is BOTTOM:
+        return b
+    if b is BOTTOM:
+        return a
+    if a is TOP or b is TOP:
+        return TOP
+    return a if a == b else TOP
+
+
+def join_dim(a: object, b: object) -> object:
+    """Join of two dimension elements; same kind widens to factor-None."""
+    if a is BOTTOM:
+        return b
+    if b is BOTTOM:
+        return a
+    if a is TOP or b is TOP:
+        return TOP
+    assert isinstance(a, Dim) and isinstance(b, Dim)
+    if a.kind != b.kind:
+        return TOP
+    if a.factor is not None and b.factor is not None and _close(a.factor, b.factor):
+        return a
+    return Dim(a.kind, None)
+
+
+def join_taints(a: frozenset, b: frozenset) -> frozenset:
+    merged = a | b
+    if len(merged) > MAX_TAINTS:
+        merged = frozenset(sorted(merged)[:MAX_TAINTS])
+    return merged
+
+
+def join(a: AbsValue, b: AbsValue) -> AbsValue:
+    """Componentwise join of two abstract values."""
+    if a == b:
+        return a
+    const = a.const if (a.const is not None and a.const == b.const) else None
+    return AbsValue(
+        dim=join_dim(a.dim, b.dim),
+        rep=join_flat(a.rep, b.rep),
+        taints=join_taints(a.taints, b.taints),
+        cls=join_flat(a.cls, b.cls),
+        container=join_flat(a.container, b.container),
+        const=const,
+        scale_const=a.scale_const and b.scale_const,
+    )
+
+
+def with_taints(value: AbsValue, taints: frozenset) -> AbsValue:
+    if not taints:
+        return value
+    return replace(value, taints=join_taints(value.taints, taints))
+
+
+# ---------------------------------------------------------------------------
+# dimensional arithmetic
+# ---------------------------------------------------------------------------
+
+#: kind × kind -> product kind (commutative; looked up both ways).
+_MUL_KINDS = {
+    ("time", "frequency"): "dimensionless",
+    ("power", "time"): "energy",
+    ("current", "voltage"): "power",
+}
+
+#: kind / kind -> quotient kind (ordered).
+_DIV_KINDS = {
+    ("energy", "time"): "power",
+    ("energy", "power"): "time",
+    ("power", "voltage"): "current",
+    ("power", "current"): "voltage",
+    ("power", "frequency"): "energy",
+    ("dimensionless", "time"): "frequency",
+    ("dimensionless", "frequency"): "time",
+}
+
+
+@dataclass
+class BinResult:
+    """Outcome of abstract arithmetic: the value plus any DIM001 defect."""
+
+    value: AbsValue
+    mismatch: str | None = None  # human detail when the operation is unsound
+
+
+def _rep_arith(op: str, a: object, b: object) -> object:
+    if op == "div":
+        return "float"
+    if op == "floordiv":
+        return "int" if (a == "int" and b == "int") else join_flat(a, b)
+    if a is BOTTOM or b is BOTTOM:
+        return BOTTOM
+    if a == "float" or b == "float":
+        return "float"
+    if a == "int" and b == "int":
+        return "int"
+    return TOP
+
+
+def _const_arith(op: str, a: AbsValue, b: AbsValue) -> float | None:
+    if a.const is None or b.const is None:
+        return None
+    try:
+        if op == "add":
+            return a.const + b.const
+        if op == "sub":
+            return a.const - b.const
+        if op == "mult":
+            return a.const * b.const
+        if op == "div":
+            return a.const / b.const
+        if op == "floordiv":
+            return float(a.const // b.const)
+        if op == "mod":
+            return float(a.const % b.const)
+        if op == "pow":
+            return float(a.const**b.const)
+    except (ZeroDivisionError, OverflowError, ValueError):
+        return None
+    return None
+
+
+def _is_dimensionless(dim: object) -> bool:
+    return isinstance(dim, Dim) and dim.kind == "dimensionless"
+
+
+def _additive(op: str, a: AbsValue, b: AbsValue) -> BinResult:
+    taints = join_taints(a.taints, b.taints)
+    rep = _rep_arith(op, a.rep, b.rep)
+    const = _const_arith(op, a, b)
+    da, db = a.dim, b.dim
+    if not isinstance(da, Dim) or not isinstance(db, Dim):
+        dim = da if isinstance(da, Dim) else db if isinstance(db, Dim) else TOP
+        return BinResult(AbsValue(dim=dim, rep=rep, taints=taints, const=const))
+    # A dimensionless addend (offsets, literals like `+ 1`) adopts the
+    # dimensioned side; that is deliberate slack, not an error.
+    if _is_dimensionless(da):
+        return BinResult(AbsValue(dim=db, rep=rep, taints=taints, const=const))
+    if _is_dimensionless(db):
+        return BinResult(AbsValue(dim=da, rep=rep, taints=taints, const=const))
+    if da.kind != db.kind:
+        detail = f"{da.render()} {'+' if op == 'add' else '-'} {db.render()}"
+        return BinResult(
+            AbsValue(dim=TOP, rep=rep, taints=taints), mismatch=detail
+        )
+    if factors_conflict(da.factor, db.factor):
+        detail = (
+            f"{da.render()} {'+' if op == 'add' else '-'} {db.render()} "
+            "(same dimension, different scale)"
+        )
+        return BinResult(
+            AbsValue(dim=Dim(da.kind, None), rep=rep, taints=taints),
+            mismatch=detail,
+        )
+    factor = da.factor if da.factor is not None else db.factor
+    return BinResult(
+        AbsValue(dim=Dim(da.kind, factor), rep=rep, taints=taints, const=const)
+    )
+
+
+def _rescale(dim: Dim, a: AbsValue, b: AbsValue, op: str) -> Dim | None:
+    """Reinterpret mult/div by a named ALL_CAPS constant as rescaling.
+
+    ``t_ns / NS_PER_US`` keeps the physical value and multiplies the
+    scale factor by the constant; ``f_mhz * MHZ`` divides it.  Bare
+    literals (``total / 2``) are value arithmetic, never a rescale, so
+    they widen the factor to unknown instead (handled by the caller).
+    """
+    scaler = b if b.scale_const else a if a.scale_const else None
+    if scaler is None or scaler.const is None or scaler.const == 0:
+        return None
+    if dim.factor is None:
+        return Dim(dim.kind, None)
+    if op == "div" and scaler is b:
+        return Dim(dim.kind, dim.factor * scaler.const)
+    if op == "mult":
+        return Dim(dim.kind, dim.factor / scaler.const)
+    return None
+
+
+def _multiplicative(op: str, a: AbsValue, b: AbsValue) -> BinResult:
+    taints = join_taints(a.taints, b.taints)
+    rep = _rep_arith(op, a.rep, b.rep)
+    const = _const_arith(op, a, b)
+    da, db = a.dim, b.dim
+    if not isinstance(da, Dim) or not isinstance(db, Dim):
+        return BinResult(AbsValue(dim=TOP, rep=rep, taints=taints, const=const))
+
+    if op in ("mod", "floordiv"):
+        # x % y and x // y keep x's dimension when y is dimensionless or
+        # shares the kind; anything else is out of scope.
+        if _is_dimensionless(db) or da.kind == db.kind:
+            dim = da if _is_dimensionless(db) else Dim("dimensionless", 1.0)
+            return BinResult(AbsValue(dim=dim, rep=rep, taints=taints, const=const))
+        return BinResult(AbsValue(dim=TOP, rep=rep, taints=taints, const=const))
+
+    if op == "pow":
+        if _is_dimensionless(da) and _is_dimensionless(db):
+            return BinResult(
+                AbsValue(dim=DIMENSIONLESS, rep=rep, taints=taints, const=const)
+            )
+        return BinResult(AbsValue(dim=TOP, rep=rep, taints=taints, const=const))
+
+    if _is_dimensionless(da) and _is_dimensionless(db):
+        return BinResult(
+            AbsValue(dim=DIMENSIONLESS, rep=rep, taints=taints, const=const)
+        )
+
+    # Dimensioned op dimensionless: either a deliberate rescale through a
+    # named unit constant, or plain value arithmetic (factor widens to
+    # unknown — `t_ns / 2` might mean either down-scaling or halving).
+    if _is_dimensionless(db) or _is_dimensionless(da):
+        dimensioned, other = (a, b) if _is_dimensionless(db) else (b, a)
+        if op == "div" and dimensioned is b:
+            # dimensionless / dimensioned: 1/time = frequency etc.
+            quotient = _DIV_KINDS.get(("dimensionless", db.kind))
+            if quotient is None:
+                return BinResult(AbsValue(dim=TOP, rep=rep, taints=taints))
+            factor = None
+            if db.factor not in (None, 0.0) and _is_pure(a):
+                # A scale-constant numerator changes the result's unit:
+                # NS_PER_S / rate_hz is a *nanosecond* count, not seconds.
+                scale = a.const if a.scale_const and a.const else 1.0
+                factor = 1.0 / (db.factor * scale)
+            return BinResult(
+                AbsValue(dim=Dim(quotient, factor), rep=rep, taints=taints)
+            )
+        dim = dimensioned.dim
+        assert isinstance(dim, Dim)
+        rescaled = _rescale(dim, a, b, op)
+        if rescaled is not None:
+            return BinResult(AbsValue(dim=rescaled, rep=rep, taints=taints))
+        if other.const is not None and other.const == 1:
+            return BinResult(AbsValue(dim=dim, rep=rep, taints=taints))
+        return BinResult(
+            AbsValue(dim=Dim(dim.kind, None), rep=rep, taints=taints)
+        )
+
+    # Both sides dimensioned.
+    if op == "div":
+        if da.kind == db.kind:
+            factor = (
+                da.factor / db.factor
+                if da.factor is not None and db.factor not in (None, 0.0)
+                else None
+            )
+            return BinResult(
+                AbsValue(dim=Dim("dimensionless", factor), rep=rep, taints=taints)
+            )
+        quotient = _DIV_KINDS.get((da.kind, db.kind))
+        if quotient is None:
+            return BinResult(AbsValue(dim=TOP, rep=rep, taints=taints))
+        factor = (
+            da.factor / db.factor
+            if da.factor is not None and db.factor not in (None, 0.0)
+            else None
+        )
+        return BinResult(
+            AbsValue(dim=Dim(quotient, factor), rep=rep, taints=taints)
+        )
+
+    product = _MUL_KINDS.get((da.kind, db.kind)) or _MUL_KINDS.get(
+        (db.kind, da.kind)
+    )
+    if product is None:
+        return BinResult(AbsValue(dim=TOP, rep=rep, taints=taints))
+    factor = (
+        da.factor * db.factor
+        if da.factor is not None and db.factor is not None
+        else None
+    )
+    return BinResult(AbsValue(dim=Dim(product, factor), rep=rep, taints=taints))
+
+
+def _is_pure(value: AbsValue) -> bool:
+    """A plain number: dimensionless with the neutral factor."""
+    return (
+        isinstance(value.dim, Dim)
+        and value.dim.kind == "dimensionless"
+        and (value.dim.factor is None or value.dim.factor == 1.0)
+    )
+
+
+def binop(op: str, a: AbsValue, b: AbsValue) -> BinResult:
+    """Abstract evaluation of ``a <op> b`` with dimension checking."""
+    if op in ("add", "sub"):
+        return _additive(op, a, b)
+    if op in ("mult", "div", "floordiv", "mod", "pow"):
+        return _multiplicative(op, a, b)
+    # Bit ops, shifts, matmul: no dimensional meaning tracked.
+    return BinResult(
+        AbsValue(
+            dim=TOP,
+            rep=_rep_arith(op, a.rep, b.rep),
+            taints=join_taints(a.taints, b.taints),
+        )
+    )

@@ -129,7 +129,7 @@ class UnitSuffixRule(LintRule):
                     findings.extend(self._check_assign(ctx, node.target, node.value))
             elif isinstance(node, ast.Assign):
                 for target in node.targets:
-                    findings.extend(self._check_assign(ctx, target, node.value))
+                    findings.extend(self._check_assign_target(ctx, target, node.value))
             elif isinstance(node, ast.AugAssign):
                 findings.extend(self._check_assign(ctx, node.target, node.value, aug=True))
             elif isinstance(node, ast.Call):
@@ -181,6 +181,23 @@ class UnitSuffixRule(LintRule):
         return []
 
     # --- assignments -------------------------------------------------------
+
+    def _check_assign_target(self, ctx, target, value) -> list[Finding]:
+        """Dispatch one assignment target, unpacking tuples pairwise.
+
+        ``t_ns, f_hz = delay_us, clock_mhz`` checks each (target, value)
+        pair; starred targets and arity mismatches stay out of scope.
+        """
+        if isinstance(target, (ast.Tuple, ast.List)):
+            findings: list[Finding] = []
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                for t, v in zip(target.elts, value.elts):
+                    if not isinstance(t, ast.Starred):
+                        findings.extend(self._check_assign_target(ctx, t, v))
+            return findings
+        return self._check_assign(ctx, target, value)
 
     def _check_assign(self, ctx, target, value, *, aug=False) -> list[Finding]:
         name = _target_name(target)

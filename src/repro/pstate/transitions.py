@@ -139,8 +139,8 @@ class TransitionEngine:
 
     # --- internals -------------------------------------------------------------
 
-    def _voltage_gap(self, f_a: float, f_b: float) -> float:
-        return abs(self.cal.voltage_at(f_a) - self.cal.voltage_at(f_b))
+    def _voltage_gap(self, f_a_hz: float, f_b_hz: float) -> float:
+        return abs(self.cal.voltage_at(f_a_hz) - self.cal.voltage_at(f_b_hz))
 
     def _ensure_boundary(self) -> None:
         """Schedule the next 1 ms grid boundary if not already pending."""

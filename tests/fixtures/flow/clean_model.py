@@ -1,0 +1,39 @@
+"""Negative fixture: correct idioms only — zero findings expected."""
+
+import random
+
+from repro.units import GHZ, NS_PER_S, ghz, ns_to_s, s
+
+
+class Simulator:
+    def __init__(self) -> None:
+        self.now_ns = 0
+        self.rng = random.Random(42)  # OK: seeded private stream
+
+    def step(self, dt_ns: int) -> None:
+        self.now_ns += dt_ns
+
+    def sample(self) -> float:
+        return self.rng.random()  # OK: draws from the seeded stream
+
+
+def breakeven_ns(rate_hz: float) -> float:
+    # Scale-constant numerator: the quotient is a *nanosecond* count.
+    return NS_PER_S / rate_hz
+
+
+def cycles(t_ns: int, f_ghz: float) -> float:
+    f_hz = ghz(f_ghz)
+    return ns_to_s(t_ns) * f_hz
+
+
+def warmup(sim: Simulator) -> None:
+    sim.step(s(1))
+    sim.step(int(2.5 * GHZ) and 0)  # dimensionless arithmetic only
+
+
+def mean(values: list) -> float:
+    total = 0.0
+    for v in values:
+        total += v
+    return total / len(values) if values else 0.0

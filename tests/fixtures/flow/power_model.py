@@ -1,0 +1,34 @@
+"""Seeded true positives: cross-module dimension flow.
+
+See ``sim_machine.py`` for the BUG/OK convention; expectations live in
+``tests/unit/test_lint_flow.py``.
+"""
+
+from repro.units import NS_PER_US, joules_to_rapl_units, us
+
+from sim_machine import Machine, latency_ns
+
+
+def window_energy_j(p_w, t_ns, f_hz):
+    return p_w + t_ns  # BUG DIM001: power + time has no meaning
+
+
+def charge(m: Machine, p_w, dwell_us):
+    m.accumulate_ok(p_w, dwell_us)  # BUG DIM001: microseconds into dt_ns
+    m.accumulate_ok(p_w, us(dwell_us))  # OK: converted before the call
+
+
+def deadline(limit_ns):
+    return limit_ns
+
+
+def poll(m: Machine):
+    deadline(250)  # BUG DIM002: bare literal into a ns parameter
+    deadline(us(250))  # OK: constructed via repro.units
+    m.now_ns = latency_ns(64, m.f_hz)  # BUG DIM003: cross-module float
+    raw = joules_to_rapl_units(0.5)  # OK: counter units are integers
+    return raw
+
+
+def rescale_ok(t_ns):
+    return t_ns / NS_PER_US  # OK: named constant marks a rescale

@@ -1,0 +1,59 @@
+"""Seeded true positives: state class and interprocedural sinks.
+
+Every ``BUG:`` comment marks a finding the flow analyzer must emit;
+``OK:`` lines are deliberately-correct idioms that must stay silent.
+The expected (rule, line) pairs are asserted in
+``tests/unit/test_lint_flow.py`` — keep them in sync when editing.
+"""
+
+import random
+import time
+
+from repro.units import NS_PER_S, cycles_to_ns, ms, us
+
+
+class Machine:
+    def __init__(self, f_hz: float) -> None:
+        self.f_hz = f_hz
+        self.now_ns = 0
+        self.energy_j = 0.0
+
+    def advance(self, delta_ns):
+        self.now_ns += delta_ns
+
+    def accumulate(self, p_w, dt_ns):
+        self.energy_j += p_w * dt_ns  # BUG DIM001: missing / NS_PER_S
+
+    def accumulate_ok(self, p_w, dt_ns):
+        self.energy_j += p_w * dt_ns / NS_PER_S  # OK: rescaled to joules
+
+    def schedule_at(self, t_ns):
+        self.now_ns = max(self.now_ns, t_ns)
+
+
+def latency_ns(cycles, f_hz):
+    # Fractional nanoseconds escape through this helper's return value.
+    return cycles_to_ns(cycles, f_hz)
+
+
+def jitter_ns():
+    return random.random() * 10.0  # unseeded draw, tainted hereafter
+
+
+def run(m: Machine):
+    t_ns = latency_ns(100, m.f_hz)  # BUG DIM003: float into the ns local
+    m.now_ns = t_ns
+    wait_us = 5.0
+    total_ns = us(wait_us) + wait_us  # BUG DIM001: ns + us arithmetic
+    m.advance(ms(2))  # OK: ms() constructs integer nanoseconds
+    budget = time.monotonic()
+    m.now_ns = int(budget)  # BUG DET002: wall-clock into Machine state
+    m.schedule_at(jitter_ns())  # BUG DET002: unseeded RNG into the queue
+    return total_ns
+
+
+def drain(m: Machine, pending: set):
+    for cpu in pending:
+        m.advance(cpu)  # BUG DET002: set-iteration order into state
+    for cpu in sorted(pending):
+        m.advance(cpu)  # OK: sorted() fixes the iteration order

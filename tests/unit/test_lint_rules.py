@@ -90,6 +90,12 @@ def test_det001_allows_seeded_idioms(source):
         "self.period_ns = interval_ms\n",
         "freq_hz = power_w\n",  # cross-dimension
         "f(time_ns=delay_us)\n",
+        "g(power_w=volts_v)\n",  # kwarg, cross-dimension
+        "t_ns += delta_us\n",  # augmented, cross-scale
+        "t_ns += base_ns / 4\n",  # augmented, float result
+        "t_ns, f_hz = delay_us, clock_hz\n",  # tuple unpack, first pair
+        "a_hz, b_ns = base_hz, 2.5\n",  # tuple unpack, float literal
+        "(x_ns, y_ns) = [start_ns, stop_us]\n",  # list/tuple mix
     ],
 )
 def test_unit001_flags_suffix_misuse(source):
@@ -107,6 +113,10 @@ def test_unit001_flags_suffix_misuse(source):
         "time_ns = other_ns\n",  # same suffix
         "f(time_ns=start_ns)\n",
         "plain = 1.5\n",  # no recognized suffix
+        "t_ns, f_hz = base_ns, clock_hz\n",  # tuple unpack, consistent
+        "t_ns, *rest_us = values\n",  # starred: out of scope
+        "t_ns, extra = unpack_me()\n",  # arity unknown: out of scope
+        "t_ns += step_ns\n",  # augmented, same suffix
     ],
 )
 def test_unit001_allows_consistent_units(source):
@@ -200,7 +210,9 @@ def test_inline_suppression_is_rule_specific():
         "import time\nt = time.time()  # lint: disable=UNIT001\n"
     )
     assert suppressed == 0
-    assert [f.rule for f in findings] == ["DET001"]
+    # The mismatched suppression hides nothing (DET001 still fires) and
+    # is itself reported as stale (LINT001).
+    assert sorted(f.rule for f in findings) == ["DET001", "LINT001"]
 
 
 def test_file_level_suppression():
@@ -209,6 +221,41 @@ def test_file_level_suppression():
         "import time\na = time.time()\nb = time.time()\n"
     )
     assert findings == [] and suppressed == 2
+
+
+def test_stale_inline_suppression_is_lint001():
+    findings, suppressed = lint_source("x = 1  # lint: disable=DET001\n")
+    assert suppressed == 0
+    assert [(f.rule, f.severity, f.line) for f in findings] == [
+        ("LINT001", "warning", 1)
+    ]
+    assert "DET001" in findings[0].message
+
+
+def test_stale_file_level_suppression_is_lint001():
+    findings, _ = lint_source("# lint: disable-file=UNIT001\nx = 1\n")
+    assert [(f.rule, f.line) for f in findings] == [("LINT001", 1)]
+
+
+def test_used_suppression_is_not_stale():
+    findings, suppressed = lint_source(
+        "import time\nt = time.time()  # lint: disable=DET001\n"
+    )
+    assert findings == [] and suppressed == 1
+
+
+def test_lint001_is_itself_suppressible():
+    findings, suppressed = lint_source(
+        "x = 1  # lint: disable=DET001,LINT001\n"
+    )
+    assert findings == [] and suppressed == 1
+
+
+def test_suppression_inside_string_literal_is_inert():
+    findings, suppressed = lint_source(
+        's = "quoted  # lint: disable=DET001"\n'
+    )
+    assert findings == [] and suppressed == 0
 
 
 def test_syntax_error_becomes_parse_finding():
@@ -250,3 +297,57 @@ def test_lint_paths_and_formatters(tmp_path):
 def test_lint_paths_missing_path():
     with pytest.raises(LintError):
         lint_paths(["/no/such/dir-xyz"])
+
+
+# ---------------------------------------------------------------------------
+# source reading: encodings
+# ---------------------------------------------------------------------------
+
+
+class TestReadSource:
+    def test_pep263_cookie_is_honoured(self, tmp_path):
+        from repro.lint.engine import read_source
+
+        path = tmp_path / "legacy.py"
+        path.write_bytes(
+            b"# -*- coding: latin-1 -*-\n# caf\xe9\nx = 1\n"
+        )
+        source = read_source(str(path))
+        assert "café" in source and "x = 1" in source
+
+    def test_utf8_bom_is_stripped(self, tmp_path):
+        from repro.lint.engine import read_source
+
+        path = tmp_path / "bom.py"
+        path.write_bytes(b"\xef\xbb\xbfx = 1\n")
+        source = read_source(str(path))
+        assert source.startswith("x = 1")
+
+    def test_utf8_is_the_default(self, tmp_path):
+        from repro.lint.engine import read_source
+
+        path = tmp_path / "plain.py"
+        path.write_bytes("t_ns = 0  # délai\n".encode("utf-8"))
+        assert "délai" in read_source(str(path))
+
+    def test_undecodable_bytes_raise_lint_error(self, tmp_path):
+        from repro.lint.engine import read_source
+
+        path = tmp_path / "broken.py"
+        path.write_bytes(b"x = 1\n\xff\xfe\xff invalid utf-8\n")
+        with pytest.raises(LintError, match="cannot decode"):
+            read_source(str(path))
+
+    def test_bogus_cookie_raises_lint_error(self, tmp_path):
+        from repro.lint.engine import read_source
+
+        path = tmp_path / "cookie.py"
+        path.write_bytes(b"# -*- coding: no-such-codec -*-\nx = 1\n")
+        with pytest.raises(LintError, match="cannot decode"):
+            read_source(str(path))
+
+    def test_lint_paths_reads_cookie_files(self, tmp_path):
+        path = tmp_path / "legacy.py"
+        path.write_bytes(b"# -*- coding: latin-1 -*-\nv_mv = 1.0  # \xb5V\n")
+        report = lint_paths([str(path)])
+        assert report.files_checked == 1

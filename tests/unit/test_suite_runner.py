@@ -67,3 +67,57 @@ class TestFailureContainment:
         assert bad["failures"]["boom"]["kind"] == "error"
         assert bad["all_ok"] is False
         assert "failures" not in good
+
+
+class TestInvariantMonitoring:
+    def test_monitored_run_records_sweep(self, cfg):
+        result = run_suite(cfg, only=[FAST_ENTRY], monitor=True)
+        summary = result.invariants[FAST_ENTRY]
+        assert summary.machines >= 1
+        assert summary.checks >= 1
+        assert summary.violations == []
+        assert result.all_ok
+        assert "invariant sweep" in result.render()
+
+    def test_monitoring_is_opt_in(self, cfg):
+        result = run_suite(cfg, only=[FAST_ENTRY])
+        assert result.invariants == {}
+        assert "invariant sweep" not in result.render()
+
+    def test_document_key_only_when_monitored(self, cfg):
+        monitored = suite_to_dict(run_suite(cfg, only=[FAST_ENTRY], monitor=True))
+        plain = suite_to_dict(run_suite(cfg, only=[FAST_ENTRY]))
+        assert monitored["invariants"][FAST_ENTRY]["violations"] == []
+        assert "invariants" not in plain
+        # Monitoring must not perturb the measurement itself.
+        assert monitored["experiments"] == plain["experiments"]
+
+    def test_violation_fails_the_suite(self, cfg):
+        from repro.core.suite import InvariantSummary
+
+        result = run_suite(cfg, only=[FAST_ENTRY], monitor=True)
+        result.invariants[FAST_ENTRY] = InvariantSummary(
+            machines=1, checks=2, violations=["injected: power went negative"]
+        )
+        assert not result.all_ok
+        assert "power went negative" in result.render()
+
+    def test_monitored_run_bypasses_cache(self, cfg, tmp_path):
+        from repro.cache import ResultCache
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        result = run_suite(cfg, only=[FAST_ENTRY], cache=cache, monitor=True)
+        assert result.cache_stats is None
+        stats = cache.stats.as_dict()
+        assert stats["stores"] == 0 and stats["hits"] == 0
+
+    def test_machine_hook_nesting_and_removal(self, cfg):
+        from repro.core.experiment import machine_hook
+
+        seen: list[str] = []
+        with machine_hook(lambda m: seen.append("outer")):
+            with machine_hook(lambda m: seen.append("inner")):
+                cfg.build_machine().shutdown()
+            cfg.build_machine().shutdown()
+        cfg.build_machine().shutdown()
+        assert seen == ["outer", "inner", "outer"]
