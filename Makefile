@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-flow baseline-update ordering-check selfcheck suite-parallel golden
+.PHONY: test lint lint-json lint-flow baseline-update ordering-check selfcheck suite-parallel golden bench bench-smoke
 
 # The default gate: static analysis first (DET001/SIM001/... keep the
 # cache/parallel code deterministic), then the full pytest tree — which
@@ -39,3 +39,13 @@ suite-parallel:
 # JSON diff before committing (see docs/parallelism.md).
 golden:
 	$(PYTHON) -m pytest tests/integration/test_golden_suite.py --update-golden -q
+
+# Full microbenchmark registry -> benchmarks/results/BENCH_micro.json
+# (the checked-in performance baseline; see docs/performance.md).
+bench:
+	$(PYTHON) -m repro.bench
+
+# Quick kernels only, 1 rep, reduced scale: proves harness + schema
+# stay healthy (the CI job); numbers are not meaningful.
+bench-smoke:
+	$(PYTHON) -m repro.bench --smoke --out benchmarks/results/BENCH_smoke.json

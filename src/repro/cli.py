@@ -162,11 +162,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # `repro-zen2 bench [...]` forwards to the microbenchmark CLI
+        # (also reachable as `python -m repro.bench`).
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-zen2",
         description="Reproduce the CLUSTER 2021 Zen 2 energy-efficiency paper "
-        "(run 'repro-zen2 lint --help' for the static-analysis pass)",
+        "(run 'repro-zen2 lint --help' for the static-analysis pass, "
+        "'repro-zen2 bench --help' for the microbenchmarks)",
     )
     parser.add_argument(
         "experiment",

@@ -74,6 +74,12 @@ class CacheError(ReproError):
     """The result cache store is unusable (bad root, corrupt index)."""
 
 
+class ConvergenceWarning(UserWarning):
+    """A fixed-point iteration exited at its sweep cap without reaching
+    tolerance (e.g. the power<->temperature coupling in
+    :meth:`repro.machine.Machine.preheat` at an extreme calibration)."""
+
+
 class InvariantViolation(ReproError):
     """A runtime physical invariant was breached (see repro.lint.monitor).
 

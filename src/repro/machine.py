@@ -19,11 +19,13 @@ Two operating modes coexist (DESIGN.md §2.9):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.cstate.controller import CStateController
+from repro.errors import ConvergenceWarning
 from repro.cstate.package import PackageSleepResolver
 from repro.cstate.states import CSTATE_BASE_IO_ADDRESS
 from repro.cstate.wakeup import WakeupModel
@@ -172,6 +174,7 @@ class Machine:
             self.pkg_power_factors = [1.0] * n_packages
 
         self.power_model = PowerModel(calibration)
+        self.power_model.bind(self)
         self.thermal = ThermalModel(calibration)
         self.thermal_state = ThermalState.ambient(n_packages, calibration)
         self.rapl_estimator = RaplEstimator(calibration)
@@ -201,6 +204,16 @@ class Machine:
         self._rapl_tick_task = None
         self._observable_mean_hz: dict[int, float] = {}
         self._edc_caps: list[float | None] = [None] * n_packages
+        self._rapl_tick_cache: tuple | None = None
+
+        # Every mutation path of power-model inputs must bump
+        # state_version (the memoization key — see PowerModel.bind):
+        # reconfigured()/on_freq_request() do it directly; C-state
+        # re-resolutions and event-mode SMU transition completions land
+        # outside those paths, so they get explicit hooks.
+        self.cstates.on_change = self._bump_state_version
+        for smu in self.smus:
+            smu.transitions.on_applied = self._on_transition_applied
 
         self.cstates.refresh()
         self.reconfigured()
@@ -250,6 +263,14 @@ class Machine:
         else:
             self.reconfigured()
 
+    def _bump_state_version(self) -> None:
+        """Invalidate every ``state_version``-keyed cache."""
+        self.state_version += 1
+
+    def _on_transition_applied(self, core: Core, target_hz: float) -> None:
+        """SMU transition-engine hook: an event-mode frequency landed."""
+        self.state_version += 1
+
     def reconfigured(self) -> None:
         """Settle the machine after any configuration change.
 
@@ -257,6 +278,9 @@ class Machine:
         applies them (instantly, steady-state semantics) and updates the
         L3 and observable-mean caches.
         """
+        # Bumped on entry (the pre-change caches must not serve the
+        # settling logic below) and again on exit (the settling mutates
+        # frequencies and I/O-die sleep after this first bump).
         self.state_version += 1
         self._observable_mean_hz.clear()
         for pkg, smu in zip(self.topology.packages, self.smus):
@@ -298,6 +322,7 @@ class Machine:
                         )
                     ccx.l3_freq_hz = self.resolver.l3_target_hz(ccx)
         self.sleep.apply_to_io_dies()
+        self.state_version += 1
 
     def observable_mean_hz(self, core: Core) -> float:
         """Time-averaged clock a perf observer sees for ``core``."""
@@ -336,31 +361,85 @@ class Machine:
         # span; depositing again would double-count (and run time backwards).
         if self.sim.now_ns <= self.rapl_msrs.last_update_ns:
             return
-        pkg_powers = [
-            self.rapl_estimator.package_power_w(
-                pkg,
-                self.thermal_state.temps_c[pkg.index],
-                dram_traffic_gbs=self.power_model.package_dram_traffic_gbs(pkg),
-            )
-            for pkg in self.topology.packages
-        ]
-        core_powers = [
-            self.rapl_estimator.core_power_w(core) for core in self.topology.cores()
-        ]
+        # The estimator inputs are exactly (machine state, temperatures):
+        # between configuration changes and measure() intervals both are
+        # constant, so consecutive 1 ms ticks reuse the computed powers.
+        key = (self.state_version, tuple(self.thermal_state.temps_c))
+        cached = self._rapl_tick_cache
+        if cached is not None and cached[0] == key:
+            pkg_powers, core_powers = cached[1], cached[2]
+        else:
+            pkg_powers = [
+                self.rapl_estimator.package_power_w(
+                    pkg,
+                    self.thermal_state.temps_c[pkg.index],
+                    dram_traffic_gbs=self.power_model.package_dram_traffic_gbs(pkg),
+                )
+                for pkg in self.topology.packages
+            ]
+            core_powers = [
+                self.rapl_estimator.core_power_w(core) for core in self.topology.cores()
+            ]
+            self._rapl_tick_cache = (key, pkg_powers, core_powers)
         self.rapl_msrs.tick(pkg_powers, core_powers, self.sim.now_ns)
 
     # ------------------------------------------------------------------
     # thermal
     # ------------------------------------------------------------------
 
-    def preheat(self) -> None:
-        """Settle package temperatures at equilibrium (§V-E's 15 min)."""
-        for _ in range(4):  # fixed-point: power depends on temperature
+    #: Convergence knobs for the power<->temperature fixed point.  The
+    #: 0.01 K tolerance is far below every acceptance band (0.01 K of
+    #: package leakage is ~2 mW); the 4-sweep floor matches the legacy
+    #: iteration count, keeping results bit-identical at calibrations
+    #: where 4 sweeps already converge (the default contraction ratio is
+    #: thermal_resistance_k_per_w * leakage_w_per_k_pkg ~= 0.053).
+    PREHEAT_TOL_C = 0.01
+    PREHEAT_MIN_SWEEPS = 4
+    PREHEAT_MAX_SWEEPS = 64
+
+    def preheat(
+        self,
+        *,
+        tol_c: float = PREHEAT_TOL_C,
+        max_sweeps: int = PREHEAT_MAX_SWEEPS,
+    ) -> float:
+        """Settle package temperatures at equilibrium (§V-E's 15 min).
+
+        Power and temperature are mutually dependent — leakage rises
+        with temperature, equilibrium temperature rises with power — so
+        the steady state is a fixed point, iterated in Gauss-Seidel
+        sweeps over the packages until the largest per-sweep temperature
+        change drops to ``tol_c`` (at most ``max_sweeps``).  A fixed
+        sweep count is *not* sufficient in general: the contraction
+        ratio ``thermal_resistance_k_per_w * leakage_w_per_k_pkg``
+        approaches 1 at strongly leaky calibrations (and >= 1 means
+        thermal runaway with no stable equilibrium at all), so exiting
+        unconverged now raises :class:`~repro.errors.ConvergenceWarning`
+        instead of silently skewing the leakage term.
+
+        Returns the last sweep's maximum temperature change in K.
+        """
+        temps = self.thermal_state.temps_c
+        delta_c = 0.0
+        for sweep in range(1, max_sweeps + 1):
+            delta_c = 0.0
             for pkg in self.topology.packages:
-                p = self.power_model.package_power_w(
-                    self, pkg, self.thermal_state.temps_c
-                )
-                self.thermal_state.temps_c[pkg.index] = self.thermal.equilibrium_c(p)
+                p = self.power_model.package_power_w(self, pkg, temps)
+                new_t = self.thermal.equilibrium_c(p)
+                delta_c = max(delta_c, abs(new_t - temps[pkg.index]))
+                temps[pkg.index] = new_t
+            if sweep >= self.PREHEAT_MIN_SWEEPS and delta_c <= tol_c:
+                return delta_c
+        warnings.warn(
+            f"preheat did not converge: last sweep still moved temperatures "
+            f"by {delta_c:.3g} K (> {tol_c:.3g} K tolerance) after "
+            f"{max_sweeps} sweeps; the calibration's leakage-thermal "
+            f"contraction ratio is "
+            f"{self.cal.thermal_resistance_k_per_w * self.cal.leakage_w_per_k_pkg:.3g}",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+        return delta_c
 
     def _evolve_thermals(self, duration_s: float) -> None:
         for pkg in self.topology.packages:

@@ -27,7 +27,8 @@ leakage               temperature-dependent, per package
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+import weakref
+from dataclasses import dataclass, fields, replace
 
 from repro.power.calibration import CALIBRATION, Calibration
 from repro.topology.components import Core, Package
@@ -59,10 +60,39 @@ class PowerModel:
     The model reads the same state the mechanisms maintain: effective
     C-states from the controller, applied frequencies from the cores,
     workload bindings from the threads, fclk from the I/O dies.
+
+    When bound to its :class:`~repro.machine.Machine` (see :meth:`bind`),
+    the temperature-independent part of :meth:`breakdown` and the
+    per-package :meth:`package_dram_traffic_gbs` are memoized keyed on
+    ``Machine.state_version``: every state mutation path (``reconfigured``,
+    cpufreq requests, C-state refreshes, event-mode SMU transition
+    completions) bumps the version, so a cache hit is exactly a repeat
+    evaluation of unchanged state — ``measure()`` and the 1 ms RAPL tick
+    stop recomputing the whole topology walk.  Unbound models (or calls
+    with a foreign machine) always compute fresh.
     """
 
     def __init__(self, calibration: Calibration = CALIBRATION) -> None:
         self.cal = calibration
+        self._machine_ref: weakref.ref | None = None
+        self._bd_version: int | None = None
+        self._bd_no_leak: PowerBreakdown | None = None
+        self._traffic_version: int | None = None
+        self._traffic: dict[int, float] = {}
+
+    def bind(self, machine) -> None:
+        """Enable ``state_version``-keyed memoization for ``machine``.
+
+        Called once by ``Machine.__init__``; the reference is weak, so
+        binding does not keep the machine alive.
+        """
+        self._machine_ref = weakref.ref(machine)
+        self._bd_version = None
+        self._traffic_version = None
+        self._traffic.clear()
+
+    def _bound_machine(self):
+        return self._machine_ref() if self._machine_ref is not None else None
 
     # ------------------------------------------------------------------
     # helpers
@@ -93,6 +123,20 @@ class PowerModel:
         the bandwidth model's business and matter for *performance*
         (Fig 5), while for *power* the aggregate is sufficient.
         """
+        machine = self._bound_machine()
+        if machine is None or bandwidth_model is not None:
+            return self._compute_traffic_gbs(pkg)
+        version = machine.state_version
+        if version != self._traffic_version:
+            self._traffic.clear()
+            self._traffic_version = version
+        cached = self._traffic.get(pkg.index)
+        if cached is None:
+            cached = self._compute_traffic_gbs(pkg)
+            self._traffic[pkg.index] = cached
+        return cached
+
+    def _compute_traffic_gbs(self, pkg: Package) -> float:
         demand = sum(self.core_dram_demand_gbs(core) for core in pkg.cores())
         memclk_ghz = pkg.io_die.memclk_hz / ghz(1)
         ceiling = 8 * 8.0 * 2.0 * memclk_ghz * self.cal.dram_channel_efficiency
@@ -103,7 +147,33 @@ class PowerModel:
     # ------------------------------------------------------------------
 
     def breakdown(self, machine, pkg_temps_c: list[float] | None = None) -> PowerBreakdown:
-        """Full-system power for the machine's current state."""
+        """Full-system power for the machine's current state.
+
+        The temperature-independent terms are memoized per
+        ``machine.state_version`` when the model is bound to ``machine``
+        (see the class docstring); the leakage term is always evaluated
+        fresh from ``pkg_temps_c``.
+        """
+        if machine is self._bound_machine():
+            version = machine.state_version
+            if version != self._bd_version:
+                self._bd_no_leak = self._compute_breakdown(machine)
+                self._bd_version = version
+            bd = self._bd_no_leak
+        else:
+            bd = self._compute_breakdown(machine)
+        if pkg_temps_c is None:
+            return bd
+        cal = self.cal
+        leak_w = 0.0
+        for temp in pkg_temps_c:
+            leak_w += max(0.0, cal.leakage_w_per_k_pkg * (temp - cal.reference_temp_c))
+        if leak_w == 0.0:
+            return bd
+        return replace(bd, leakage_w=leak_w)
+
+    def _compute_breakdown(self, machine) -> PowerBreakdown:
+        """The full topology walk (leakage excluded; see :meth:`breakdown`)."""
         cal = self.cal
         topo = machine.topology
         cstates = machine.cstates
@@ -163,11 +233,6 @@ class PowerModel:
             # I/O-die fclk power only flows while the system is awake.
             iodie_w = sum(fc.extra_power_w() for fc in machine.fclk_controllers)
 
-        leak_w = 0.0
-        if pkg_temps_c is not None:
-            for temp in pkg_temps_c:
-                leak_w += max(0.0, cal.leakage_w_per_k_pkg * (temp - cal.reference_temp_c))
-
         return PowerBreakdown(
             platform_base_w=platform,
             system_wake_w=wake,
@@ -177,7 +242,7 @@ class PowerModel:
             toggle_w=toggle_w,
             dram_active_w=dram_w,
             iodie_w=iodie_w,
-            leakage_w=leak_w,
+            leakage_w=0.0,
         )
 
     def system_power_w(self, machine, pkg_temps_c: list[float] | None = None) -> float:
@@ -190,7 +255,9 @@ class PowerModel:
         Splits the breakdown: per-core terms attribute to their package,
         system-level terms split evenly.
         """
-        bd = self.breakdown(machine, pkg_temps_c)
+        # Only the temperature-independent shared terms are needed here
+        # (this package's leakage is added from its own temperature below).
+        bd = self.breakdown(machine, None)
         n_pkg = len(machine.topology.packages)
         shared = (bd.system_wake_w * 0.6 + bd.iodie_w) / n_pkg
 

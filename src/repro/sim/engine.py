@@ -11,6 +11,7 @@ of events per run).
 from __future__ import annotations
 
 import operator
+from heapq import heappop
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -24,6 +25,8 @@ def _as_int_ns(value: Any, what: str) -> int:
     floats so representation drift cannot creep into the integer clock
     (DESIGN.md §7).  Convert explicitly via :mod:`repro.units` instead.
     """
+    if type(value) is int:
+        return value
     try:
         return operator.index(value)
     except TypeError:
@@ -59,7 +62,8 @@ class Simulator:
 
     def schedule_at(self, time_ns: int, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` at absolute time ``time_ns`` (>= now)."""
-        time_ns = _as_int_ns(time_ns, "time_ns")
+        if type(time_ns) is not int:
+            time_ns = _as_int_ns(time_ns, "time_ns")
         if time_ns < self._now_ns:
             raise SimulationError(
                 f"cannot schedule at {time_ns} ns; clock is at {self._now_ns} ns"
@@ -68,7 +72,8 @@ class Simulator:
 
     def schedule_after(self, delay_ns: int, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` ``delay_ns`` nanoseconds from now."""
-        delay_ns = _as_int_ns(delay_ns, "delay_ns")
+        if type(delay_ns) is not int:
+            delay_ns = _as_int_ns(delay_ns, "delay_ns")
         if delay_ns < 0:
             raise SimulationError(f"negative delay {delay_ns}")
         return self._queue.push(self._now_ns + delay_ns, callback)
@@ -106,12 +111,25 @@ class Simulator:
             raise SimulationError("run_until called re-entrantly from a callback")
         self._running = True
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > time_ns:
+            # Hot loop: EventQueue.pop_due inlined over the raw heap —
+            # the dispatch rate here bounds every timing experiment (see
+            # repro.bench's sim.dispatch kernel).  Safe to hold `heap`
+            # across callbacks: the queue only ever mutates that list in
+            # place (push appends, compaction slice-assigns).
+            queue = self._queue
+            heap = queue._heap
+            while heap:
+                head = heap[0]
+                event = head[2]
+                if event.cancelled:
+                    heappop(heap)
+                    continue
+                if head[0] > time_ns:
                     break
-                event = self._queue.pop()
-                self._now_ns = event.time_ns
+                heappop(heap)
+                queue._live -= 1
+                event._queue = None
+                self._now_ns = head[0]
                 event.callback()
             self._now_ns = time_ns
         finally:
@@ -139,8 +157,15 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of non-cancelled events in the queue."""
+        """Number of non-cancelled events in the queue (O(1))."""
         return len(self._queue)
+
+    @property
+    def resident_events(self) -> int:
+        """Heap entries resident in the queue, including stale cancelled
+        ones awaiting lazy deletion or compaction (see
+        :class:`repro.sim.events.EventQueue`)."""
+        return self._queue.resident
 
 
 class PeriodicTask:

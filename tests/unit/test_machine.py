@@ -157,3 +157,81 @@ class TestQuirks:
         m.os.hotplug.set_offline(70)
         assert m.topology.thread(70).effective_cstate == "C2"
         m.shutdown()
+
+
+class TestPreheatConvergence:
+    """The power<->temperature fixed point must iterate to tolerance,
+    not a hard-coded sweep count (the legacy loop ran exactly 4)."""
+
+    @staticmethod
+    def _leaky_machine(leakage_w_per_k, resistance_k_per_w):
+        from dataclasses import replace
+
+        from repro.power.calibration import CALIBRATION
+
+        cal = replace(
+            CALIBRATION,
+            leakage_w_per_k_pkg=leakage_w_per_k,
+            thermal_resistance_k_per_w=resistance_k_per_w,
+        )
+        return Machine("EPYC 7502", seed=0, calibration=cal)
+
+    def test_four_sweeps_provably_insufficient_when_leaky(self):
+        # Contraction ratio r = 0.45 * 1.5 = 0.675: each sweep removes
+        # only ~1/3 of the residual, so 4 sweeps cannot reach 0.01 K.
+        from repro.errors import ConvergenceWarning
+
+        m = self._leaky_machine(1.5, 0.45)
+        try:
+            m.os.run(FIRESTARTER, m.os.all_cpus())
+            with pytest.warns(ConvergenceWarning):
+                residual = m.preheat(max_sweeps=Machine.PREHEAT_MIN_SWEEPS)
+            assert residual > Machine.PREHEAT_TOL_C
+        finally:
+            m.shutdown()
+
+    def test_tolerance_iteration_reaches_fixed_point_when_leaky(self):
+        import warnings
+
+        m = self._leaky_machine(1.5, 0.45)
+        try:
+            m.os.run(FIRESTARTER, m.os.all_cpus())
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                residual = m.preheat()
+            assert residual <= Machine.PREHEAT_TOL_C
+            # Self-consistency: the settled temperatures reproduce
+            # themselves through the power model (true fixed point).
+            temps = m.thermal_state.temps_c
+            for pkg in m.topology.packages:
+                p = m.power_model.package_power_w(m, pkg, temps)
+                assert m.thermal.equilibrium_c(p) == pytest.approx(
+                    temps[pkg.index], abs=0.05
+                )
+        finally:
+            m.shutdown()
+
+    def test_thermal_runaway_warns(self):
+        # r = 0.45 * 2.5 > 1: leakage grows faster than the heatsink
+        # sheds it — there is no stable equilibrium to converge to.
+        from repro.errors import ConvergenceWarning
+
+        m = self._leaky_machine(2.5, 0.45)
+        try:
+            m.os.run(FIRESTARTER, m.os.all_cpus())
+            with pytest.warns(ConvergenceWarning):
+                m.preheat()
+        finally:
+            m.shutdown()
+
+    def test_default_calibration_converges_in_legacy_sweep_count(self, machine):
+        # r ~= 0.053 at the shipped calibration: 4 sweeps always land
+        # within tolerance, so results stay bit-identical to the legacy
+        # fixed-count loop (the golden suite pins this globally).
+        import warnings
+
+        machine.os.run(FIRESTARTER, machine.os.all_cpus())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            residual = machine.preheat()
+        assert residual <= Machine.PREHEAT_TOL_C

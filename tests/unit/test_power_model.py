@@ -127,3 +127,69 @@ class TestWorkloadPower:
         p1 = m.power_model.package_power_w(m, m.topology.packages[1], temps)
         assert p0 == pytest.approx(p1, rel=1e-6)  # symmetric load
         assert p0 > 100  # each package carries a real share
+
+
+class TestBreakdownMemoization:
+    """The state_version-keyed caches must be invisible except for speed:
+    every mutation path that feeds the power model bumps the version."""
+
+    def test_repeated_calls_identical(self, m):
+        temps = m.thermal_state.temps_c
+        a = m.power_model.breakdown(m, temps)
+        b = m.power_model.breakdown(m, temps)
+        assert a == b
+
+    def test_invalidated_by_workload_change(self, m):
+        base = m.power_model.breakdown(m).total_w
+        m.os.set_all_frequencies(ghz(2.5))
+        m.os.run(PAUSE_LOOP, [0])
+        assert m.power_model.breakdown(m).total_w != base
+
+    def test_invalidated_by_cstate_change_without_reconfigure(self, m):
+        # disable_state() -> refresh() -> on_change hook: no explicit
+        # reconfigured() call, the cache must still drop.
+        base = m.power_model.breakdown(m).total_w
+        m.cstates.disable_state(0, "C2")
+        assert m.power_model.breakdown(m).total_w == pytest.approx(
+            base + 81.2, abs=0.05
+        )
+
+    def test_invalidated_by_event_mode_transition(self, m):
+        from repro.units import ms
+
+        m.os.set_all_frequencies(ghz(2.2))
+        m.os.run(PAUSE_LOOP, [0])
+        base = m.power_model.breakdown(m).total_w
+        m.enable_event_mode()
+        m.os.set_frequency(0, ghz(1.5))
+        m.os.set_frequency(64, ghz(1.5))  # SMT sibling votes too
+        m.sim.run_for(ms(10))  # let the SMU slot apply the change
+        assert m.topology.thread(0).core.applied_freq_hz == ghz(1.5)
+        assert m.power_model.breakdown(m).total_w < base
+
+    def test_leakage_recomputed_per_temperature(self, m):
+        cold = [CALIBRATION.reference_temp_c] * 2
+        hot = [CALIBRATION.reference_temp_c + 20.0] * 2
+        bd_cold = m.power_model.breakdown(m, cold)
+        bd_hot = m.power_model.breakdown(m, hot)
+        assert bd_cold.leakage_w == 0.0
+        assert bd_hot.leakage_w == pytest.approx(
+            2 * 20.0 * CALIBRATION.leakage_w_per_k_pkg, rel=1e-9
+        )
+        # The temperature-independent terms come from the same cache.
+        assert bd_hot.total_w - bd_hot.leakage_w == pytest.approx(
+            bd_cold.total_w, rel=1e-12
+        )
+
+    def test_unbound_machine_bypasses_cache(self, m):
+        # A model asked about a machine it is not bound to must still
+        # answer correctly (no cross-machine cache pollution).
+        other = Machine("EPYC 7502", seed=0)
+        try:
+            other.cstates.disable_state(0, "C2")
+            mine = m.power_model.breakdown(m).total_w
+            theirs = m.power_model.breakdown(other).total_w
+            assert theirs == pytest.approx(mine + 81.2, abs=0.05)
+            assert m.power_model.breakdown(m).total_w == mine
+        finally:
+            other.shutdown()
