@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-flow baseline-update ordering-check selfcheck suite-parallel golden bench bench-smoke
+.PHONY: test lint lint-json lint-flow baseline-update ordering-check selfcheck suite-parallel suite-traced golden bench bench-smoke
 
 # The default gate: static analysis first (DET001/SIM001/... keep the
 # cache/parallel code deterministic), then the full pytest tree — which
@@ -34,6 +34,16 @@ selfcheck:
 # Full suite across 4 worker processes with the result cache + counters.
 suite-parallel:
 	$(PYTHON) -m repro.cli suite --jobs 4 --cache-stats
+
+# Traced smoke suite: two quick entries with the repro.obs bundle
+# attached, exporting + validating the Perfetto trace and Prometheus
+# metrics artifacts (the CI observability job; see docs/observability.md).
+suite-traced:
+	$(PYTHON) -m repro.cli suite --no-cache \
+	  --only sec5a_idle_sibling --only sec7_rapl_update_rate \
+	  --trace suite_trace.json --metrics suite_metrics.prom
+	$(PYTHON) -m repro.cli obs validate suite_trace.json suite_metrics.prom.json
+	$(PYTHON) -m repro.cli obs summarize suite_trace.json
 
 # Deliberately regenerate the checked-in golden snapshot; review the
 # JSON diff before committing (see docs/parallelism.md).

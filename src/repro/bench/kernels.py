@@ -11,6 +11,9 @@ Each kernel pins one hot path named in the paper's workflow:
   (schedule-fire-reschedule chains, the shape of SMU slot machinery);
 * ``machine.measure.*`` — the §IV 10 s measurement-interval workflow at
   several scales (interval length, package count);
+* ``obs.overhead`` — the same dispatch loop with the full
+  :mod:`repro.obs` bundle attached, pinning the enabled-path tracing
+  cost (docs/observability.md documents the overhead budget);
 * ``suite.e2e`` — end-to-end structured suite wall clock.
 
 Kernels are deterministic: operation sequences are pre-generated from
@@ -104,7 +107,9 @@ def _setup_queue_cancel_churn(ctx: BenchContext) -> Callable[[], int]:
 # ---------------------------------------------------------------------------
 
 
-def _setup_sim_dispatch(ctx: BenchContext) -> Callable[[], int]:
+def _setup_sim_dispatch(
+    ctx: BenchContext, *, instrumented: bool = False
+) -> Callable[[], int]:
     n_events = max(2_000, int(150_000 * ctx.scale))
     # 256 concurrent reschedule chains keep ~256 events resident — the
     # regime a loaded machine runs in (per-die SMU slots, RAPL samplers,
@@ -113,7 +118,12 @@ def _setup_sim_dispatch(ctx: BenchContext) -> Callable[[], int]:
     period_ns = 1_000
 
     def run() -> int:
-        sim = Simulator()
+        if instrumented:
+            from repro.obs import Obs
+
+            sim = Simulator(obs=Obs())
+        else:
+            sim = Simulator()
         fired = [0]
 
         def cb() -> None:
@@ -201,6 +211,16 @@ REGISTRY: dict[str, Kernel] = {
             unit="events/s",
             better="higher",
             setup=_setup_sim_dispatch,
+        ),
+        Kernel(
+            name="obs.overhead",
+            description="sim.dispatch with full repro.obs instrumentation "
+            "attached (counters, gauges, dispatch spans); compare against "
+            "sim.dispatch for the enabled-path cost — the disabled path "
+            "must stay within 2% of the committed sim.dispatch baseline",
+            unit="events/s",
+            better="higher",
+            setup=lambda ctx: _setup_sim_dispatch(ctx, instrumented=True),
         ),
         Kernel(
             name="machine.measure.1s",

@@ -111,6 +111,38 @@ class ResultCache:
         self.stats = CacheStats()
         self._objects_dir = os.path.join(self.root, "objects")
         self._index_path = os.path.join(self.root, "index.json")
+        self._obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Mirror :class:`CacheStats` into a :class:`repro.obs.Obs` registry
+        as live metrics (hit/miss counters, store/eviction counters,
+        get/put latency histograms)."""
+        from repro.obs import effective_obs
+
+        obs = effective_obs(obs)
+        if obs is None:
+            return
+        metrics = obs.metrics
+        help_lookups = "Result-cache lookups by outcome"
+        self._obs_hits = metrics.counter(
+            "cache.lookups", help_lookups, "lookups", result="hit"
+        )
+        self._obs_misses = metrics.counter(
+            "cache.lookups", help_lookups, "lookups", result="miss"
+        )
+        self._obs_stores = metrics.counter(
+            "cache.stores", "Documents stored in the result cache", "stores"
+        )
+        self._obs_evictions = metrics.counter(
+            "cache.evictions", "Objects evicted by the LRU size cap", "objects"
+        )
+        self._obs_get_s = metrics.histogram(
+            "cache.get_latency_s", "get() wall latency", "s"
+        )
+        self._obs_put_s = metrics.histogram(
+            "cache.put_latency_s", "put() wall latency", "s"
+        )
+        self._obs = obs
 
     # --- public API --------------------------------------------------------
 
@@ -125,11 +157,18 @@ class ResultCache:
         try:
             doc = self._read_object(key)
         finally:
-            self.stats.get_s += time.perf_counter() - t0  # lint: disable=DET001 (host-side cache latency accounting)
+            dt = time.perf_counter() - t0  # lint: disable=DET001 (host-side cache latency accounting)
+            self.stats.get_s += dt
+            if self._obs is not None:
+                self._obs_get_s.observe(dt)
         if doc is None:
             self.stats.misses += 1
+            if self._obs is not None:
+                self._obs_misses.inc()
             return None
         self.stats.hits += 1
+        if self._obs is not None:
+            self._obs_hits.inc()
         self._touch(key)
         return doc
 
@@ -147,8 +186,13 @@ class ResultCache:
             self._evict(index)
             self._save_index(index)
             self.stats.stores += 1
+            if self._obs is not None:
+                self._obs_stores.inc()
         finally:
-            self.stats.put_s += time.perf_counter() - t0  # lint: disable=DET001 (host-side cache latency accounting)
+            dt = time.perf_counter() - t0  # lint: disable=DET001 (host-side cache latency accounting)
+            self.stats.put_s += dt
+            if self._obs is not None:
+                self._obs_put_s.observe(dt)
 
     def contains(self, key: str) -> bool:
         """Whether ``key`` has a stored object (no stats, no LRU touch)."""
@@ -242,6 +286,8 @@ class ResultCache:
             del index.entries[key]
             self._remove_object(key)
             self.stats.evictions += 1
+            if self._obs is not None:
+                self._obs_evictions.inc()
 
     def _load_index(self) -> _Index:
         try:

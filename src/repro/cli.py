@@ -168,12 +168,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "obs":
+        # `repro-zen2 obs [...]` forwards to the observability inspector
+        # (also reachable as `python -m repro.obs`).
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-zen2",
         description="Reproduce the CLUSTER 2021 Zen 2 energy-efficiency paper "
         "(run 'repro-zen2 lint --help' for the static-analysis pass, "
-        "'repro-zen2 bench --help' for the microbenchmarks)",
+        "'repro-zen2 bench --help' for the microbenchmarks, "
+        "'repro-zen2 obs --help' for the trace/metrics inspector)",
     )
     parser.add_argument(
         "experiment",
@@ -219,6 +226,24 @@ def main(argv: list[str] | None = None) -> int:
         help="with 'suite': attach the runtime invariant monitor to every "
         "machine and fail on violations (slower; bypasses the cache)",
     )
+    parser.add_argument(
+        "--only",
+        metavar="NAME",
+        action="append",
+        help="with 'suite': run only this registry entry (repeatable)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="with 'suite': export a Perfetto-loadable repro.obs/trace "
+        "JSON of the run (suite/experiment/measure/dispatch spans)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="with 'suite': write Prometheus text exposition to PATH and "
+        "the repro.obs/metrics JSON snapshot to PATH.json",
+    )
     args = parser.parse_args(argv)
 
     cfg = ExperimentConfig(seed=args.seed, scale=args.scale)
@@ -239,8 +264,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core.suite import run_suite, suite_to_dict
 
         cache = None if (args.no_cache or args.monitor) else ResultCache()
+        obs = None
+        if args.trace or args.metrics:
+            from repro.obs import Obs
+
+            obs = Obs()
         result = run_suite(
-            cfg, parallel=args.jobs, cache=cache, monitor=args.monitor
+            cfg,
+            only=args.only,
+            parallel=args.jobs,
+            cache=cache,
+            monitor=args.monitor,
+            obs=obs,
         )
         print(result.render())
         print(f"\nsuite verdict: {'OK' if result.all_ok else 'FAILURES'}")
@@ -251,6 +286,17 @@ def main(argv: list[str] | None = None) -> int:
         if args.json:
             dump_json(suite_to_dict(result), args.json)
             print(f"structured report written to {args.json}")
+        if args.trace:
+            dump_json(obs.trace_document(), args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            with open(args.metrics, "w") as fh:
+                fh.write(obs.to_prometheus())
+            dump_json(obs.metrics_snapshot(), f"{args.metrics}.json")
+            print(
+                f"metrics written to {args.metrics} "
+                f"(JSON snapshot: {args.metrics}.json)"
+            )
         return 0 if result.all_ok else 1
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

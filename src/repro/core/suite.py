@@ -17,6 +17,7 @@ digests match regardless of execution mode (docs/parallelism.md).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -109,7 +110,7 @@ SUITE: dict[str, Callable[[ExperimentConfig], ComparisonTable]] = {
 
 
 def _execute_entry(
-    name: str, cfg: ExperimentConfig, monitor: bool = False
+    name: str, cfg: ExperimentConfig, monitor: bool = False, obs=None
 ) -> dict[str, Any]:
     """Run one registry entry and return its serialized table.
 
@@ -122,24 +123,39 @@ def _execute_entry(
     and the document grows an ``"invariants"`` key.  Monitored documents
     never enter the result cache — their shape differs, and a cache hit
     would skip the sweep the caller asked for.
+
+    ``obs`` instruments every machine the entry builds (serial runs
+    only: a :class:`repro.obs.Obs` never crosses a process boundary, so
+    parallel workers always receive ``obs=None``).  The returned
+    document is independent of ``obs`` — observability data lives in
+    the obs bundle, never in the result.
     """
-    if not monitor:
+    if not monitor and obs is None:
         return table_to_dict(SUITE[name](cfg))
 
     from repro.core.experiment import machine_hook
-    from repro.lint.monitor import InvariantMonitor
 
-    monitors: list[InvariantMonitor] = []
+    if monitor:
+        from repro.lint.monitor import InvariantMonitor
+
+    monitors: list = []
 
     def attach(machine) -> None:
-        monitors.append(
-            InvariantMonitor(machine, raise_on_violation=False).attach()
-        )
+        if obs is not None:
+            machine.attach_obs(obs)
+        if monitor:
+            monitors.append(
+                InvariantMonitor(
+                    machine, raise_on_violation=False, obs=obs
+                ).attach()
+            )
 
     with machine_hook(attach):
         table = SUITE[name](cfg)
     for mon in monitors:
         mon.detach()
+    if not monitor:
+        return table_to_dict(table)
     return {
         "table": table_to_dict(table),
         "invariants": {
@@ -195,6 +211,10 @@ class SuiteResult:
     errors: dict[str, TaskFailure] = field(default_factory=dict)
     cache_stats: "CacheStats | None" = None
     invariants: dict[str, InvariantSummary] = field(default_factory=dict)
+    #: The obs bundle the run was instrumented with, if any.  Never
+    #: serialized: :func:`suite_to_dict` depends only on experiment
+    #: outputs, so traced and untraced runs stay byte-identical.
+    obs: Any = None
 
     @property
     def all_ok(self) -> bool:
@@ -258,6 +278,7 @@ def run_suite(
     timeout_s: float | None = None,
     retries: int = 1,
     monitor: bool = False,
+    obs=None,
 ) -> SuiteResult:
     """Execute the (optionally filtered) suite.
 
@@ -274,6 +295,14 @@ def run_suite(
     (violations fail :attr:`SuiteResult.all_ok`).  Monitored runs bypass
     the cache entirely — a cached table proves nothing about invariants
     — and cost the sweep's overhead, so monitoring is strictly opt-in.
+
+    ``obs`` (a :class:`repro.obs.Obs`) traces and meters the run: a
+    ``suite`` span wraps per-experiment spans, every machine built by a
+    serial entry is instrumented down to simulator dispatch, and the
+    result cache mirrors its counters into the registry.  In parallel
+    mode only the parent side (pool phases, per-task windows, cache) is
+    observed — the obs bundle never crosses a process boundary.  The
+    serialized suite document is independent of ``obs``.
     """
     cfg = config or ExperimentConfig(scale=0.02)
     names = _resolve_names(only)
@@ -282,54 +311,93 @@ def run_suite(
     result = SuiteResult(config=cfg)
     if monitor:
         cache = None
+    if obs is not None:
+        from repro.obs import effective_obs
 
-    docs: dict[str, dict[str, Any]] = {}
-    keys: dict[str, str] = {}
-    to_run: list[str] = []
-    if cache is not None:
-        from repro.cache import cache_key
+        obs = effective_obs(obs)
+        result.obs = obs
+    if obs is not None and cache is not None:
+        cache.attach_obs(obs)
 
-        result.cache_stats = cache.stats
-        for name in names:
-            keys[name] = cache_key(name, cfg)
-            doc = cache.get(keys[name])
-            if doc is not None:
-                docs[name] = doc
-            else:
-                to_run.append(name)
-    else:
-        to_run = list(names)
-
-    if parallel > 1 and len(to_run) > 1:
-        tasks = [
-            Task(name=name, fn=_execute_entry, args=(name, cfg, monitor))
-            for name in to_run
-        ]
-        outcomes = run_tasks(
-            tasks, jobs=parallel, timeout_s=timeout_s, retries=retries
+    suite_span = (
+        obs.tracer.span(
+            "suite",
+            cat="suite",
+            entries=len(names),
+            seed=cfg.seed,
+            scale=cfg.scale,
+            parallel=parallel,
+            monitor=monitor,
         )
-        for outcome in outcomes:
-            if outcome.ok:
-                docs[outcome.name] = outcome.value
-            else:
-                result.errors[outcome.name] = outcome.failure
-    else:
-        for name in to_run:
-            docs[name] = _execute_entry(name, cfg, monitor)
+        if obs is not None
+        else nullcontext()
+    )
+    with suite_span:
+        docs: dict[str, dict[str, Any]] = {}
+        keys: dict[str, str] = {}
+        to_run: list[str] = []
+        if cache is not None:
+            from repro.cache import cache_key
 
-    for name in names:
-        if name not in docs:
-            continue
-        doc = docs[name]
-        if monitor:
-            result.tables[name] = table_from_dict(doc["table"])
-            result.invariants[name] = InvariantSummary.from_dict(
-                doc["invariants"]
-            )
+            result.cache_stats = cache.stats
+            for name in names:
+                keys[name] = cache_key(name, cfg)
+                doc = cache.get(keys[name])
+                if doc is not None:
+                    docs[name] = doc
+                else:
+                    to_run.append(name)
         else:
-            result.tables[name] = table_from_dict(doc)
-            if cache is not None and name in to_run:
-                cache.put(keys[name], doc)
+            to_run = list(names)
+
+        if parallel > 1 and len(to_run) > 1:
+            tasks = [
+                Task(name=name, fn=_execute_entry, args=(name, cfg, monitor))
+                for name in to_run
+            ]
+            outcomes = run_tasks(
+                tasks, jobs=parallel, timeout_s=timeout_s, retries=retries,
+                obs=obs,
+            )
+            for outcome in outcomes:
+                if outcome.ok:
+                    docs[outcome.name] = outcome.value
+                else:
+                    result.errors[outcome.name] = outcome.failure
+        else:
+            for name in to_run:
+                if obs is not None:
+                    with obs.tracer.span(name, cat="experiment"):
+                        docs[name] = _execute_entry(name, cfg, monitor, obs)
+                else:
+                    docs[name] = _execute_entry(name, cfg, monitor)
+
+        for name in names:
+            if name not in docs:
+                continue
+            doc = docs[name]
+            if monitor:
+                result.tables[name] = table_from_dict(doc["table"])
+                result.invariants[name] = InvariantSummary.from_dict(
+                    doc["invariants"]
+                )
+            else:
+                result.tables[name] = table_from_dict(doc)
+                if cache is not None and name in to_run:
+                    cache.put(keys[name], doc)
+
+    if obs is not None:
+        help_entries = "Suite entries by result source"
+        executed = sum(1 for n in to_run if n in docs)
+        obs.metrics.counter(
+            "suite.entries", help_entries, "entries", source="executed"
+        ).inc(executed)
+        obs.metrics.counter(
+            "suite.entries", help_entries, "entries", source="cached"
+        ).inc(len(docs) - executed)
+        obs.metrics.counter(
+            "suite.entries", help_entries, "entries", source="failed"
+        ).inc(len(result.errors))
     return result
 
 

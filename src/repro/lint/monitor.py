@@ -53,6 +53,7 @@ class InvariantMonitor:
         power_envelope_margin: float = 1.25,
         energy_band_factor: float = 3.0,
         energy_band_abs_j: float = 5.0,
+        obs=None,
     ) -> None:
         self.machine = machine
         self.raise_on_violation = raise_on_violation
@@ -63,7 +64,13 @@ class InvariantMonitor:
         #: All violation messages ever observed (collecting mode).
         self.violations: list[str] = []
         self._attached = False
-        self._snapshot()
+        # The baseline snapshot is taken lazily (at attach() or the
+        # first check()): constructing a monitor used to run a full
+        # estimator sweep even when monitoring never happened.
+        self._baselined = False
+        self._obs = None
+        if obs is not None:
+            self.attach_obs(obs)
 
     # ------------------------------------------------------------------
     # attachment
@@ -73,6 +80,9 @@ class InvariantMonitor:
         """Hook ``run_until`` and ``reconfigured`` to check after each."""
         if self._attached:
             return self
+        if not self._baselined:
+            self._snapshot()
+            self._baselined = True
         machine, sim = self.machine, self.machine.sim
         self._orig_run_until = sim.run_until
         self._orig_reconfigured = machine.reconfigured
@@ -98,6 +108,52 @@ class InvariantMonitor:
         self.machine.reconfigured = self._orig_reconfigured
         self._attached = False
 
+    def attach_obs(self, obs) -> None:
+        """Mirror findings into a :class:`repro.obs.Obs` bundle.
+
+        Each violation becomes a structured ``invariant.violation``
+        instant with ``severity="error"`` on the machine's trace track
+        (sim-time axis) when the machine is itself instrumented, else on
+        the host track.
+        """
+        from repro.obs import effective_obs
+
+        obs = effective_obs(obs)
+        if obs is None:
+            return
+        self._obs = obs
+        metrics = obs.metrics
+        self._obs_checks = metrics.counter(
+            "invariant.checks", "InvariantMonitor invariant sweeps", "checks"
+        )
+        self._obs_violations = metrics.counter(
+            "invariant.violations", "Invariant violations observed", "violations"
+        )
+
+    def _emit_findings(self, found: list[str]) -> None:
+        self._obs_checks.inc()
+        if not found:
+            return
+        self._obs_violations.inc(len(found))
+        track = getattr(self.machine, "_obs_track", None)
+        for message in found:
+            if track is not None:
+                self._obs.tracer.instant(
+                    "invariant.violation",
+                    cat="invariant",
+                    track=track,
+                    sim_ns=self.machine.sim.now_ns,
+                    severity="error",
+                    message=message,
+                )
+            else:
+                self._obs.tracer.instant(
+                    "invariant.violation",
+                    cat="invariant",
+                    severity="error",
+                    message=message,
+                )
+
     # ------------------------------------------------------------------
     # checking
     # ------------------------------------------------------------------
@@ -109,6 +165,9 @@ class InvariantMonitor:
         checker (or the models it consults) is itself a violation, and
         must not mask what the remaining checkers would find.
         """
+        if not self._baselined:
+            self._snapshot()
+            self._baselined = True
         found: list[str] = []
         for checker in (
             self._check_cstates,
@@ -126,6 +185,8 @@ class InvariantMonitor:
             found.append(f"state snapshot failed: {err!r}")
         self.checks_run += 1
         self.violations.extend(found)
+        if self._obs is not None:
+            self._emit_findings(found)
         if found and self.raise_on_violation:
             raise InvariantViolation(found)
         return found

@@ -118,6 +118,7 @@ class Machine:
         boost_enabled: bool = False,
         variation_sigma: float = 0.0,
         event_order_shuffle: int | None = None,
+        obs=None,
     ) -> None:
         self.sku = sku_by_name(sku) if isinstance(sku, str) else sku
         self.cal = calibration
@@ -215,8 +216,83 @@ class Machine:
         for smu in self.smus:
             smu.transitions.on_applied = self._on_transition_applied
 
+        # Observability (repro.obs): None unless an *enabled* bundle is
+        # attached, so instrumented paths cost one identity check.
+        self._obs = None
+        self._obs_track = None
+        if obs is not None:
+            self.attach_obs(obs)
+
         self.cstates.refresh()
         self.reconfigured()
+
+    def attach_obs(self, obs) -> None:
+        """Instrument this machine with a :class:`repro.obs.Obs` bundle.
+
+        Assigns the machine its own trace track, instruments the
+        simulator dispatch loop and the power-model memo, bridges
+        :class:`~repro.oslayer.tracing.TraceBuffer` tracepoints onto the
+        exported timeline, and registers measure/preheat/RAPL metrics.
+        A disabled obs is ignored entirely.
+        """
+        from repro.obs import COUNT_BUCKETS, effective_obs
+
+        obs = effective_obs(obs)
+        if obs is None:
+            return
+        tracer = obs.tracer
+        track = tracer.new_track("machine")
+        self._obs = obs
+        self._obs_track = track
+        self.sim.attach_obs(obs, track=track)
+        self.power_model.attach_obs(obs, machine=track)
+
+        metrics = obs.metrics
+        self._obs_measures = metrics.counter(
+            "machine.measures",
+            "Completed measure() intervals",
+            "intervals",
+            machine=track,
+        )
+        self._obs_state_version = metrics.gauge(
+            "machine.state_version",
+            "Configuration epoch (the state_version memo key)",
+            "bumps",
+            machine=track,
+        )
+        self._obs_preheat_sweeps = metrics.histogram(
+            "machine.preheat_sweeps",
+            "Gauss-Seidel sweeps until thermal fixed-point convergence",
+            "sweeps",
+            buckets=COUNT_BUCKETS,
+            machine=track,
+        )
+        help_ph = "preheat() fixed-point runs by convergence outcome"
+        self._obs_preheat_conv = metrics.counter(
+            "machine.preheats", help_ph, "runs", machine=track, converged="true"
+        )
+        self._obs_preheat_unconv = metrics.counter(
+            "machine.preheats", help_ph, "runs", machine=track, converged="false"
+        )
+        help_rapl = "1 ms RAPL ticks by estimator-cache outcome"
+        self._obs_rapl_hit = metrics.counter(
+            "machine.rapl_ticks", help_rapl, "ticks", machine=track, result="hit"
+        )
+        self._obs_rapl_compute = metrics.counter(
+            "machine.rapl_ticks", help_rapl, "ticks", machine=track, result="compute"
+        )
+
+        def _bridge(time_ns, name, cpu_id, payload, _tracer=tracer, _track=track):
+            _tracer.instant(
+                name,
+                cat="tracepoint",
+                track=_track,
+                sim_ns=time_ns,
+                cpu=cpu_id,
+                **payload,
+            )
+
+        self.trace.sink = _bridge
 
     # ------------------------------------------------------------------
     # MSR wiring
@@ -368,7 +444,11 @@ class Machine:
         cached = self._rapl_tick_cache
         if cached is not None and cached[0] == key:
             pkg_powers, core_powers = cached[1], cached[2]
+            if self._obs is not None:
+                self._obs_rapl_hit.inc()
         else:
+            if self._obs is not None:
+                self._obs_rapl_compute.inc()
             pkg_powers = [
                 self.rapl_estimator.package_power_w(
                     pkg,
@@ -421,7 +501,10 @@ class Machine:
         """
         temps = self.thermal_state.temps_c
         delta_c = 0.0
+        sweeps = 0
+        converged = False
         for sweep in range(1, max_sweeps + 1):
+            sweeps = sweep
             delta_c = 0.0
             for pkg in self.topology.packages:
                 p = self.power_model.package_power_w(self, pkg, temps)
@@ -429,16 +512,24 @@ class Machine:
                 delta_c = max(delta_c, abs(new_t - temps[pkg.index]))
                 temps[pkg.index] = new_t
             if sweep >= self.PREHEAT_MIN_SWEEPS and delta_c <= tol_c:
-                return delta_c
-        warnings.warn(
-            f"preheat did not converge: last sweep still moved temperatures "
-            f"by {delta_c:.3g} K (> {tol_c:.3g} K tolerance) after "
-            f"{max_sweeps} sweeps; the calibration's leakage-thermal "
-            f"contraction ratio is "
-            f"{self.cal.thermal_resistance_k_per_w * self.cal.leakage_w_per_k_pkg:.3g}",
-            ConvergenceWarning,
-            stacklevel=2,
-        )
+                converged = True
+                break
+        if not converged:
+            warnings.warn(
+                f"preheat did not converge: last sweep still moved temperatures "
+                f"by {delta_c:.3g} K (> {tol_c:.3g} K tolerance) after "
+                f"{max_sweeps} sweeps; the calibration's leakage-thermal "
+                f"contraction ratio is "
+                f"{self.cal.thermal_resistance_k_per_w * self.cal.leakage_w_per_k_pkg:.3g}",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        if self._obs is not None:
+            self._obs_preheat_sweeps.observe(sweeps)
+            if converged:
+                self._obs_preheat_conv.inc()
+            else:
+                self._obs_preheat_unconv.inc()
         return delta_c
 
     def _evolve_thermals(self, duration_s: float) -> None:
@@ -459,6 +550,24 @@ class Machine:
         20 Sa/s out-of-band; RAPL counters integrate the SMU model; the
         analysis later applies the inner-window averaging rule.
         """
+        if self._obs is None:
+            return self._measure_impl(duration_s)
+        tracer = self._obs.tracer
+        tracer.begin(
+            "machine.measure",
+            cat="machine",
+            sim_ns=self.sim.now_ns,
+            machine=self._obs_track,
+            duration_s=duration_s,
+        )
+        try:
+            return self._measure_impl(duration_s)
+        finally:
+            tracer.end(sim_ns=self.sim.now_ns)
+            self._obs_measures.inc()
+            self._obs_state_version.set(self.state_version)
+
+    def _measure_impl(self, duration_s: float) -> MeasurementRecord:
         temps0 = list(self.thermal_state.temps_c)
         # Temperature trajectory under current power (one-step coupling:
         # power evaluated at initial temps drives the trajectory).

@@ -1,0 +1,368 @@
+"""Metrics registry: counters, gauges, histograms with labeled series.
+
+The registry is the numeric half of :mod:`repro.obs` (the span tracer is
+the other).  It follows the Prometheus data model — a *family* per metric
+name, one *series* per label combination — but stays deliberately small:
+
+* **Counter** — monotonically non-decreasing accumulator (``inc``);
+* **Gauge** — last-written value (``set``);
+* **Histogram** — fixed, immutable bucket layout declared at family
+  creation; observations land in cumulative buckets plus ``sum``/``count``.
+
+Two export forms, both schema-stable:
+
+* :meth:`MetricsRegistry.to_prometheus` — the text exposition format
+  (``# HELP`` / ``# TYPE`` / ``name{labels} value``), loadable by any
+  Prometheus scraper or ``promtool``;
+* :meth:`MetricsRegistry.snapshot` — a schema-versioned JSON document
+  (``repro.obs/metrics`` v1) validated by
+  :func:`repro.obs.schema.validate_metrics_document`.
+
+Determinism: the registry holds plain dicts keyed by insertion order and
+sorted label tuples; identical instrumented runs produce byte-identical
+snapshots.  Nothing here reads a clock — latency observations are handed
+in by callers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+
+#: Canonical latency bucket layout (seconds): 1 us .. ~100 s, factor 10
+#: with a 3x midpoint — wide enough for cache lookups and suite runs alike.
+LATENCY_BUCKETS_S = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+    1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
+
+#: Canonical count bucket layout (events per batch, queue depths, ...).
+COUNT_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 50_000.0, 100_000.0,
+)
+
+_VALID_TYPES = ("counter", "gauge", "histogram")
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(
+        ch.isalnum() or ch in "._" for ch in name
+    ) or name[0] in "._0123456789":
+        raise ConfigurationError(
+            f"invalid metric name {name!r}: use dotted lowercase identifiers "
+            "(e.g. 'sim.events_dispatched')"
+        )
+    return name
+
+
+def prometheus_name(name: str) -> str:
+    """Mangle a dotted metric name into the Prometheus charset."""
+    return "repro_" + name.replace(".", "_")
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Series:
+    """One (family, label-set) time series."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...]) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+
+class _HistogramSeries:
+    """Cumulative bucket counts plus sum/count for one label set."""
+
+    __slots__ = ("labels", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self, labels: tuple[tuple[str, str], ...], n_buckets: int
+    ) -> None:
+        self.labels = labels
+        # One slot per finite bound plus the +Inf overflow bucket.
+        self.bucket_counts = [0] * (n_buckets + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Counter:
+    """Handle for one counter series."""
+
+    __slots__ = ("_series",)
+
+    def __init__(self, series: _Series) -> None:
+        self._series = series
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter increments must be >= 0, got {amount}"
+            )
+        self._series.value += amount
+
+    @property
+    def value(self) -> float:
+        return self._series.value
+
+
+class Gauge:
+    """Handle for one gauge series."""
+
+    __slots__ = ("_series",)
+
+    def __init__(self, series: _Series) -> None:
+        self._series = series
+
+    def set(self, value: float) -> None:
+        self._series.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._series.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._series.value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._series.value
+
+
+class Histogram:
+    """Handle for one histogram series (fixed bucket layout)."""
+
+    __slots__ = ("_series", "_bounds")
+
+    def __init__(self, series: _HistogramSeries, bounds: tuple[float, ...]) -> None:
+        self._series = series
+        self._bounds = bounds
+
+    def observe(self, value: float) -> None:
+        s = self._series
+        # Buckets are cumulative (Prometheus semantics): every bucket
+        # whose upper bound admits the value counts it; +Inf always does.
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                s.bucket_counts[i] += 1
+        s.bucket_counts[-1] += 1
+        s.sum += value
+        s.count += 1
+
+    @property
+    def count(self) -> int:
+        return self._series.count
+
+    @property
+    def sum(self) -> float:
+        return self._series.sum
+
+
+class MetricFamily:
+    """All series of one metric name."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        unit: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = _check_name(name)
+        if kind not in _VALID_TYPES:
+            raise ConfigurationError(f"unknown metric type {kind!r}")
+        self.kind = kind
+        self.help_text = help_text
+        self.unit = unit
+        if kind == "histogram":
+            if not buckets:
+                raise ConfigurationError(
+                    f"histogram {name!r} needs a fixed bucket layout"
+                )
+            ordered = tuple(float(b) for b in buckets)
+            if list(ordered) != sorted(set(ordered)):
+                raise ConfigurationError(
+                    f"histogram {name!r} buckets must be strictly increasing"
+                )
+            if any(math.isinf(b) for b in ordered):
+                raise ConfigurationError(
+                    f"histogram {name!r}: +Inf bucket is implicit, do not list it"
+                )
+            self.buckets = ordered
+        else:
+            if buckets is not None:
+                raise ConfigurationError(
+                    f"{kind} {name!r} does not take buckets"
+                )
+            self.buckets = None
+        self._series: dict[tuple[tuple[str, str], ...], Any] = {}
+
+    def labels(self, **labels: str) -> Counter | Gauge | Histogram:
+        """The series handle for one label combination (created on demand)."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            if self.kind == "histogram":
+                series = _HistogramSeries(key, len(self.buckets))
+            else:
+                series = _Series(key)
+            self._series[key] = series
+        if self.kind == "counter":
+            return Counter(series)
+        if self.kind == "gauge":
+            return Gauge(series)
+        return Histogram(series, self.buckets)
+
+    def series(self) -> Iterator[Any]:
+        """All series, sorted by label tuple for stable export."""
+        for key in sorted(self._series):
+            yield self._series[key]
+
+
+class MetricsRegistry:
+    """Ordered collection of metric families, one per name."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        unit: str,
+        buckets: tuple[float, ...] | None = None,
+    ) -> MetricFamily:
+        fam = self._families.get(name)
+        if fam is not None:
+            if fam.kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {fam.kind}, "
+                    f"requested {kind}"
+                )
+            return fam
+        fam = MetricFamily(name, kind, help_text, unit, buckets)
+        self._families[name] = fam
+        return fam
+
+    def counter(self, name: str, help_text: str = "", unit: str = "", **labels) -> Counter:
+        """A counter series (family auto-registered on first use)."""
+        return self._family(name, "counter", help_text, unit).labels(**labels)
+
+    def gauge(self, name: str, help_text: str = "", unit: str = "", **labels) -> Gauge:
+        """A gauge series."""
+        return self._family(name, "gauge", help_text, unit).labels(**labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        unit: str = "",
+        buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+        **labels,
+    ) -> Histogram:
+        """A histogram series with a fixed bucket layout."""
+        return self._family(name, "histogram", help_text, unit, buckets).labels(
+            **labels
+        )
+
+    def families(self) -> list[MetricFamily]:
+        return list(self._families.values())
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The schema-versioned JSON document (``repro.obs/metrics`` v1)."""
+        from repro.obs.schema import METRICS_SCHEMA_ID, METRICS_SCHEMA_VERSION
+
+        metrics = []
+        for fam in self._families.values():
+            entry: dict[str, Any] = {
+                "name": fam.name,
+                "type": fam.kind,
+                "help": fam.help_text,
+                "unit": fam.unit,
+            }
+            if fam.kind == "histogram":
+                entry["buckets"] = list(fam.buckets)
+                entry["series"] = [
+                    {
+                        "labels": dict(s.labels),
+                        "bucket_counts": list(s.bucket_counts),
+                        "sum": s.sum,
+                        "count": s.count,
+                    }
+                    for s in fam.series()
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": dict(s.labels), "value": s.value}
+                    for s in fam.series()
+                ]
+            metrics.append(entry)
+        return {
+            "schema": METRICS_SCHEMA_ID,
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "metrics": metrics,
+        }
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for fam in self._families.values():
+            pname = prometheus_name(fam.name)
+            help_text = fam.help_text or fam.name
+            if fam.unit:
+                help_text += f" [{fam.unit}]"
+            lines.append(f"# HELP {pname} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {pname} {fam.kind}")
+            if fam.kind == "histogram":
+                for s in fam.series():
+                    bounds = [*fam.buckets, math.inf]
+                    for bound, count in zip(bounds, s.bucket_counts):
+                        le = "+Inf" if math.isinf(bound) else _fmt_value(bound)
+                        labels = _fmt_labels((*s.labels, ("le", le)))
+                        lines.append(f"{pname}_bucket{labels} {count}")
+                    lines.append(
+                        f"{pname}_sum{_fmt_labels(s.labels)} {_fmt_value(s.sum)}"
+                    )
+                    lines.append(
+                        f"{pname}_count{_fmt_labels(s.labels)} {s.count}"
+                    )
+            else:
+                for s in fam.series():
+                    lines.append(
+                        f"{pname}{_fmt_labels(s.labels)} {_fmt_value(s.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _fmt_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+    return "{" + inner + "}"

@@ -53,12 +53,19 @@ class TraceBuffer:
             )
         self.enabled = requested
         self._events: list[TraceEvent] = []
+        #: Optional mirror for every accepted event (set by
+        #: ``Machine.attach_obs`` to bridge tracepoints onto the
+        #: ``repro.obs`` timeline).  A sink sees events as they happen,
+        #: so :meth:`clear` between experiment phases cannot lose them.
+        self.sink = None
 
     def emit(self, time_ns: int, name: str, cpu_id: int, **payload) -> None:
         """Record an event if its tracepoint is enabled."""
         if name not in self.enabled:
             return
         self._events.append(TraceEvent(time_ns, name, cpu_id, payload))
+        if self.sink is not None:
+            self.sink(time_ns, name, cpu_id, payload)
 
     def __len__(self) -> int:
         return len(self._events)

@@ -109,6 +109,71 @@ class _Slot:
         self.done = True
 
 
+class _PoolObs:
+    """Parent-side instrumentation for one ``run_tasks`` call.
+
+    Workers never see the obs bundle (it is not picklable and must not
+    perturb task results); everything here is measured from the parent:
+    submit-to-resolution windows per task (one export lane each, so
+    concurrent windows stay renderable), phase spans, and outcome /
+    retry counters.
+    """
+
+    def __init__(self, obs, n_tasks: int) -> None:
+        self.tracer = obs.tracer
+        self.track = self.tracer.new_track("pool")
+        metrics = obs.metrics
+        help_tasks = "Pool tasks by final outcome"
+        self.results = {
+            kind: metrics.counter("pool.tasks", help_tasks, "tasks", result=kind)
+            for kind in ("ok", "error", "timeout", "crash")
+        }
+        self.retries = metrics.counter(
+            "pool.retries", "Task attempts beyond the first", "attempts"
+        )
+        self.task_wall = metrics.histogram(
+            "pool.task_wall_s",
+            "Wall time from task submission to resolution",
+            "s",
+        )
+        self._t_submit: dict[int, int] = {}
+
+    def phase(self, name: str, **args):
+        return self.tracer.span(name, cat="pool", **args)
+
+    def submitted(self, index: int) -> None:
+        self._t_submit[index] = self.tracer.now_ns()
+
+    def resolved(self, index: int, slot: "_Slot", phase: str) -> None:
+        t0 = self._t_submit.pop(index, None)
+        if t0 is None:
+            return
+        t1 = self.tracer.now_ns()
+        self.task_wall.observe((t1 - t0) / 1e9)
+        self.tracer.complete(
+            f"pool.task:{slot.task.name}",
+            cat="pool",
+            track=self.track,
+            t0_wall_ns=t0,
+            t1_wall_ns=t1,
+            lane=index + 1,
+            phase=phase,
+            outcome="ok" if slot.done else slot.last_kind,
+            attempts=slot.attempts,
+        )
+
+    def flush_harvested(self, slots: list["_Slot"]) -> None:
+        for index, slot in enumerate(slots):
+            if slot.done and index in self._t_submit:
+                self.resolved(index, slot, "gang")
+
+    def finish(self, slots: list["_Slot"]) -> None:
+        for slot in slots:
+            self.results["ok" if slot.done else slot.last_kind].inc()
+            if slot.attempts > 1:
+                self.retries.inc(slot.attempts - 1)
+
+
 def _mp_context():
     """Fork where available: inherits sys.path and test monkeypatches."""
     try:
@@ -134,8 +199,15 @@ def run_tasks(
     jobs: int | None = None,
     timeout_s: float | None = None,
     retries: int = 1,
+    obs=None,
 ) -> list[TaskOutcome]:
-    """Execute ``tasks`` across worker processes; results in input order."""
+    """Execute ``tasks`` across worker processes; results in input order.
+
+    ``obs`` (a :class:`repro.obs.Obs`) instruments the run from the
+    parent side — per-task spans, gang/isolation phase spans, outcome
+    and retry counters.  Workers are never instrumented, so results are
+    identical with or without it.
+    """
     tasks = list(tasks)
     if jobs is not None and jobs < 1:
         raise ParallelError(f"jobs must be >= 1, got {jobs}")
@@ -154,8 +226,24 @@ def run_tasks(
     max_attempts = retries + 1
     worker_count = min(len(tasks), jobs or MAX_JOBS, MAX_JOBS)
 
-    _gang_phase(slots, worker_count, timeout_s)
-    _isolation_phase(slots, timeout_s, max_attempts)
+    pobs = None
+    if obs is not None:
+        from repro.obs import effective_obs
+
+        if effective_obs(obs) is not None:
+            pobs = _PoolObs(obs, len(slots))
+
+    if pobs is None:
+        _gang_phase(slots, worker_count, timeout_s)
+        _isolation_phase(slots, timeout_s, max_attempts)
+    else:
+        with pobs.phase("pool.gang", jobs=worker_count, tasks=len(slots)):
+            _gang_phase(slots, worker_count, timeout_s, pobs)
+        unresolved = sum(1 for slot in slots if not slot.done)
+        if unresolved:
+            with pobs.phase("pool.isolation", tasks=unresolved):
+                _isolation_phase(slots, timeout_s, max_attempts, pobs)
+        pobs.finish(slots)
 
     outcomes: list[TaskOutcome] = []
     for slot in slots:
@@ -182,7 +270,10 @@ def run_tasks(
 
 
 def _gang_phase(
-    slots: list[_Slot], worker_count: int, timeout_s: float | None
+    slots: list[_Slot],
+    worker_count: int,
+    timeout_s: float | None,
+    pobs: _PoolObs | None = None,
 ) -> None:
     """One shared pool, all tasks; unresolved slots fall through."""
     executor = ProcessPoolExecutor(
@@ -190,12 +281,16 @@ def _gang_phase(
     )
     clean_shutdown = True
     try:
-        futures = [
-            executor.submit(slot.task.fn, *slot.task.args) for slot in slots
-        ]
-        for slot, future in zip(slots, futures):
+        futures = []
+        for index, slot in enumerate(slots):
+            futures.append(executor.submit(slot.task.fn, *slot.task.args))
+            if pobs is not None:
+                pobs.submitted(index)
+        for index, (slot, future) in enumerate(zip(slots, futures)):
             try:
                 slot.record_success(future.result(timeout=timeout_s))
+                if pobs is not None:
+                    pobs.resolved(index, slot, "gang")
             except FutureTimeoutError:
                 # This task had its full budget; workers may be stuck on
                 # it or behind it, so abandon the pool and harvest the
@@ -203,7 +298,11 @@ def _gang_phase(
                 slot.record_failure(
                     "timeout", f"no result within {timeout_s} s"
                 )
+                if pobs is not None:
+                    pobs.resolved(index, slot, "gang")
                 _harvest_done(slots, futures)
+                if pobs is not None:
+                    pobs.flush_harvested(slots)
                 _terminate(executor)
                 clean_shutdown = False
                 return
@@ -212,11 +311,15 @@ def _gang_phase(
                 # pending future breaks at once), so charge nobody and
                 # let the isolation phase identify the culprit.
                 _harvest_done(slots, futures)
+                if pobs is not None:
+                    pobs.flush_harvested(slots)
                 _terminate(executor)
                 clean_shutdown = False
                 return
             except Exception as err:  # noqa: BLE001 - task's own exception
                 slot.record_failure("error", f"{type(err).__name__}: {err}")
+                if pobs is not None:
+                    pobs.resolved(index, slot, "gang")
     finally:
         if clean_shutdown:
             executor.shutdown(wait=True)
@@ -238,10 +341,13 @@ def _harvest_done(slots: list[_Slot], futures: list) -> None:
 
 
 def _isolation_phase(
-    slots: list[_Slot], timeout_s: float | None, max_attempts: int
+    slots: list[_Slot],
+    timeout_s: float | None,
+    max_attempts: int,
+    pobs: _PoolObs | None = None,
 ) -> None:
     """Retry unresolved tasks one-per-pool for exact attribution."""
-    for slot in slots:
+    for index, slot in enumerate(slots):
         while not slot.done and slot.attempts < max_attempts:
             executor = ProcessPoolExecutor(
                 max_workers=1, mp_context=_mp_context()
@@ -249,6 +355,8 @@ def _isolation_phase(
             clean_shutdown = True
             try:
                 future = executor.submit(slot.task.fn, *slot.task.args)
+                if pobs is not None:
+                    pobs.submitted(index)
                 try:
                     slot.record_success(future.result(timeout=timeout_s))
                 except FutureTimeoutError:
@@ -265,5 +373,7 @@ def _isolation_phase(
                         "error", f"{type(err).__name__}: {err}"
                     )
             finally:
+                if pobs is not None:
+                    pobs.resolved(index, slot, "isolation")
                 if clean_shutdown:
                     executor.shutdown(wait=True)

@@ -79,6 +79,7 @@ class PowerModel:
         self._bd_no_leak: PowerBreakdown | None = None
         self._traffic_version: int | None = None
         self._traffic: dict[int, float] = {}
+        self._obs = None
 
     def bind(self, machine) -> None:
         """Enable ``state_version``-keyed memoization for ``machine``.
@@ -93,6 +94,30 @@ class PowerModel:
 
     def _bound_machine(self):
         return self._machine_ref() if self._machine_ref is not None else None
+
+    def attach_obs(self, obs, machine: str = "") -> None:
+        """Count memo hits/misses into a :class:`repro.obs.Obs` registry."""
+        from repro.obs import effective_obs
+
+        obs = effective_obs(obs)
+        if obs is None:
+            return
+        metrics = obs.metrics
+        help_bd = "breakdown() state_version memo lookups"
+        help_tr = "package_dram_traffic_gbs() state_version memo lookups"
+        self._obs_bd_hits = metrics.counter(
+            "power.breakdown_memo", help_bd, "lookups", machine=machine, result="hit"
+        )
+        self._obs_bd_misses = metrics.counter(
+            "power.breakdown_memo", help_bd, "lookups", machine=machine, result="miss"
+        )
+        self._obs_traffic_hits = metrics.counter(
+            "power.traffic_memo", help_tr, "lookups", machine=machine, result="hit"
+        )
+        self._obs_traffic_misses = metrics.counter(
+            "power.traffic_memo", help_tr, "lookups", machine=machine, result="miss"
+        )
+        self._obs = obs
 
     # ------------------------------------------------------------------
     # helpers
@@ -134,6 +159,10 @@ class PowerModel:
         if cached is None:
             cached = self._compute_traffic_gbs(pkg)
             self._traffic[pkg.index] = cached
+            if self._obs is not None:
+                self._obs_traffic_misses.inc()
+        elif self._obs is not None:
+            self._obs_traffic_hits.inc()
         return cached
 
     def _compute_traffic_gbs(self, pkg: Package) -> float:
@@ -159,6 +188,10 @@ class PowerModel:
             if version != self._bd_version:
                 self._bd_no_leak = self._compute_breakdown(machine)
                 self._bd_version = version
+                if self._obs is not None:
+                    self._obs_bd_misses.inc()
+            elif self._obs is not None:
+                self._obs_bd_hits.inc()
             bd = self._bd_no_leak
         else:
             bd = self._compute_breakdown(machine)

@@ -1,0 +1,147 @@
+"""Metrics registry: Prometheus semantics in miniature.
+
+Counters refuse to go backwards, histograms keep cumulative buckets with
+an implicit +Inf, families reject type conflicts, and both export forms
+(text exposition, JSON snapshot) are deterministic functions of the
+observations — two identical instrumented runs serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    prometheus_name,
+)
+from repro.obs.schema import validate_metrics_document
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("sim.events_dispatched", "events", "events")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+    with pytest.raises(ConfigurationError):
+        c.inc(-1)
+
+
+def test_labeled_series_are_independent():
+    reg = MetricsRegistry()
+    hits = reg.counter("cache.lookups", result="hit")
+    misses = reg.counter("cache.lookups", result="miss")
+    hits.inc(3)
+    misses.inc()
+    # A second handle for the same label set shares the series.
+    assert reg.counter("cache.lookups", result="hit").value == 3
+    assert reg.counter("cache.lookups", result="miss").value == 1
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("sim.queue_depth")
+    g.set(10)
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 13
+
+
+def test_type_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("machine.measures")
+    with pytest.raises(ConfigurationError):
+        reg.gauge("machine.measures")
+
+
+def test_bad_names_rejected():
+    reg = MetricsRegistry()
+    for bad in ("", "9lives", ".dot", "has space", "semi;colon"):
+        with pytest.raises(ConfigurationError):
+            reg.counter(bad)
+
+
+def test_histogram_cumulative_buckets_and_inf():
+    reg = MetricsRegistry()
+    h = reg.histogram("latency", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 50.0, 500.0):
+        h.observe(v)
+    snap = reg.snapshot()
+    (fam,) = snap["metrics"]
+    (series,) = fam["series"]
+    # Cumulative: le=1 admits 1 value, le=10 two, le=100 three, +Inf all.
+    assert series["bucket_counts"] == [1, 2, 3, 4]
+    assert series["count"] == 4
+    assert series["sum"] == pytest.approx(555.5)
+
+
+def test_histogram_bucket_layout_validation():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.histogram("h1", buckets=())
+    with pytest.raises(ConfigurationError):
+        reg.histogram("h2", buckets=(3.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        reg.histogram("h3", buckets=(1.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        reg.histogram("h4", buckets=(1.0, float("inf")))
+
+
+def test_canonical_bucket_layouts_are_valid():
+    reg = MetricsRegistry()
+    reg.histogram("lat", buckets=LATENCY_BUCKETS_S).observe(0.01)
+    reg.histogram("cnt", buckets=COUNT_BUCKETS).observe(17)
+    assert validate_metrics_document(reg.snapshot()) == []
+
+
+def test_snapshot_validates_and_is_deterministic():
+    def build() -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("a.ticks", "ticks", "ticks", kind="x").inc(7)
+        reg.gauge("b.depth").set(3)
+        reg.histogram("c.lat", buckets=(0.1, 1.0)).observe(0.5)
+        return reg
+
+    s1, s2 = build().snapshot(), build().snapshot()
+    assert validate_metrics_document(s1) == []
+    assert s1 == s2
+
+
+def test_prometheus_text_shape():
+    reg = MetricsRegistry()
+    reg.counter("cache.lookups", "Lookups", "lookups", result="hit").inc(2)
+    reg.histogram("get.lat", buckets=(1.0,)).observe(0.5)
+    text = reg.to_prometheus()
+    assert "# HELP repro_cache_lookups Lookups [lookups]\n" in text
+    assert "# TYPE repro_cache_lookups counter\n" in text
+    assert 'repro_cache_lookups{result="hit"} 2\n' in text
+    assert 'repro_get_lat_bucket{le="1"} 1\n' in text
+    assert 'repro_get_lat_bucket{le="+Inf"} 1\n' in text
+    assert "repro_get_lat_sum 0.5\n" in text
+    assert "repro_get_lat_count 1\n" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_name_mangling_and_label_escaping():
+    assert prometheus_name("sim.events_dispatched") == (
+        "repro_sim_events_dispatched"
+    )
+    reg = MetricsRegistry()
+    reg.counter("weird.labels", tag='say "hi"\nnow').inc()
+    text = reg.to_prometheus()
+    assert 'tag="say \\"hi\\"\\nnow"' in text
+
+
+def test_validator_catches_broken_documents():
+    reg = MetricsRegistry()
+    reg.histogram("h.lat", buckets=(1.0, 2.0)).observe(0.5)
+    doc = reg.snapshot()
+    doc["metrics"][0]["series"][0]["bucket_counts"] = [2, 1, 1]
+    assert validate_metrics_document(doc)  # non-monotone buckets
+
+    doc2 = reg.snapshot()
+    doc2["schema_version"] = 99
+    assert validate_metrics_document(doc2)

@@ -1,0 +1,208 @@
+"""Span tracer and trace export.
+
+Ids must be sequence-derived (identical runs → identical ids), the ring
+must bound memory while counting drops, and the exported Chrome-trace
+document must pass the bundled validator — including the nesting rule
+that complete events on one (pid, tid) never partially overlap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.export import merge_trace_documents, trace_document
+from repro.obs.schema import (
+    METRICS_SCHEMA_ID,
+    TRACE_SCHEMA_ID,
+    sniff_schema,
+    validate_document,
+    validate_trace_document,
+)
+from repro.obs.tracer import HOST_TRACK, SpanTracer
+
+
+class FakeClock:
+    """Deterministic nanosecond clock for id/timestamp assertions."""
+
+    def __init__(self) -> None:
+        self.t = 1_000_000
+
+    def __call__(self) -> int:
+        self.t += 1_000
+        return self.t
+
+
+def make_tracer(**kw) -> SpanTracer:
+    return SpanTracer(clock=FakeClock(), **kw)
+
+
+def test_span_nesting_and_parent_ids():
+    tr = make_tracer()
+    with tr.span("outer") as outer:
+        with tr.span("inner") as inner:
+            assert inner["parent"] == outer["id"]
+        assert tr.open_depth == 1
+    assert tr.open_depth == 0
+    names = [r["name"] for r in tr.records()]
+    # Inner commits first (it ends first).
+    assert names == ["inner", "outer"]
+
+
+def test_ids_are_sequence_derived_and_run_stable():
+    ids_a = [r["id"] for r in _run_fixed_workload().records()]
+    ids_b = [r["id"] for r in _run_fixed_workload().records()]
+    assert ids_a == ids_b
+    # Ids are assigned 1..N from the sequence counter (commit order may
+    # differ from begin order — inner spans commit first).
+    assert set(ids_a) == set(range(1, len(ids_a) + 1))
+
+
+def _run_fixed_workload() -> SpanTracer:
+    tr = make_tracer()
+    track = tr.new_track("machine")
+    with tr.span("suite"):
+        for i, name in enumerate(("e1", "e2")):
+            with tr.span(name):
+                tr.instant("tick", track=track, sim_ns=5 + 20 * i)
+                tr.complete(
+                    "batch",
+                    track=track,
+                    t0_wall_ns=0,
+                    sim_t0_ns=20 * i,
+                    sim_t1_ns=20 * i + 9,
+                )
+    return tr
+
+
+def test_end_without_begin_raises():
+    tr = make_tracer()
+    with pytest.raises(ConfigurationError):
+        tr.end()
+
+
+def test_span_unwinds_mismatched_begins():
+    tr = make_tracer()
+    with tr.span("outer"):
+        tr.begin("leaked")  # body forgets to end()
+    assert tr.open_depth == 0
+    assert [r["name"] for r in tr.records()] == ["leaked", "outer"]
+
+
+def test_ring_bounds_memory_and_counts_drops():
+    tr = make_tracer(max_events=3)
+    for i in range(5):
+        tr.instant(f"i{i}")
+    assert len(tr) == 3
+    assert tr.dropped == 2
+    assert [r["name"] for r in tr.records()] == ["i2", "i3", "i4"]
+
+
+def test_max_events_validated():
+    with pytest.raises(ConfigurationError):
+        SpanTracer(max_events=0)
+
+
+def test_new_track_is_deterministic():
+    tr = make_tracer()
+    assert tr.new_track("machine") == "machine0"
+    assert tr.new_track("machine") == "machine1"
+    assert tr.new_track("pool") == "pool0"
+
+
+def test_spans_and_instants_filters():
+    tr = _run_fixed_workload()
+    assert len(tr.spans()) == 5
+    assert len(tr.spans("batch")) == 2
+    assert len(tr.instants("tick")) == 2
+    assert tr.instants("absent") == []
+
+
+# ---------------------------------------------------------------------------
+# export
+# ---------------------------------------------------------------------------
+
+
+def test_trace_document_validates_and_round_trips():
+    import json
+
+    doc = trace_document(_run_fixed_workload(), run="test")
+    assert validate_trace_document(doc) == []
+    assert sniff_schema(doc) == TRACE_SCHEMA_ID
+    assert doc["otherData"]["run"] == "test"
+    rt = json.loads(json.dumps(doc))
+    assert validate_document(rt) == []
+    assert rt == doc
+
+
+def test_sim_axis_routing():
+    tr = make_tracer()
+    track = tr.new_track("machine")
+    tr.complete(
+        "sim.dispatch", track=track, t0_wall_ns=0, sim_t0_ns=100, sim_t1_ns=900
+    )
+    tr.instant("sched_waking", track=track, sim_ns=500, cpu=3)
+    doc = trace_document(tr)
+    span = next(e for e in doc["traceEvents"] if e["name"] == "sim.dispatch")
+    inst = next(e for e in doc["traceEvents"] if e["name"] == "sched_waking")
+    # Sim-time microseconds, machine pid distinct from host, cpu thread.
+    assert span["ts"] == pytest.approx(0.1)
+    assert span["dur"] == pytest.approx(0.8)
+    assert span["pid"] != 1 and span["tid"] == 0
+    assert inst["tid"] == 4
+    thread_names = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "thread_name"
+    }
+    assert thread_names[(span["pid"], 0)] == "sim"
+    assert thread_names[(inst["pid"], 4)] == "cpu3"
+
+
+def test_host_spans_use_wall_axis():
+    tr = make_tracer()
+    with tr.span("suite"):
+        pass
+    doc = trace_document(tr)
+    span = next(e for e in doc["traceEvents"] if e["name"] == "suite")
+    assert span["pid"] == 1 and span["tid"] == 1
+    assert span["dur"] > 0
+
+
+def test_lanes_keep_concurrent_spans_valid():
+    tr = make_tracer()
+    track = tr.new_track("pool")
+    # Two overlapping wall-time windows — invalid on one tid, fine on two.
+    tr.complete("t1", track=track, t0_wall_ns=0, t1_wall_ns=10_000, lane=1)
+    tr.complete("t2", track=track, t0_wall_ns=5_000, t1_wall_ns=15_000, lane=2)
+    assert validate_trace_document(trace_document(tr)) == []
+
+
+def test_nesting_validator_rejects_partial_overlap():
+    tr = make_tracer()
+    tr.complete("a", t0_wall_ns=0, t1_wall_ns=10_000)
+    tr.complete("b", t0_wall_ns=5_000, t1_wall_ns=15_000)  # same pid/tid
+    problems = validate_trace_document(trace_document(tr))
+    assert any("overlap" in p for p in problems)
+
+
+def test_merge_remaps_pids_and_validates():
+    docs = [trace_document(_run_fixed_workload()) for _ in range(2)]
+    merged = merge_trace_documents(docs)
+    assert validate_trace_document(merged) == []
+    names = {
+        e["args"]["name"]
+        for e in merged["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "process_name"
+    }
+    assert {"run0:host", "run1:host"} <= names
+    assert merged["otherData"]["merged"] == 2
+
+
+def test_sniff_schema_distinguishes_documents():
+    from repro.obs.metrics import MetricsRegistry
+
+    assert sniff_schema(MetricsRegistry().snapshot()) == METRICS_SCHEMA_ID
+    assert sniff_schema({"schema": "nope"}) == "nope"
+    assert sniff_schema([1, 2]) is None
+    assert validate_document({"schema": "nope"})  # unknown schema: problems
