@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-flow baseline-update ordering-check selfcheck suite-parallel suite-traced golden bench bench-smoke
+.PHONY: test lint lint-json lint-flow lint-effects lint-changed baseline-update baseline-update-effects ordering-check selfcheck suite-parallel suite-traced golden bench bench-smoke bench-guard
 
 # The default gate: static analysis first (DET001/SIM001/... keep the
 # cache/parallel code deterministic), then the full pytest tree — which
@@ -9,7 +9,10 @@ export PYTHONPATH := src
 test: lint
 	$(PYTHON) -m pytest -x -q
 
-lint:
+# Per-module rules over the whole tree, plus the whole-program effects
+# pass (hot-region budgets, obs guards, parallel pickle safety) over
+# src/repro against its checked-in baseline.
+lint: lint-effects
 	$(PYTHON) -m repro.lint src/repro tests benchmarks examples
 
 lint-json:
@@ -24,6 +27,21 @@ lint-flow:
 # diff before committing (each entry is a finding you chose to live with).
 baseline-update:
 	$(PYTHON) -m repro.lint src/repro --flow --baseline lint-flow.baseline.json --update-baseline
+
+# Whole-program effect/escape analysis: per-event allocation, repeated
+# attribute lookups and exception control flow in declared hot regions
+# (lint-effects.regions.json), obs `is None` guard dominance, and
+# repro.parallel pickle safety — vs the checked-in baseline.
+lint-effects:
+	$(PYTHON) -m repro.lint src/repro --effects --effects-baseline lint-effects.baseline.json
+
+baseline-update-effects:
+	$(PYTHON) -m repro.lint src/repro --effects --effects-baseline lint-effects.baseline.json --update-effects-baseline
+
+# Pre-commit convenience: full analysis, findings reported only for
+# files changed vs git HEAD (falls back to a full run without git).
+lint-changed:
+	$(PYTHON) -m repro.lint src/repro tests benchmarks examples --effects --effects-baseline lint-effects.baseline.json --changed-only
 
 ordering-check:
 	$(PYTHON) -m repro.lint --ordering-check --ordering-seeds 1,2,3
@@ -59,3 +77,8 @@ bench:
 # stay healthy (the CI job); numbers are not meaningful.
 bench-smoke:
 	$(PYTHON) -m repro.bench --smoke --out benchmarks/results/BENCH_smoke.json
+
+# Overhead budget check: the obs-disabled dispatch path must keep >=98%
+# of bare sim.dispatch throughput (interleaved rounds, median ratio).
+bench-guard:
+	$(PYTHON) -m repro.bench --guard

@@ -27,11 +27,13 @@ kernels pin down.
 """
 
 from repro.bench.harness import (
+    GUARD_BUDGET,
     BenchContext,
     Kernel,
     KernelResult,
     percentile,
     run_kernels,
+    run_overhead_guard,
 )
 from repro.bench.kernels import REGISTRY, kernel_names
 from repro.bench.schema import (
@@ -43,6 +45,7 @@ from repro.bench.schema import (
 
 __all__ = [
     "BenchContext",
+    "GUARD_BUDGET",
     "Kernel",
     "KernelResult",
     "REGISTRY",
@@ -52,5 +55,6 @@ __all__ = [
     "kernel_names",
     "percentile",
     "run_kernels",
+    "run_overhead_guard",
     "validate_document",
 ]

@@ -62,6 +62,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="CI mode: quick kernels only, warmup=0, reps=1, scale<=0.1",
     )
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="overhead-budget check: time sim.dispatch against the "
+        "obs-disabled variant in interleaved rounds and exit 1 if the "
+        "disabled path loses more than the 2%% budget",
+    )
+    parser.add_argument(
+        "--guard-rounds",
+        type=int,
+        default=5,
+        help="interleaved A/B rounds for --guard (default: 5)",
+    )
+    parser.add_argument(
+        "--guard-budget",
+        type=float,
+        default=None,
+        help="override the allowed throughput loss fraction "
+        "(default: 0.02); tests use this to pin both verdicts",
+    )
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument(
         "--scale",
@@ -83,6 +103,29 @@ def main(argv: list[str] | None = None) -> int:
         for name in kernel_names():
             print(name)
         return 0
+
+    if args.guard:
+        from repro.bench.harness import GUARD_BUDGET, run_overhead_guard
+
+        ctx = BenchContext(scale=args.scale, seed=args.seed)
+        budget = GUARD_BUDGET if args.guard_budget is None else args.guard_budget
+        try:
+            verdict = run_overhead_guard(
+                ctx,
+                rounds=args.guard_rounds,
+                budget=budget,
+                progress=lambda msg: print(msg, file=sys.stderr),
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"obs disabled-path guard: median throughput ratio "
+            f"{verdict['median_ratio']:.4f} over {verdict['rounds']} "
+            f"round(s), budget {verdict['budget']:.0%} -> "
+            f"{'PASS' if verdict['ok'] else 'FAIL'}"
+        )
+        return 0 if verdict["ok"] else 1
 
     only = [n.strip() for n in args.only.split(",") if n.strip()] if args.only else None
     warmup, reps, scale = args.warmup, args.reps, args.scale

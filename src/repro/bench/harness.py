@@ -158,3 +158,58 @@ def run_kernels(
             progress(f"bench {kernel.name} ...")
         results.append(time_kernel(kernel, ctx, warmup=warmup, reps=reps))
     return results
+
+
+#: The obs-disabled dispatch path may cost at most this fraction of bare
+#: dispatch throughput (docs/observability.md budget).
+GUARD_BUDGET = 0.02
+GUARD_BASELINE = "sim.dispatch"
+GUARD_CANDIDATE = "obs.overhead_disabled"
+
+
+def run_overhead_guard(
+    ctx: BenchContext,
+    *,
+    rounds: int = 5,
+    budget: float = GUARD_BUDGET,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Interleaved A/B budget check for the disabled-obs dispatch path.
+
+    Each round times the baseline (bare ``Simulator``) and the candidate
+    (``Obs(enabled=False)`` attached, collapsed by ``effective_obs``)
+    back-to-back, so slow drift in host clock frequency or cache state
+    cancels out of the per-round throughput ratio.  The verdict is the
+    *median* ratio over rounds — robust to one noisy neighbour — and the
+    run passes when the candidate keeps at least ``1 - budget`` of the
+    baseline's throughput.
+    """
+    from repro.bench.kernels import REGISTRY
+
+    if rounds < 1:
+        raise ConfigurationError(f"guard rounds must be >= 1, got {rounds}")
+    baseline = REGISTRY[GUARD_BASELINE].setup(ctx)
+    candidate = REGISTRY[GUARD_CANDIDATE].setup(ctx)
+    baseline()
+    candidate()  # one untimed warmup each
+    ratios: list[float] = []
+    for i in range(rounds):
+        throughput: list[float] = []
+        for run in (baseline, candidate):
+            t0_ns = time.perf_counter_ns()
+            ops = run()
+            elapsed_s = (time.perf_counter_ns() - t0_ns) / 1e9
+            throughput.append(ops / max(elapsed_s, 1e-9))
+        ratios.append(throughput[1] / throughput[0])
+        if progress is not None:
+            progress(f"guard round {i + 1}/{rounds}: ratio {ratios[-1]:.4f}")
+    median_ratio = percentile(ratios, 50.0)
+    return {
+        "baseline": GUARD_BASELINE,
+        "candidate": GUARD_CANDIDATE,
+        "rounds": rounds,
+        "budget": budget,
+        "ratios": ratios,
+        "median_ratio": median_ratio,
+        "ok": median_ratio >= 1.0 - budget,
+    }

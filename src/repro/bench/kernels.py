@@ -108,7 +108,7 @@ def _setup_queue_cancel_churn(ctx: BenchContext) -> Callable[[], int]:
 
 
 def _setup_sim_dispatch(
-    ctx: BenchContext, *, instrumented: bool = False
+    ctx: BenchContext, *, obs_mode: str = "none"
 ) -> Callable[[], int]:
     n_events = max(2_000, int(150_000 * ctx.scale))
     # 256 concurrent reschedule chains keep ~256 events resident — the
@@ -118,15 +118,17 @@ def _setup_sim_dispatch(
     period_ns = 1_000
 
     def run() -> int:
-        if instrumented:
+        if obs_mode == "none":
+            sim = Simulator()
+        else:
             from repro.obs import Obs
 
-            sim = Simulator(obs=Obs())
-        else:
-            sim = Simulator()
+            # "disabled" attaches an Obs(enabled=False): effective_obs
+            # collapses it to None, so this must time like bare dispatch.
+            sim = Simulator(obs=Obs(enabled=obs_mode == "full"))
         fired = [0]
 
-        def cb() -> None:
+        def cb() -> None:  # lint: hot (per-event dispatch callback)
             fired[0] += 1
             if fired[0] <= n_events - chains:
                 sim.schedule_after(period_ns, cb)
@@ -220,7 +222,17 @@ REGISTRY: dict[str, Kernel] = {
             "must stay within 2% of the committed sim.dispatch baseline",
             unit="events/s",
             better="higher",
-            setup=lambda ctx: _setup_sim_dispatch(ctx, instrumented=True),
+            setup=lambda ctx: _setup_sim_dispatch(ctx, obs_mode="full"),
+        ),
+        Kernel(
+            name="obs.overhead_disabled",
+            description="sim.dispatch with a *disabled* repro.obs bundle "
+            "attached; effective_obs collapses it to None at attach time, "
+            "so this must match sim.dispatch — the pair backs the "
+            "'--guard' overhead budget check (<=2%)",
+            unit="events/s",
+            better="higher",
+            setup=lambda ctx: _setup_sim_dispatch(ctx, obs_mode="disabled"),
         ),
         Kernel(
             name="machine.measure.1s",

@@ -55,6 +55,41 @@ def main(argv: list[str] | None = None) -> int:
         help="rewrite the --baseline file from this run's flow findings",
     )
     parser.add_argument(
+        "--effects",
+        action="store_true",
+        help="also run the whole-program effect and hot-path budget "
+        "analysis (rules HOT001-HOT003, OBS001, PAR001)",
+    )
+    parser.add_argument(
+        "--no-effects-cache",
+        action="store_true",
+        help="bypass the effects-analysis result cache (forces a cold run)",
+    )
+    parser.add_argument(
+        "--effects-baseline",
+        metavar="FILE",
+        help="baseline file of accepted effects findings; matching "
+        "findings are filtered from the report (implies --effects)",
+    )
+    parser.add_argument(
+        "--update-effects-baseline",
+        action="store_true",
+        help="rewrite the --effects-baseline file from this run's "
+        "effects findings",
+    )
+    parser.add_argument(
+        "--regions",
+        metavar="FILE",
+        help="hot-region manifest for --effects (default: "
+        "lint-effects.regions.json in the working directory, if present)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only for files changed vs git HEAD "
+        "(falls back to a full run outside a git checkout)",
+    )
+    parser.add_argument(
         "--select",
         metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
@@ -79,12 +114,34 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_id, cls in sorted(rules_by_id().items()):
-            print(f"{rule_id}  {cls.title}")
+        from repro.lint.effects import EFFECTS_RULE_TITLES
+        from repro.lint.engine import (
+            SUPPRESSION_REASON_RULE,
+            UNUSED_SUPPRESSION_RULE,
+        )
+        from repro.lint.flow import FLOW_RULE_TITLES
+
+        catalogue = {
+            rule_id: cls.title for rule_id, cls in rules_by_id().items()
+        }
+        catalogue.update(FLOW_RULE_TITLES)
+        catalogue.update(EFFECTS_RULE_TITLES)
+        catalogue[UNUSED_SUPPRESSION_RULE] = "unused lint suppression comment"
+        catalogue[SUPPRESSION_REASON_RULE] = (
+            "effects-rule suppression without a reason= token"
+        )
+        for rule_id, title in sorted(catalogue.items()):
+            print(f"{rule_id}  {title}")
         return 0
 
     if args.update_baseline and not args.baseline:
         print("repro-lint: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
+    if args.update_effects_baseline and not args.effects_baseline:
+        print(
+            "repro-lint: --update-effects-baseline requires --effects-baseline",
+            file=sys.stderr,
+        )
         return 2
 
     try:
@@ -101,6 +158,12 @@ def main(argv: list[str] | None = None) -> int:
             flow_cache=not args.no_flow_cache,
             baseline=args.baseline,
             update_baseline=args.update_baseline,
+            effects=args.effects or args.effects_baseline is not None,
+            effects_cache=not args.no_effects_cache,
+            effects_baseline=args.effects_baseline,
+            update_effects_baseline=args.update_effects_baseline,
+            regions=args.regions,
+            changed_only=args.changed_only,
         )
     except LintError as err:
         print(f"repro-lint: {err}", file=sys.stderr)

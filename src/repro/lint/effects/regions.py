@@ -1,0 +1,187 @@
+"""Hot-region declarations: the committed manifest plus inline markers.
+
+A *hot region* is a function whose body must stay allocation-light and
+effect-free — the dispatch loop, the event-queue pop path, the PowerModel
+memo path, the per-event bench callbacks.  Two declaration mechanisms
+feed the same set:
+
+* the **region manifest** (``lint-effects.regions.json``), a committed
+  JSON file naming functions by qualified name — the reviewable source
+  of truth for the production hot set;
+* an inline ``# lint: hot`` comment on (or directly above) a ``def``
+  line — the only way to mark *nested* functions (bench kernel
+  callbacks), and handy in fixture corpora.
+
+``# lint: cold`` (or a manifest ``cold`` entry) marks a *boundary*: a
+function that is deliberately off the hot budget (a memo-miss slow path,
+the obs-enabled dispatch loop).  Hot-path propagation stops there — a
+hot region may call a cold function without a finding, because the
+region's fast path never takes that call.
+
+Both markers accept free-form text after the keyword, recorded as the
+region's reason (``# lint: hot (per-event dispatch callback)``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import LintError
+from repro.lint.findings import _comment_lines
+
+#: Default manifest filename, looked up in the working directory.
+DEFAULT_MANIFEST = "lint-effects.regions.json"
+
+MANIFEST_VERSION = 1
+
+_HOT_RE = re.compile(r"#\s*lint:\s*hot\b\s*(.*)")
+_COLD_RE = re.compile(r"#\s*lint:\s*cold\b\s*(.*)")
+
+
+@dataclass
+class HotRegion:
+    """One declared hot function: where it lives and why it is hot."""
+
+    qname: str
+    module_name: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    reason: str = ""
+    source: str = "manifest"  # "manifest" | "marker"
+    #: Qualified name of the owning class, when the region is a method.
+    cls_qname: str | None = None
+
+
+@dataclass
+class RegionSet:
+    """Every declared hot region and cold boundary in one analysis run."""
+
+    regions: list[HotRegion] = field(default_factory=list)
+    cold: set[str] = field(default_factory=set)
+    #: Manifest entries that matched no function in the analyzed set —
+    #: surfaced as findings so a rename cannot silently drop coverage.
+    unmatched: list[str] = field(default_factory=list)
+
+    def is_cold(self, qname: str) -> bool:
+        return qname in self.cold
+
+
+def load_manifest(path: str | None) -> tuple[dict[str, str], dict[str, str]]:
+    """(hot qname -> reason, cold qname -> reason) from the manifest.
+
+    ``path=None`` falls back to :data:`DEFAULT_MANIFEST` when present;
+    an explicitly-named missing file is an error, a missing default is
+    an empty manifest (marker-only operation).
+    """
+    if path is None:
+        if not os.path.exists(DEFAULT_MANIFEST):
+            return {}, {}
+        path = DEFAULT_MANIFEST
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        raise LintError(f"cannot read region manifest {path}: {err}") from err
+    if not isinstance(doc, dict):
+        raise LintError(f"region manifest {path}: top level must be an object")
+    hot: dict[str, str] = {}
+    cold: dict[str, str] = {}
+    for key, sink in (("regions", hot), ("cold", cold)):
+        for entry in doc.get(key, []):
+            if not isinstance(entry, dict) or "function" not in entry:
+                raise LintError(
+                    f"region manifest {path}: every '{key}' entry needs a "
+                    "'function' qualified name"
+                )
+            sink[str(entry["function"])] = str(entry.get("reason", ""))
+    return hot, cold
+
+
+def manifest_digest_text(path: str | None) -> str:
+    """Canonical manifest text for the result-cache key ("" when absent)."""
+    hot, cold = load_manifest(path)
+    return json.dumps([sorted(hot.items()), sorted(cold.items())])
+
+
+def _marker_lines(source: str) -> tuple[dict[int, str], dict[int, str]]:
+    """(hot line -> reason, cold line -> reason) for one module."""
+    hot: dict[int, str] = {}
+    cold: dict[int, str] = {}
+    for lineno, text in _comment_lines(source):
+        hot_match = _HOT_RE.search(text)
+        if hot_match:
+            hot[lineno] = hot_match.group(1).strip().strip("()")
+        cold_match = _COLD_RE.search(text)
+        if cold_match:
+            cold[lineno] = cold_match.group(1).strip().strip("()")
+    return hot, cold
+
+
+def _marked(node: ast.AST, markers: dict[int, str]) -> str | None:
+    """The marker reason if ``node``'s def line (or the line above, or a
+    decorator line) carries a marker."""
+    lines = {node.lineno, node.lineno - 1}
+    lines.update(d.lineno for d in getattr(node, "decorator_list", []))
+    for lineno in lines:
+        if lineno in markers:
+            return markers[lineno]
+    return None
+
+
+def _walk_functions(module):
+    """Yield (qname, cls_qname, node) for every def in a module, nested
+    included (nested defs get ``<qname>.<locals>.<name>`` names)."""
+
+    def inner(node: ast.AST, prefix: str, cls_qname: str | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{prefix}.{child.name}"
+                yield qname, cls_qname, child
+                yield from inner(child, f"{qname}.<locals>", cls_qname)
+            elif isinstance(child, ast.ClassDef):
+                cq = f"{prefix}.{child.name}"
+                yield from inner(child, cq, cq)
+
+    yield from inner(module.parsed.ctx.tree, module.name, None)
+
+
+def collect_regions(program, manifest_path: str | None) -> RegionSet:
+    """Resolve the manifest plus inline markers against ``program``."""
+    hot_manifest, cold_manifest = load_manifest(manifest_path)
+    regions = RegionSet(cold=set(cold_manifest))
+    matched: set[str] = set()
+    for module in program.modules.values():
+        hot_marks, cold_marks = _marker_lines(module.parsed.source)
+        scan_markers = bool(hot_marks) or bool(cold_marks)
+        if not scan_markers and not hot_manifest:
+            continue
+        for qname, cls_qname, node in _walk_functions(module):
+            reason: str | None = None
+            source = "manifest"
+            if qname in hot_manifest:
+                reason = hot_manifest[qname]
+                matched.add(qname)
+            elif scan_markers:
+                reason = _marked(node, hot_marks)
+                source = "marker"
+            if reason is not None:
+                regions.regions.append(
+                    HotRegion(
+                        qname=qname,
+                        module_name=module.name,
+                        path=module.parsed.path,
+                        node=node,
+                        reason=reason,
+                        source=source,
+                        cls_qname=cls_qname,
+                    )
+                )
+            if scan_markers and _marked(node, cold_marks) is not None:
+                regions.cold.add(qname)
+    regions.unmatched = sorted(set(hot_manifest) - matched)
+    regions.regions.sort(key=lambda r: (r.path, r.node.lineno))
+    return regions

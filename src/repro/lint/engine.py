@@ -4,12 +4,21 @@ from __future__ import annotations
 
 import ast
 import os
+import subprocess
 import tokenize
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.errors import LintError
-from repro.lint.findings import SEVERITY_WARNING, Finding, SuppressionIndex
+from repro.lint.findings import (
+    _FILE_RE,
+    _LINE_RE,
+    _comment_lines,
+    _split,
+    SEVERITY_WARNING,
+    Finding,
+    SuppressionIndex,
+)
 from repro.lint.rules import LintRule, ModuleContext, all_rules
 
 #: Pruned while walking directory arguments.  ``fixtures`` holds test
@@ -26,6 +35,14 @@ _SKIP_DIRS = {
 
 #: Engine-level rule: a ``# lint: disable=RULE`` that excused nothing.
 UNUSED_SUPPRESSION_RULE = "LINT001"
+
+#: Engine-level rule: an effects-rule suppression without a ``reason=``.
+SUPPRESSION_REASON_RULE = "LINT002"
+
+#: Rule-id prefixes whose suppressions must carry a ``reason=`` token.
+#: Effects findings gate perf and isolation invariants; excusing one
+#: without a recorded justification defeats the review trail.
+REASON_REQUIRED_PREFIXES = ("HOT", "OBS", "PAR")
 
 
 @dataclass
@@ -49,6 +66,9 @@ class LintReport:
     #: Statistics of the whole-program flow analysis, when it ran
     #: (module/function counts, fixpoint rounds, cache status).
     flow: dict[str, Any] | None = None
+    #: Statistics of the whole-program effects analysis, when it ran
+    #: (module/function/region counts, cache status).
+    effects: dict[str, Any] | None = None
 
     @property
     def errors(self) -> list[Finding]:
@@ -167,6 +187,76 @@ def unused_suppression_findings(
     return kept, suppressed
 
 
+def suppression_reason_findings(parsed: ParsedModule) -> tuple[list[Finding], int]:
+    """LINT002 findings: effects-rule suppressions must state a reason.
+
+    Any ``# lint: disable[-file]=`` comment naming a HOT/OBS/PAR rule
+    must carry a ``reason=`` token in the same comment, e.g.::
+
+        x = (a, b)  # lint: disable=HOT001 reason=hoisted by caller
+
+    Purely syntactic, so it runs whether or not the effects pass does.
+    """
+    kept: list[Finding] = []
+    suppressed = 0
+    for lineno, text in _comment_lines(parsed.source):
+        match = _FILE_RE.search(text) or _LINE_RE.search(text)
+        if match is None:
+            continue
+        needing = sorted(
+            rule
+            for rule in _split(match.group(1))
+            if rule.startswith(REASON_REQUIRED_PREFIXES)
+        )
+        if not needing or "reason=" in text:
+            continue
+        finding = Finding(
+            path=parsed.path,
+            line=lineno,
+            col=1,
+            rule=SUPPRESSION_REASON_RULE,
+            message=(
+                f"suppression of {', '.join(needing)} lacks a 'reason=' "
+                "token; effects-rule suppressions must record their "
+                "justification inline"
+            ),
+        )
+        if parsed.suppressions.suppresses(finding):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def changed_files() -> set[str] | None:
+    """Absolute paths changed vs HEAD (tracked diffs plus untracked).
+
+    Returns ``None`` when git is unavailable or the working directory is
+    not a repository — callers fall back to a full run.
+    """
+    def _git(*args: str) -> str:
+        return subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout
+
+    try:
+        top = _git("rev-parse", "--show-toplevel").strip()
+        listing = _git("diff", "--name-only", "HEAD") + _git(
+            "ls-files", "--others", "--exclude-standard"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {
+        os.path.abspath(os.path.join(top, line.strip()))
+        for line in listing.splitlines()
+        if line.strip()
+    }
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -178,8 +268,11 @@ def lint_source(
     rules = list(rules) if rules is not None else all_rules()
     parsed = parse_module(source, path)
     kept, suppressed = _apply_rules(parsed, rules)
+    reasoned, reason_suppressed = suppression_reason_findings(parsed)
+    kept.extend(reasoned)
+    suppressed += reason_suppressed
     if unused_check and parsed.ctx is not None:
-        checkable = {rule.rule_id for rule in rules}
+        checkable = {rule.rule_id for rule in rules} | {SUPPRESSION_REASON_RULE}
         stale, stale_suppressed = unused_suppression_findings(parsed, checkable)
         kept.extend(stale)
         suppressed += stale_suppressed
@@ -196,6 +289,12 @@ def lint_paths(
     flow_cache: bool = True,
     baseline: str | None = None,
     update_baseline: bool = False,
+    effects: bool = False,
+    effects_cache: bool = True,
+    effects_baseline: str | None = None,
+    update_effects_baseline: bool = False,
+    regions: str | None = None,
+    changed_only: bool = False,
 ) -> LintReport:
     """Lint every python file under ``paths``.
 
@@ -204,19 +303,48 @@ def lint_paths(
     DIM/DET findings join the report; ``baseline`` names a baseline file
     whose known findings are filtered out (``update_baseline`` rewrites
     it from the current run instead).
+
+    With ``effects=True`` the whole-program effect/hot-path analysis
+    (:mod:`repro.lint.effects`) runs too, with its own baseline
+    (``effects_baseline`` / ``update_effects_baseline``) and region
+    manifest (``regions``; defaults to ``lint-effects.regions.json``
+    in the working directory when present).
+
+    ``changed_only`` restricts reported findings to files changed vs
+    ``git HEAD`` (plus untracked files).  Every file is still *parsed*
+    — the whole-program passes need the complete module set — but
+    per-module rules run only on the changed seeds and whole-program
+    findings outside them are dropped, so a warm pre-commit run stays
+    fast and quiet.  Without git the full run happens.
     """
     rules = list(rules) if rules is not None else all_rules()
     report = LintReport()
     modules: list[ParsedModule] = []
+    seeds: set[str] | None = None
+    if changed_only:
+        changed = changed_files()
+        if changed is not None:
+            seeds = changed
+
+    def in_seeds(path: str) -> bool:
+        return seeds is None or os.path.abspath(path) in seeds
+
+    seeded: list[ParsedModule] = []
     for path in iter_python_files(paths):
         parsed = parse_module(read_source(path), path)
         modules.append(parsed)
+        if not in_seeds(path):
+            continue
+        seeded.append(parsed)
         findings, suppressed = _apply_rules(parsed, rules)
         report.findings.extend(findings)
         report.suppressed += suppressed
         report.files_checked += 1
+        reasoned, reason_suppressed = suppression_reason_findings(parsed)
+        report.findings.extend(reasoned)
+        report.suppressed += reason_suppressed
 
-    checkable = {rule.rule_id for rule in rules}
+    checkable = {rule.rule_id for rule in rules} | {SUPPRESSION_REASON_RULE}
     if flow:
         from repro.lint.flow import FLOW_RULE_IDS, analyze_modules
 
@@ -226,13 +354,33 @@ def lint_paths(
             baseline_path=baseline,
             update_baseline=update_baseline,
         )
-        report.findings.extend(flow_report.findings)
+        report.findings.extend(
+            f for f in flow_report.findings if in_seeds(f.path)
+        )
         report.suppressed += flow_report.suppressed
         report.flow = flow_report.stats()
         checkable |= FLOW_RULE_IDS
 
+    if effects:
+        from repro.lint.effects import EFFECTS_RULE_IDS
+        from repro.lint.effects import analyze_modules as analyze_effects
+
+        effects_report = analyze_effects(
+            modules,
+            use_cache=effects_cache,
+            baseline_path=effects_baseline,
+            update_baseline=update_effects_baseline,
+            manifest_path=regions,
+        )
+        report.findings.extend(
+            f for f in effects_report.findings if in_seeds(f.path)
+        )
+        report.suppressed += effects_report.suppressed
+        report.effects = effects_report.stats()
+        checkable |= EFFECTS_RULE_IDS
+
     if unused_check:
-        for parsed in modules:
+        for parsed in seeded:
             if parsed.ctx is None:
                 continue
             stale, stale_suppressed = unused_suppression_findings(parsed, checkable)

@@ -34,7 +34,8 @@ def format_json(report: LintReport) -> str:
 
 def _sarif_rule_catalogue() -> list[dict]:
     """SARIF rule metadata for every rule this tool can emit."""
-    from repro.lint.engine import UNUSED_SUPPRESSION_RULE
+    from repro.lint.effects import EFFECTS_RULE_TITLES
+    from repro.lint.engine import SUPPRESSION_REASON_RULE, UNUSED_SUPPRESSION_RULE
     from repro.lint.flow import FLOW_RULE_TITLES
     from repro.lint.rules import rules_by_id
 
@@ -42,7 +43,11 @@ def _sarif_rule_catalogue() -> list[dict]:
         rule_id: cls.title for rule_id, cls in rules_by_id().items()
     }
     titles.update(FLOW_RULE_TITLES)
+    titles.update(EFFECTS_RULE_TITLES)
     titles[UNUSED_SUPPRESSION_RULE] = "unused lint suppression comment"
+    titles[SUPPRESSION_REASON_RULE] = (
+        "effects-rule suppression without a reason= token"
+    )
     return [
         {"id": rule_id, "shortDescription": {"text": title}}
         for rule_id, title in sorted(titles.items())

@@ -440,28 +440,48 @@ class Machine:
         # The estimator inputs are exactly (machine state, temperatures):
         # between configuration changes and measure() intervals both are
         # constant, so consecutive 1 ms ticks reuse the computed powers.
-        key = (self.state_version, tuple(self.thermal_state.temps_c))
+        # The hit path compares against the cached state in place — no
+        # per-tick key tuple (lint --effects HOT001 budget).
         cached = self._rapl_tick_cache
-        if cached is not None and cached[0] == key:
-            pkg_powers, core_powers = cached[1], cached[2]
+        if (
+            cached is not None
+            and cached[0] == self.state_version
+            and cached[1] == self.thermal_state.temps_c
+        ):
+            pkg_powers, core_powers = cached[2], cached[3]
             if self._obs is not None:
                 self._obs_rapl_hit.inc()
         else:
             if self._obs is not None:
                 self._obs_rapl_compute.inc()
-            pkg_powers = [
-                self.rapl_estimator.package_power_w(
-                    pkg,
-                    self.thermal_state.temps_c[pkg.index],
-                    dram_traffic_gbs=self.power_model.package_dram_traffic_gbs(pkg),
-                )
-                for pkg in self.topology.packages
-            ]
-            core_powers = [
-                self.rapl_estimator.core_power_w(core) for core in self.topology.cores()
-            ]
-            self._rapl_tick_cache = (key, pkg_powers, core_powers)
+            pkg_powers, core_powers = self._rapl_tick_compute()
         self.rapl_msrs.tick(pkg_powers, core_powers, self.sim.now_ns)
+
+    def _rapl_tick_compute(self):  # lint: cold (memo-miss estimator sweep)
+        """Recompute and cache the per-tick estimator outputs.
+
+        The temperature list is copied into the cache entry: the thermal
+        state mutates it in place, and an aliased reference would make
+        every future comparison a false hit.
+        """
+        pkg_powers = [
+            self.rapl_estimator.package_power_w(
+                pkg,
+                self.thermal_state.temps_c[pkg.index],
+                dram_traffic_gbs=self.power_model.package_dram_traffic_gbs(pkg),
+            )
+            for pkg in self.topology.packages
+        ]
+        core_powers = [
+            self.rapl_estimator.core_power_w(core) for core in self.topology.cores()
+        ]
+        self._rapl_tick_cache = (
+            self.state_version,
+            list(self.thermal_state.temps_c),
+            pkg_powers,
+            core_powers,
+        )
+        return pkg_powers, core_powers
 
     # ------------------------------------------------------------------
     # thermal

@@ -216,3 +216,35 @@ class TestCli:
     def test_unknown_kernel_errors(self, capsys):
         assert bench_main(["--only", "bogus", "--out", "-"]) == 2
         assert "unknown bench kernel" in capsys.readouterr().err
+
+
+class TestOverheadGuard:
+    def test_disabled_kernel_registered(self):
+        assert "obs.overhead_disabled" in kernel_names()
+
+    def test_guard_reports_interleaved_ratios(self):
+        from repro.bench.harness import run_overhead_guard
+
+        # A generous budget keeps the verdict deterministic at tiny
+        # scale; the real 2% budget is enforced by make bench-guard.
+        verdict = run_overhead_guard(TINY, rounds=2, budget=0.9)
+        assert verdict["ok"] is True
+        assert len(verdict["ratios"]) == 2
+        assert verdict["baseline"] == "sim.dispatch"
+        assert verdict["candidate"] == "obs.overhead_disabled"
+        assert all(r > 0 for r in verdict["ratios"])
+
+    def test_guard_rejects_bad_rounds(self):
+        from repro.bench.harness import run_overhead_guard
+
+        with pytest.raises(ConfigurationError):
+            run_overhead_guard(TINY, rounds=0)
+
+    def test_cli_guard_pass_and_fail_exit_codes(self, capsys):
+        args = ["--guard", "--scale", "0.001", "--guard-rounds", "1"]
+        assert bench_main(args + ["--guard-budget", "0.9"]) == 0
+        assert "PASS" in capsys.readouterr().out
+        # An impossible budget (candidate would need >11x the baseline
+        # throughput) pins the failing exit path without flakiness.
+        assert bench_main(args + ["--guard-budget", "-10"]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,363 @@
+"""Whole-program effects analysis: fixtures, regions, cache, baseline,
+guards, parallel safety, LINT002 and the --changed-only plumbing."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.lint.engine import (
+    lint_paths,
+    parse_module,
+    read_source,
+    suppression_reason_findings,
+)
+from repro.lint.effects import (
+    EFFECTS_RULE_IDS,
+    analyze_modules,
+    analyze_paths,
+    summarize_paths,
+)
+from repro.lint.flow.baseline import load_baseline, split_baselined, write_baseline
+from repro.lint.formatters import format_sarif
+
+FIXTURES = os.path.join("tests", "fixtures", "effects")
+MANIFEST = os.path.join(FIXTURES, "regions.json")
+
+#: Every seeded true positive in the fixture corpus, by (rule, file, line).
+#: HOT001 transitive findings sit at the *call site* inside the hot
+#: region, with the allocating callee named in the witness chain.
+EXPECTED = {
+    ("HOT001", "hot_engine.py", 22),  # tuple display
+    ("HOT001", "hot_engine.py", 23),  # list comprehension
+    ("HOT001", "hot_engine.py", 24),  # f-string formatting
+    ("HOT001", "hot_engine.py", 25),  # dict display
+    ("HOT001", "hot_engine.py", 26),  # allocating callee make_key()
+    ("HOT001", "hot_engine.py", 28),  # per-event closure definition
+    ("HOT003", "hot_engine.py", 31),  # try/except control flow
+    ("HOT002", "hot_engine.py", 37),  # self.count read twice per loop
+    ("OBS001", "obs_wiring.py", 11),  # unguarded obs use
+    ("OBS001", "obs_wiring.py", 16),  # use on the proven-None branch
+    ("PAR001", "par_submit.py", 15),  # lambda callable
+    ("PAR001", "par_submit.py", 22),  # nested-function callable
+    ("PAR001", "par_submit.py", 27),  # open file handle argument
+    ("PAR001", "par_submit.py", 31),  # threading lock argument
+}
+
+#: Lines that look like positives but must stay silent (negatives).
+NEGATIVE_LINES = {
+    ("hot_engine.py", 19),  # cold-marked compute_slow body
+    ("hot_engine.py", 41),  # allocation inside a raise is exempt
+    ("hot_engine.py", 42),  # call into a declared cold boundary
+    ("hot_engine.py", 43),  # small a, b = x, y unpack
+    ("hot_engine.py", 44),  # suppressed with a reason
+    ("hot_engine.py", 45),  # suppressed (LINT002's job, not HOT001's)
+    ("obs_wiring.py", 21),  # guarded use
+    ("obs_wiring.py", 27),  # early-exit guard promotes non-null
+    ("obs_wiring.py", 31),  # excused: every call site is guarded
+    ("par_submit.py", 35),  # module-level callable
+    ("par_submit.py", 39),  # functools.partial over module-level fn
+}
+
+
+def _run_fixture():
+    return analyze_paths([FIXTURES], use_cache=False, manifest_path=MANIFEST)
+
+
+def _empty_manifest(tmp_path):
+    path = tmp_path / "regions.json"
+    path.write_text('{"version": 1, "regions": [], "cold": []}')
+    return str(path)
+
+
+class TestFixtureCorpus:
+    def test_every_seeded_bug_is_found(self):
+        report = _run_fixture()
+        got = {
+            (f.rule, os.path.basename(f.path), f.line) for f in report.findings
+        }
+        assert got == EXPECTED
+
+    def test_all_rules_are_exercised(self):
+        report = _run_fixture()
+        assert {f.rule for f in report.findings} == EFFECTS_RULE_IDS
+
+    def test_negatives_stay_silent(self):
+        report = _run_fixture()
+        hits = {(os.path.basename(f.path), f.line) for f in report.findings}
+        assert not hits & NEGATIVE_LINES
+
+    def test_severities(self):
+        report = _run_fixture()
+        by_rule = {f.rule: f.severity for f in report.findings}
+        assert by_rule["HOT002"] == "warning"
+        for rule in ("HOT001", "HOT003", "OBS001", "PAR001"):
+            assert by_rule[rule] == "error"
+
+    def test_transitive_finding_carries_witness_chain(self):
+        report = _run_fixture()
+        chain = next(
+            f for f in report.findings if f.rule == "HOT001" and f.line == 26
+        )
+        assert "call chain" in chain.message
+        assert "make_key" in chain.message
+
+    def test_suppressions_are_counted(self):
+        report = _run_fixture()
+        assert report.suppressed == 2
+
+    def test_unmatched_manifest_entry_is_reported(self, tmp_path):
+        manifest = tmp_path / "regions.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "regions": [{"function": "no.such.fn", "reason": "x"}],
+                    "cold": [],
+                }
+            )
+        )
+        report = analyze_paths(
+            [FIXTURES], use_cache=False, manifest_path=str(manifest)
+        )
+        stale = [f for f in report.findings if f.path == str(manifest)]
+        assert len(stale) == 1
+        assert stale[0].rule == "HOT001" and "no.such.fn" in stale[0].message
+
+
+class TestSummaries:
+    def test_effect_bits_reach_summaries(self):
+        summaries = summarize_paths([FIXTURES])
+        dispatch = summaries["hot_engine.Queue.dispatch"]
+        assert dispatch.allocates and dispatch.raises
+        make_key = summaries["hot_engine.Queue.make_key"]
+        assert make_key.allocates and not make_key.raises
+
+    def test_transitive_bits_propagate(self):
+        summaries = summarize_paths([FIXTURES])
+        caller = summaries["par_submit.build_bad_handle"]
+        assert caller.crosses_process
+
+
+class TestSuppressionReason:
+    def test_reasonless_effects_suppression_is_flagged(self):
+        path = os.path.join(FIXTURES, "hot_engine.py")
+        parsed = parse_module(read_source(path), path)
+        findings, _ = suppression_reason_findings(parsed)
+        assert [(f.rule, f.line) for f in findings] == [("LINT002", 45)]
+        assert findings[0].severity == "error"
+        assert "reason=" in findings[0].message
+
+    def test_reasoned_and_base_rule_suppressions_pass(self):
+        src = (
+            "x = (1, 2)  # lint: disable=HOT001 reason=hoisted upstream\n"
+            "import os  # lint: disable=IMP001\n"
+        )
+        findings, _ = suppression_reason_findings(parse_module(src, "m.py"))
+        assert findings == []
+
+
+class TestObsGuardInjection:
+    """OBS001 must fire on an unguarded obs call injected into the real
+    Simulator.run_until, and stay silent on the committed source."""
+
+    PATH = os.path.join("src", "repro", "sim", "engine.py")
+    NEEDLE = (
+        "                    self._now_ns = head[0]\n"
+        "                    event.callback()"
+    )
+
+    def test_committed_run_until_is_silent(self, tmp_path):
+        src = read_source(self.PATH)
+        assert self.NEEDLE in src  # keep the probe honest as code drifts
+        report = analyze_modules(
+            [parse_module(src, self.PATH)],
+            use_cache=False,
+            manifest_path=_empty_manifest(tmp_path),
+        )
+        assert report.findings == []
+
+    def test_injected_unguarded_obs_call_fires(self, tmp_path):
+        src = read_source(self.PATH)
+        injected = src.replace(
+            self.NEEDLE,
+            self.NEEDLE + "\n                    self._obs_dispatched.inc(1)",
+        )
+        report = analyze_modules(
+            [parse_module(injected, self.PATH)],
+            use_cache=False,
+            manifest_path=_empty_manifest(tmp_path),
+        )
+        assert [f.rule for f in report.findings] == ["OBS001"]
+        assert "proven None" in report.findings[0].message
+
+
+class TestCache:
+    def test_warm_run_replays_without_reanalysis(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        cold = analyze_paths([FIXTURES], manifest_path=MANIFEST)
+        assert not cold.cache_hit and cold.findings
+        warm = analyze_paths([FIXTURES], manifest_path=MANIFEST)
+        assert warm.cache_hit
+        key = lambda r: sorted((f.rule, f.path, f.line) for f in r.findings)
+        assert key(warm) == key(cold)
+        assert warm.suppressed == cold.suppressed  # replayed, not lost
+
+    def test_manifest_edit_invalidates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        manifest = tmp_path / "regions.json"
+        manifest.write_text(read_source(MANIFEST))
+        first = analyze_paths([FIXTURES], manifest_path=str(manifest))
+        assert not first.cache_hit
+        doc = json.loads(manifest.read_text())
+        doc["regions"][0]["reason"] = "edited"
+        manifest.write_text(json.dumps(doc))
+        edited = analyze_paths([FIXTURES], manifest_path=str(manifest))
+        assert not edited.cache_hit
+
+
+class TestBaseline:
+    def test_roundtrip_filters_known_findings(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        report = _run_fixture()
+        write_baseline(path, report.findings)
+        kept, matched = split_baselined(report.findings, load_baseline(path))
+        assert kept == [] and matched == len(EXPECTED)
+
+    def test_new_findings_pass_through(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        report = _run_fixture()
+        write_baseline(path, report.findings[:3])
+        kept, matched = split_baselined(report.findings, load_baseline(path))
+        assert matched == 3 and len(kept) == len(EXPECTED) - 3
+
+    def test_checked_in_baseline_matches_tree(self):
+        # The committed baseline must stay empty: the real tree is clean.
+        doc = json.load(open("lint-effects.baseline.json"))
+        assert doc["findings"] == []
+
+
+class TestRealTree:
+    def test_src_is_clean_beyond_baseline(self):
+        report = analyze_paths(
+            ["src/repro"],
+            use_cache=False,
+            baseline_path="lint-effects.baseline.json",
+        )
+        assert report.findings == []
+
+    def test_scales_to_the_whole_package(self):
+        report = analyze_paths(["src/repro"], use_cache=False)
+        assert report.modules > 100 and report.functions > 500
+        assert report.regions >= 8  # manifest entries plus inline markers
+
+
+class TestChangedOnly:
+    def test_findings_restricted_to_changed_seeds(self, monkeypatch):
+        import repro.lint.engine as engine
+
+        seed = os.path.abspath(os.path.join(FIXTURES, "obs_wiring.py"))
+        monkeypatch.setattr(engine, "changed_files", lambda: {seed})
+        report = lint_paths(
+            [FIXTURES],
+            effects=True,
+            effects_cache=False,
+            regions=MANIFEST,
+            changed_only=True,
+        )
+        assert report.files_checked == 1
+        paths = {os.path.basename(f.path) for f in report.findings}
+        assert paths == {"obs_wiring.py"}
+
+    def test_without_git_falls_back_to_full_run(self, monkeypatch):
+        import repro.lint.engine as engine
+
+        monkeypatch.setattr(engine, "changed_files", lambda: None)
+        report = lint_paths(
+            [FIXTURES],
+            effects=True,
+            effects_cache=False,
+            regions=MANIFEST,
+            changed_only=True,
+        )
+        assert report.files_checked == 3
+        got = {
+            (f.rule, os.path.basename(f.path), f.line)
+            for f in report.findings
+            if f.rule in EFFECTS_RULE_IDS
+        }
+        assert got == EXPECTED
+
+
+class TestSarif:
+    def test_sarif_catalogue_includes_effects_rules(self):
+        report = lint_paths(
+            [FIXTURES], effects=True, effects_cache=False, regions=MANIFEST
+        )
+        log = json.loads(format_sarif(report))
+        run = log["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert EFFECTS_RULE_IDS <= rule_ids and "LINT002" in rule_ids
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels["HOT001"] == "error" and levels["HOT002"] == "warning"
+
+
+class TestCli:
+    def test_effects_flags_and_exit_code(self, capsys):
+        from repro.lint.cli import main
+
+        status = main(
+            [
+                FIXTURES,
+                "--effects",
+                "--no-effects-cache",
+                "--regions",
+                MANIFEST,
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1  # seeded errors fail the run
+        assert payload["counts_by_rule"]["HOT001"] == 6
+        assert payload["counts_by_rule"]["PAR001"] == 4
+
+    def test_effects_baseline_workflow(self, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        # A one-file corpus (unguarded obs uses only) keeps base rules
+        # and LINT002 quiet, so the exit code tracks effects findings.
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "obs_wiring.py").write_text(
+            read_source(os.path.join(FIXTURES, "obs_wiring.py"))
+        )
+        baseline = str(tmp_path / "b.json")
+        common = [
+            str(corpus),
+            "--effects-baseline",
+            baseline,
+            "--regions",
+            _empty_manifest(tmp_path),
+            "--no-effects-cache",
+            "--format",
+            "json",
+        ]
+        assert main(common + ["--update-effects-baseline"]) == 0
+        capsys.readouterr()
+        assert main(common) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+    def test_update_effects_baseline_requires_baseline(self, capsys):
+        from repro.lint.cli import main
+
+        assert main([FIXTURES, "--update-effects-baseline"]) == 2
+
+    def test_list_rules_covers_effects_catalogue(self, capsys):
+        from repro.lint.cli import main
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in sorted(EFFECTS_RULE_IDS) + ["LINT002"]:
+            assert rule in out
