@@ -1,13 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-flow lint-effects lint-changed baseline-update baseline-update-effects ordering-check selfcheck suite-parallel suite-traced golden bench bench-smoke bench-guard
+.PHONY: test test-batched lint lint-json lint-flow lint-effects lint-changed baseline-update baseline-update-effects ordering-check selfcheck suite-parallel suite-traced golden bench bench-smoke bench-guard bench-backends crosscheck
 
 # The default gate: static analysis first (DET001/SIM001/... keep the
 # cache/parallel code deterministic), then the full pytest tree — which
 # includes the golden-snapshot suite regression.
 test: lint
 	$(PYTHON) -m pytest -x -q
+
+# The whole tier-1 tree again with the batched simulation backend as the
+# default (the CI backend-matrix leg; see docs/backends.md).
+test-batched:
+	REPRO_SIM_BACKEND=batched $(PYTHON) -m pytest -x -q
 
 # Per-module rules over the whole tree, plus the whole-program effects
 # pass (hot-region budgets, obs guards, parallel pickle safety) over
@@ -82,3 +87,14 @@ bench-smoke:
 # of bare sim.dispatch throughput (interleaved rounds, median ratio).
 bench-guard:
 	$(PYTHON) -m repro.bench --guard
+
+# Backend-vs-backend comparison (interleaved rounds, median speedups) ->
+# benchmarks/results/BENCH_backends.json (see docs/backends.md).
+bench-backends:
+	$(PYTHON) -m repro.bench --backends
+
+# Differential cross-check sweep: seeded engine + machine scenarios on
+# the reference and batched backends, failing on the first divergence
+# (the CI smoke job runs 200; see docs/backends.md).
+crosscheck:
+	$(PYTHON) -m repro.sim.crosscheck --scenarios 200 --report crosscheck_divergence.json

@@ -18,7 +18,7 @@ digests match regardless of execution mode (docs/parallelism.md).
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.cstate_latency import CStateLatencyExperiment
@@ -36,6 +36,7 @@ from repro.core.serialize import table_from_dict, table_to_dict
 from repro.core.throughput import ThroughputLimitExperiment
 from repro.errors import SuiteError
 from repro.parallel import Task, TaskFailure, run_tasks
+from repro.sim.backends import resolve_backend
 from repro.units import ghz
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -279,6 +280,7 @@ def run_suite(
     retries: int = 1,
     monitor: bool = False,
     obs=None,
+    backend: str | None = None,
 ) -> SuiteResult:
     """Execute the (optionally filtered) suite.
 
@@ -296,6 +298,14 @@ def run_suite(
     the cache entirely — a cached table proves nothing about invariants
     — and cost the sweep's overhead, so monitoring is strictly opt-in.
 
+    ``backend`` selects the simulation backend for every machine the
+    suite builds (overriding ``config.backend`` when given).  The
+    resolved name is always pinned into the config before cache keys are
+    computed, so results produced under different backends — identical
+    by construction, but separately provable — never share a cache slot,
+    and a run under ``REPRO_SIM_BACKEND`` cannot poison a reference
+    cache.
+
     ``obs`` (a :class:`repro.obs.Obs`) traces and meters the run: a
     ``suite`` span wraps per-experiment spans, every machine built by a
     serial entry is instrumented down to simulator dispatch, and the
@@ -305,6 +315,7 @@ def run_suite(
     serialized suite document is independent of ``obs``.
     """
     cfg = config or ExperimentConfig(scale=0.02)
+    cfg = replace(cfg, backend=resolve_backend(backend or cfg.backend).name)
     names = _resolve_names(only)
     if parallel < 1:
         raise SuiteError(f"parallel must be >= 1, got {parallel}")

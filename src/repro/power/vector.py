@@ -1,0 +1,170 @@
+"""Numpy-vectorized ground-truth power model (the ``batched`` backend).
+
+:class:`VectorizedPowerModel` replaces the reference model's per-core
+Python arithmetic in ``_compute_breakdown`` with one gather pass over
+the topology plus numpy array math over the active cores.  The memo
+layer, leakage application, traffic model, and ``package_power_w`` are
+inherited unchanged.
+
+Bit-identity with the scalar model is a hard requirement (the golden
+suite must stay byte-identical per backend), and it holds by
+construction, not by tolerance:
+
+* numpy elementwise ``+ - * /`` on float64 are IEEE-754
+  correctly-rounded, exactly like CPython float arithmetic, so each
+  per-core *term* is computed with the same operation order and
+  association as the scalar loop and yields the same bits;
+* the piecewise V-f interpolation is replicated segment by segment with
+  the scalar formula (``np.interp`` computes the same mathematical value
+  through a different expression and is **not** used);
+* the final reduction runs in scalar Python over ``.tolist()`` in
+  topology order, because ``np.sum`` pairwise summation associates
+  differently from the reference loop's sequential ``+=``.
+
+The cross-check harness compares breakdowns with exact ``==``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.power.calibration import CALIBRATION, Calibration
+from repro.power.model import PowerBreakdown, PowerModel
+
+
+class VectorizedPowerModel(PowerModel):
+    """Drop-in :class:`~repro.power.model.PowerModel` with a vectorized
+    ``_compute_breakdown`` (see the module docstring for the
+    bit-identity argument)."""
+
+    def __init__(self, calibration: Calibration = CALIBRATION) -> None:
+        super().__init__(calibration)
+
+    def _v2f_scale_array(self, f_hz: np.ndarray) -> np.ndarray:
+        """Elementwise replica of ``Calibration.v2f_scale``.
+
+        Mirrors ``VoltageCurve.voltage`` exactly: end-clamps checked
+        first, then first-matching-segment interpolation with the scalar
+        formula — so even at interior breakpoints (where the first
+        segment's ``v0 + (v1 - v0) * 1.0`` need not equal ``v1`` in
+        floats) the selected expression matches the scalar path.
+        """
+        cal = self.cal
+        pts = cal.voltage_curve.points_hz_v
+        v = np.empty_like(f_hz)
+        done = f_hz <= pts[0][0]
+        v[done] = pts[0][1]
+        high = (f_hz >= pts[-1][0]) & ~done
+        v[high] = pts[-1][1]
+        done |= high
+        for (f0, v0), (f1, v1) in zip(pts, pts[1:]):
+            seg = (f_hz >= f0) & (f_hz <= f1) & ~done
+            v[seg] = v0 + (v1 - v0) * (f_hz[seg] - f0) / (f1 - f0)
+            done |= seg
+        v_nom = cal.voltage_at(cal.nominal_freq_hz)
+        return (v * v * f_hz) / (v_nom * v_nom * cal.nominal_freq_hz)
+
+    def _compute_breakdown(self, machine) -> PowerBreakdown:
+        """The full topology walk, array math over active cores."""
+        cal = self.cal
+        topo = machine.topology
+        cstates = machine.cstates
+        n_pkg = len(topo.packages)
+
+        platform = cal.platform_base_w + cal.dram_idle_w + n_pkg * cal.package_sleep_w
+
+        wake = 0.0 if cstates.system_in_deep_sleep() else cal.system_wake_w
+
+        c1_cores = sum(
+            1 for core in topo.cores() if core.deepest_common_cstate_is == "C1"
+        )
+        c1_w = c1_cores * cal.c1_per_core_w
+
+        factors = getattr(machine, "pkg_power_factors", None)
+
+        # Gather pass: one topology walk collecting per-active-core state
+        # into flat columns (the thread scan folds _core_smt_threads and
+        # _active_workload into a single pass).
+        freqs: list[float] = []
+        pkg_factor: list[float] = []
+        smt2: list[bool] = []
+        has_wl: list[bool] = []
+        has_toggle: list[bool] = []
+        coeff: list[float] = []
+        toggle_rate: list[float] = []
+        toggle_width: list[float] = []
+        for core in topo.cores():
+            smt = 0
+            wl = None
+            for t in core.threads:
+                if t.is_active:
+                    smt += 1
+                    if wl is None:
+                        wl = t.workload
+            if smt == 0:
+                continue
+            freqs.append(core.applied_freq_hz)
+            pkg_factor.append(1.0 if factors is None else factors[core.package.index])
+            smt2.append(smt == 2)
+            if wl is None:
+                has_wl.append(False)
+                has_toggle.append(False)
+                coeff.append(0.0)
+                toggle_rate.append(0.0)
+                toggle_width.append(0.0)
+            else:
+                has_wl.append(True)
+                has_toggle.append(bool(wl.toggle_width_bits))
+                coeff.append(wl.power_coeff(smt))
+                toggle_rate.append(wl.toggle_rate)
+                toggle_width.append(wl.toggle_width_bits / 256.0)
+
+        active_w = 0.0
+        dyn_w = 0.0
+        toggle_w = 0.0
+        if freqs:
+            scale = self._v2f_scale_array(np.array(freqs, dtype=np.float64))
+            if factors is not None:
+                scale = scale * np.array(pkg_factor)
+            core_term = (cal.pause_core_nominal_w * scale).tolist()
+            thread_term = (cal.pause_thread_nominal_w * scale).tolist()
+            dyn_term = (np.array(coeff) * cal.dyn_w_per_v2ghz * scale).tolist()
+            tog_term = (
+                cal.toggle_w_per_v2ghz_256b
+                * np.array(toggle_rate)
+                * np.array(toggle_width)
+                * scale
+            ).tolist()
+            # Reduce in reference order: interleaved core/thread adds per
+            # core, skips where the scalar loop skips (a += 0.0 would be
+            # bitwise-safe here, but skipping removes the need to argue it).
+            for i in range(len(core_term)):
+                active_w += core_term[i]
+                if smt2[i]:
+                    active_w += thread_term[i]
+                if has_wl[i]:
+                    dyn_w += dyn_term[i]
+                    if has_toggle[i]:
+                        toggle_w += tog_term[i]
+            active_w = max(0.0, active_w + cal.active_first_core_adjust_w)
+
+        dram_w = sum(
+            cal.dram_w_per_gbs * self.package_dram_traffic_gbs(pkg)
+            for pkg in topo.packages
+        )
+
+        iodie_w = 0.0
+        if wake > 0.0:
+            iodie_w = sum(fc.extra_power_w() for fc in machine.fclk_controllers)
+
+        return PowerBreakdown(
+            platform_base_w=platform,
+            system_wake_w=wake,
+            c1_cores_w=c1_w,
+            active_cores_w=active_w,
+            workload_dynamic_w=dyn_w,
+            toggle_w=toggle_w,
+            dram_active_w=dram_w,
+            iodie_w=iodie_w,
+            leakage_w=0.0,
+        )

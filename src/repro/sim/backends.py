@@ -1,0 +1,126 @@
+"""Pluggable simulation backends.
+
+A backend is a *pair* of implementations — a dispatch engine
+(:class:`~repro.sim.engine.Simulator` subclass) and a power-model class
+— that must be observably indistinguishable from the reference pair:
+same fire order, same state trajectories, bit-identical power numbers.
+The cross-check harness (:mod:`repro.sim.crosscheck`) and the
+property-based differential suite enforce that promise; docs/backends.md
+states it precisely.
+
+Selection precedence, resolved at construction time:
+
+1. an explicit ``backend=`` argument (:class:`~repro.machine.Machine`,
+   :class:`~repro.sim.engine.Simulator`,
+   :class:`~repro.core.experiment.ExperimentConfig`, ``--backend`` on
+   the CLI);
+2. the ``REPRO_SIM_BACKEND`` environment variable (how CI runs the whole
+   tier-1 suite under the batched engine);
+3. the ``reference`` backend.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_SIM_BACKEND"
+DEFAULT_BACKEND = "reference"
+
+
+@dataclass(frozen=True)
+class SimBackend:
+    """A named simulation backend: dispatch engine + power model."""
+
+    name: str
+    description: str
+    simulator_cls: type
+    power_model_cls: type
+
+    def create_simulator(self, *, tiebreak_rng=None, obs=None):
+        """Build this backend's simulator (explicitly, ignoring the env var)."""
+        # backend=name pins resolution: constructing the base Simulator
+        # class without it would re-resolve through REPRO_SIM_BACKEND.
+        return self.simulator_cls(
+            tiebreak_rng=tiebreak_rng, obs=obs, backend=self.name
+        )
+
+    def create_power_model(self, calibration):
+        """Build this backend's power model for ``calibration``."""
+        return self.power_model_cls(calibration)
+
+
+_BACKENDS: dict[str, SimBackend] = {}
+
+
+def register_backend(backend: SimBackend) -> None:
+    """Add a backend to the registry (name must be unused)."""
+    if backend.name in _BACKENDS:
+        raise ConfigurationError(
+            f"simulation backend {backend.name!r} is already registered"
+        )
+    _BACKENDS[backend.name] = backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, registration order."""
+    return tuple(_BACKENDS)
+
+
+def resolve_backend(backend: str | SimBackend | None = None) -> SimBackend:
+    """Resolve a backend selection to a :class:`SimBackend`.
+
+    ``None`` consults ``REPRO_SIM_BACKEND``, then falls back to
+    ``reference``; an unknown name raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if isinstance(backend, SimBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    try:
+        return _BACKENDS[backend]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown simulation backend {backend!r}; "
+            f"available: {', '.join(sorted(_BACKENDS))}"
+        ) from None
+
+
+def _register_builtins() -> None:
+    # Deferred imports: the backend modules import repro.sim.engine,
+    # which resolves backends lazily inside Simulator.__new__.
+    from repro.power.model import PowerModel
+    from repro.power.vector import VectorizedPowerModel
+    from repro.sim.batched import BatchedSimulator
+    from repro.sim.engine import Simulator
+
+    register_backend(
+        SimBackend(
+            name="reference",
+            description=(
+                "Binary-heap dispatch, scalar power model; the semantics "
+                "every other backend is checked against"
+            ),
+            simulator_cls=Simulator,
+            power_model_cls=PowerModel,
+        )
+    )
+    register_backend(
+        SimBackend(
+            name="batched",
+            description=(
+                "Sorted-run batched dispatch (same-timestamp runs drain "
+                "without re-entering the scheduler) and numpy-vectorized "
+                "power breakdown; bit-identical to reference"
+            ),
+            simulator_cls=BatchedSimulator,
+            power_model_cls=VectorizedPowerModel,
+        )
+    )
+
+
+_register_builtins()

@@ -1,0 +1,661 @@
+"""The batched dispatch engine (the ``batched`` simulation backend).
+
+:class:`BatchedSimulator` is a drop-in :class:`~repro.sim.engine.Simulator`
+that replaces the binary heap with a *sorted-run* event store: a sorted
+list consumed by index plus an unsorted append buffer for events
+scheduled since the last merge.  ``run_until`` drains whole runs of due
+events with no per-event heap sift — the dominant machine pattern
+(fixed-period SMU slots, RAPL samplers, reschedule chains) appends in
+nondecreasing time order, so most merges are a list swap that skips even
+the sort.  The step path (peek/pop/pop_due) serves interleaved push/pop
+traffic from a reference-ordered backlog heap instead of rebuilding the
+run per pop (:meth:`BatchedEventQueue._settle`).  Equivalence with the
+reference engine is a tested guarantee, not an aspiration: see
+:mod:`repro.sim.crosscheck` and docs/backends.md.
+
+Why the fire order is identical to the reference heap's ``(time_ns,
+seq)`` order:
+
+* every push appends to the pending buffer, so within the buffer,
+  scheduling order equals ``seq`` order;
+* at a merge, every event already in the sorted run was pushed before
+  every pending event, so its ``seq`` is smaller; ``list.sort`` is
+  stable, so sorting the concatenation by ``time_ns`` alone keeps
+  same-timestamp events in ``seq`` order — inductively, the sorted run
+  always holds ties in scheduling order, matching the heap;
+* in shuffle mode (``tiebreak_rng``) the drawn ``seq`` tuples are *not*
+  monotone in push order, so the merge sorts by ``(time_ns, seq)``
+  explicitly — the same total order the reference heap applies.
+
+Bookkeeping the dispatch loop defers (exact again at every merge and at
+``run_until`` exit, i.e. whenever user code can observe the queue):
+``_live`` and ``_idx``.  ``len(queue)`` therefore stays O(1) and exact
+at sync points; nothing in the tree reads queue length from inside a
+dispatch callback.
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+from heapq import heappop, heappush
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator, _as_int_ns
+from repro.sim.events import Event
+
+_INF = float("inf")
+_NEG_INF = float("-inf")
+#: ``_pend_last`` sentinel meaning "pending buffer is not time-ordered".
+_UNORDERED = _INF
+
+_TIME_KEY = operator.attrgetter("time_ns")
+_TIME_SEQ_KEY = operator.attrgetter("time_ns", "seq")
+
+
+def _make_sentinel() -> Event:
+    event = Event.__new__(Event)
+    event.time_ns = _INF  # compares greater than any real int time
+    event.seq = -1
+    event.callback = None
+    event.cancelled = False
+    event._queue = None
+    return event
+
+
+#: Shared +inf terminator of every sorted run: the dispatch loop needs no
+#: bounds check because this entry's time exceeds every horizon.
+_SENTINEL = _make_sentinel()
+
+
+class BatchedEventQueue:
+    """Sorted-run event store: consumed prefix + sorted tail + append buffer.
+
+    API-compatible with :class:`~repro.sim.events.EventQueue` (push /
+    peek_time / pop / pop_due / len / resident / compactions / clear),
+    with two relaxations documented in docs/backends.md:
+
+    * ``len(queue)`` is exact at sync points (outside ``run_until``);
+      inside a dispatch callback it may lag by the events fired since
+      the last merge — nothing in the tree observes it there;
+    * stale cancelled entries are physically dropped at the next merge
+      after the compaction threshold trips (the reference compacts the
+      heap immediately); the live count is exact either way.
+    """
+
+    #: Same threshold as the reference queue: below this resident count a
+    #: compaction pass costs more than the lazy skips it saves.
+    COMPACT_MIN_RESIDENT = 64
+
+    __slots__ = (
+        "_sorted",
+        "_idx",
+        "_pending",
+        "_pending_min",
+        "_pend_last",
+        "_pend_append",
+        "_backlog",
+        "_head_in_backlog",
+        "_counter",
+        "_tiebreak_rng",
+        "_sort_key",
+        "_live",
+        "_stale",
+        "_stale_filter",
+        "compactions",
+    )
+
+    def __init__(self, *, tiebreak_rng=None) -> None:
+        self._sorted: list[Event] = [_SENTINEL]
+        self._idx = 0
+        self._pending: list[Event] = []
+        self._pending_min: float | int = _INF
+        self._pend_last: float | int = _NEG_INF
+        self._pend_append = self._pending.append
+        #: Step-path backlog: a ``(time_ns, seq, Event)`` heap absorbing
+        #: the append buffer when interleaved push/pop traffic would
+        #: otherwise force a run rebuild per pop (see :meth:`_settle`).
+        #: Always folded back into the run before batched dispatch.
+        self._backlog: list[tuple] = []
+        self._head_in_backlog = False
+        self._counter = itertools.count()
+        self._tiebreak_rng = tiebreak_rng
+        # Stable-sort + seq-monotonicity makes the time-only key exact in
+        # stable mode (module docstring); shuffled seqs need the full key.
+        self._sort_key = _TIME_KEY if tiebreak_rng is None else _TIME_SEQ_KEY
+        self._live = 0
+        self._stale = 0
+        self._stale_filter = False
+        #: Threshold-triggered stale-entry drops so far (obs parity with
+        #: the reference queue's compaction counter).
+        self.compactions = 0
+
+    def __len__(self) -> int:
+        return self._live + len(self._pending)
+
+    def __bool__(self) -> bool:
+        return self._live + len(self._pending) > 0
+
+    @property
+    def resident(self) -> int:
+        """Entries currently held, including stale cancelled ones."""
+        return (
+            (len(self._sorted) - 1 - self._idx)
+            + len(self._pending)
+            + len(self._backlog)
+        )
+
+    def push(self, time_ns: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ns``.
+
+        The general-purpose path (also the shuffle-mode path);
+        :meth:`BatchedSimulator.schedule_after` inlines the stable-mode
+        equivalent.
+        """
+        if time_ns < 0:
+            raise SimulationError(f"cannot schedule at negative time {time_ns}")
+        rng = self._tiebreak_rng
+        seq: int | tuple[int, int] = (
+            next(self._counter)
+            if rng is None
+            else (int(rng.integers(1 << 62)), next(self._counter))
+        )
+        event = Event(time_ns, seq, callback, self)
+        self._pend_append(event)
+        # Strict > on a time tie in shuffle mode: tied pushes carry random
+        # seqs, so push order is not (time, seq) order and the merge must
+        # re-sort.  Stable mode keeps >= — the monotone counter orders ties.
+        if time_ns > self._pend_last or (time_ns == self._pend_last and rng is None):
+            self._pend_last = time_ns
+        else:
+            self._pend_last = _UNORDERED
+        if time_ns < self._pending_min:
+            self._pending_min = time_ns
+        return event
+
+    # --- step-path operations (cold relative to run_until) -------------
+
+    def _settle(self) -> Event:
+        """Find the earliest live event without rebuilding the run.
+
+        Returns the earliest live event (or the sentinel) and records
+        whether it lives in the sorted run or the backlog heap
+        (``_head_in_backlog``), so pop can consume from the right
+        structure.  Backs the peek/pop/pop_due trio; the dispatch loop
+        never calls this.
+
+        The append buffer stays untouched while the run (or backlog)
+        head is *decisive* — earlier than every buffered push, or tied
+        in stable mode, where already-settled seqs are always smaller
+        than buffered ones.  Otherwise the buffer drains into the
+        backlog heap: a heap absorbs the uniform interleaved push/pop
+        traffic of the ``event_queue.mixed`` bench shape in O(log n)
+        per op, where insorting into (or re-sorting) a large run would
+        be O(resident) per pop.  An armed stale-filter always merges
+        first, so threshold compaction stays prompt on the step path.
+        """
+        if self._stale_filter:
+            self._merge()
+        srt = self._sorted
+        idx = self._idx
+        event = srt[idx]
+        while event.cancelled:
+            self._stale -= 1
+            idx += 1
+            event = srt[idx]
+        self._idx = idx
+        self._head_in_backlog = False
+        backlog = self._backlog
+        if self._pending:
+            pmin = self._pending_min
+            shuffle = self._tiebreak_rng is not None
+            # A buffered push can only win against the run/backlog heads
+            # if it is strictly earlier — or tied in shuffle mode, where
+            # its random seq may sort first.
+            need = pmin < event.time_ns or (pmin == event.time_ns and shuffle)
+            if not need and backlog:
+                head_time = backlog[0][0]
+                need = pmin < head_time or (pmin == head_time and shuffle)
+            if need:
+                self._drain_backlog()
+        if backlog:
+            entry = backlog[0]
+            head = entry[2]
+            while head.cancelled:
+                heappop(backlog)
+                self._stale -= 1
+                if not backlog:
+                    return event
+                entry = backlog[0]
+                head = entry[2]
+            t = event.time_ns
+            if entry[0] < t or (entry[0] == t and entry[1] < event.seq):
+                self._head_in_backlog = True
+                return head
+        return event
+
+    def _drain_backlog(self) -> None:  # lint: cold (amortized step-path absorb)
+        """Fold the append buffer into the backlog heap.
+
+        Entries are ``(time_ns, seq, Event)`` — the reference queue's
+        heap ordering, so backlog pops reproduce its ``(time, seq)``
+        order exactly in both tie-break modes.  Cancelled buffered
+        events enter stale and are skipped lazily, mirroring the merge
+        path's accounting.
+        """
+        backlog = self._backlog
+        pending = self._pending
+        for event in pending:
+            heappush(backlog, (event.time_ns, event.seq, event))
+        self._live += len(pending)
+        pending.clear()
+        self._pending_min = _INF
+        self._pend_last = _NEG_INF
+
+    def peek_time(self) -> int | None:
+        """Fire time of the earliest pending event, or None if empty."""
+        event = self._settle()
+        if event is _SENTINEL:
+            return None
+        return event.time_ns
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event."""
+        event = self._settle()
+        if event is _SENTINEL:
+            raise SimulationError("pop from empty event queue")
+        if self._head_in_backlog:
+            heappop(self._backlog)
+        else:
+            self._idx += 1
+        self._live -= 1
+        event._queue = None
+        return event
+
+    def pop_due(self, limit_ns: int) -> Event | None:
+        """Pop the earliest pending event with ``time_ns <= limit_ns``."""
+        event = self._settle()
+        if event is _SENTINEL or event.time_ns > limit_ns:
+            return None
+        if self._head_in_backlog:
+            heappop(self._backlog)
+        else:
+            self._idx += 1
+        self._live -= 1
+        event._queue = None
+        return event
+
+    # --- cancellation / compaction --------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for an in-queue cancel (called by :meth:`Event.cancel`)."""
+        self._live -= 1
+        self._stale += 1
+        if not self._stale_filter:
+            resident = (
+                (len(self._sorted) - 1 - self._idx)
+                + len(self._pending)
+                + len(self._backlog)
+            )
+            if (
+                resident >= self.COMPACT_MIN_RESIDENT
+                and resident - self._live > self._live
+            ):
+                # Deferred compaction: the dispatch loop may hold the
+                # sorted run by reference, so stale entries are dropped
+                # at the next merge instead of in place here.
+                self._stale_filter = True
+                self.compactions += 1
+
+    def _drop_stale(self, entries: list[Event]) -> None:
+        before = len(entries)
+        entries[:] = [event for event in entries if not event.cancelled]
+        self._stale -= before - len(entries)
+        self._stale_filter = False
+
+    def _merge(self) -> list[Event]:  # lint: cold (amortized pending re-sort)
+        """Fold the pending buffer into a fresh sorted run.
+
+        Called from the dispatch loop between runs and from
+        :meth:`_settle`; also settles the deferred ``_live`` / stale
+        accounting.  When the consumed prefix covers the whole previous
+        run, the pending buffer *becomes* the new run (list swap), and
+        if its pushes arrived in nondecreasing time order — the dominant
+        pattern: fixed-period reschedule chains — the sort is skipped
+        entirely.
+        """
+        srt = self._sorted
+        idx = self._idx
+        pending = self._pending
+        backlog = self._backlog
+        # Cancelled pending entries were already subtracted by
+        # _note_cancel, so adding the raw buffer length is exact.
+        self._live += len(pending)
+        rest = srt[idx:-1]
+        if backlog:
+            # Heap-array order is arbitrary, so the stable time-only key
+            # is not enough here; (time, seq) reproduces push order in
+            # stable mode and the drawn order in shuffle mode.
+            rest.extend(entry[2] for entry in backlog)
+            backlog.clear()
+            rest.extend(pending)
+            if self._stale_filter:
+                self._drop_stale(rest)
+            rest.sort(key=_TIME_SEQ_KEY)
+        elif rest:
+            rest.extend(pending)
+            if self._stale_filter:
+                self._drop_stale(rest)
+            rest.sort(key=self._sort_key)
+        else:
+            # The pending buffer's *contents* become the new run, but the
+            # list object itself stays: the fast schedule path holds a
+            # bound reference to its append (see _bind_fast_schedule).
+            rest = pending[:]
+            if self._stale_filter:
+                self._drop_stale(rest)
+            if self._pend_last is _UNORDERED:
+                rest.sort(key=self._sort_key)
+        pending.clear()
+        rest.append(_SENTINEL)
+        self._sorted = rest
+        self._idx = 0
+        self._pending_min = _INF
+        self._pend_last = _NEG_INF
+        return rest
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        for event in self._sorted[self._idx : -1]:
+            event._queue = None
+        for event in self._pending:
+            event._queue = None
+        for entry in self._backlog:
+            entry[2]._queue = None
+        self._sorted = [_SENTINEL]
+        self._idx = 0
+        self._pending.clear()
+        self._backlog.clear()
+        self._head_in_backlog = False
+        self._pending_min = _INF
+        self._pend_last = _NEG_INF
+        self._live = 0
+        self._stale = 0
+        self._stale_filter = False
+
+
+class BatchedSimulator(Simulator):
+    """Batched-dispatch :class:`~repro.sim.engine.Simulator`.
+
+    Construct directly, or via ``Simulator(backend="batched")`` /
+    ``REPRO_SIM_BACKEND=batched`` (see :mod:`repro.sim.backends`).
+    """
+
+    backend_name = "batched"
+    _queue_cls = BatchedEventQueue
+
+    def __init__(self, *, tiebreak_rng=None, obs=None, backend=None) -> None:
+        super().__init__(tiebreak_rng=tiebreak_rng, obs=obs, backend=backend)
+        self._bind_fast_schedule()
+
+    def _bind_fast_schedule(self) -> None:
+        """Bind a specialized stable-mode ``schedule_after`` on the instance.
+
+        Reschedule chains call ``schedule_after`` once per dispatched
+        event, so its interpreter overhead is dispatch throughput.  The
+        bound closure replaces the method's per-call attribute walks
+        (queue, counter, append) with cell loads resolved once here, and
+        decides the shuffle-mode branch at construction time —
+        ``tiebreak_rng`` is fixed for the simulator's lifetime.  Shuffle
+        mode keeps the method (random seqs go through ``queue.push``).
+        The captures stay valid because the queue never rebinds
+        ``_pending`` or ``_counter`` (see :meth:`BatchedEventQueue._merge`).
+        """
+        queue = self._queue
+        if queue._tiebreak_rng is not None:
+            return
+        sim = self
+        pend_append = queue._pending.append
+        counter_next = queue._counter.__next__
+
+        def schedule_after(
+            delay_ns: int,
+            callback: Callable[[], Any],
+            _new=Event.__new__,
+            _Event=Event,
+        ) -> Event:
+            if type(delay_ns) is not int:
+                delay_ns = _as_int_ns(delay_ns, "delay_ns")
+            if delay_ns < 0:
+                raise SimulationError(f"negative delay {delay_ns}")
+            time_ns = sim._now_ns + delay_ns
+            event = _new(_Event)
+            event.time_ns = time_ns
+            event.seq = counter_next()
+            event.callback = callback
+            event.cancelled = False
+            event._queue = queue
+            pend_append(event)
+            if time_ns >= queue._pend_last:
+                queue._pend_last = time_ns
+            else:
+                queue._pend_last = _UNORDERED
+            if time_ns < queue._pending_min:
+                queue._pending_min = time_ns
+            return event
+
+        self.schedule_after = schedule_after
+
+    # --- scheduling ------------------------------------------------------
+
+    def schedule_at(self, time_ns: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ns`` (>= now)."""
+        if type(time_ns) is not int:
+            time_ns = _as_int_ns(time_ns, "time_ns")
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} ns; clock is at {self._now_ns} ns"
+            )
+        return self._queue.push(time_ns, callback)
+
+    def schedule_after(
+        self,
+        delay_ns: int,
+        callback: Callable[[], Any],
+        _new=Event.__new__,
+        _Event=Event,
+        _next=next,
+    ) -> Event:
+        """Schedule ``callback`` ``delay_ns`` nanoseconds from now.
+
+        The hot scheduling path: reschedule chains call this once per
+        dispatched event, so the stable-mode Event construction is
+        inlined (``__new__`` + slot stores; the defaulted locals skip
+        repeated global loads).
+        """
+        if type(delay_ns) is not int:
+            delay_ns = _as_int_ns(delay_ns, "delay_ns")
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay {delay_ns}")
+        queue = self._queue
+        if queue._tiebreak_rng is not None:
+            return queue.push(self._now_ns + delay_ns, callback)
+        time_ns = self._now_ns + delay_ns
+        event = _new(_Event)
+        event.time_ns = time_ns
+        event.seq = _next(queue._counter)
+        event.callback = callback
+        event.cancelled = False
+        event._queue = queue
+        queue._pend_append(event)
+        if time_ns >= queue._pend_last:
+            queue._pend_last = time_ns
+        else:
+            queue._pend_last = _UNORDERED
+        if time_ns < queue._pending_min:
+            queue._pending_min = time_ns
+        return event
+
+    # --- execution -------------------------------------------------------
+
+    def run_until(self, time_ns: int) -> None:
+        """Execute all events up to and including ``time_ns``; set clock there.
+
+        Same contract as the reference loop; the mechanics differ.  The
+        inner loop walks the sorted run by index — no heap sift, no
+        bounds check (the run is sentinel-terminated) — while ``limit``
+        tracks ``min(earliest pending event, horizon)`` so an event
+        scheduled from a callback can never be overtaken.  When the run
+        is exhausted or a pending event comes due, the buffer is merged
+        into a fresh run and dispatch continues.  ``_idx``/``_live``
+        sync in the ``finally`` block, so queue state is consistent even
+        if a callback raises (matching the reference's pop-then-call
+        semantics: the raising event counts as consumed).
+        """
+        time_ns = _as_int_ns(time_ns, "time_ns")
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot run backwards to {time_ns} ns from {self._now_ns} ns"
+            )
+        if self._running:
+            raise SimulationError("run_until called re-entrantly from a callback")
+        queue = self._queue
+        if self._obs is not None:
+            self._running = True
+            try:
+                self._run_instrumented(queue, time_ns)
+                self._now_ns = time_ns
+            finally:
+                self._running = False
+            return
+        self._running = True
+        # Stable mode may drain the current run up to and including a tie
+        # with the earliest pending event (pending seqs are always larger:
+        # the counter is monotone and pending events were pushed later).
+        # Shuffle mode must merge *before* dispatching at the tie time —
+        # a pending event can hold a smaller random seq.
+        shift = 0 if queue._tiebreak_rng is None else 1
+        # The loop bounds drains by `_pending_min` alone, so step-path
+        # backlog entries must be folded into the run before dispatch.
+        if queue._backlog:
+            queue._merge()
+        srt = queue._sorted
+        idx = queue._idx
+        # Live-count accounting is deferred to the segment boundary:
+        # fired = (idx - base) - skipped, so the hot loop only counts the
+        # rare cancelled-skip branch.
+        base = idx
+        skipped = 0
+        pmin = queue._pending_min
+        plim = pmin - shift
+        limit = plim if plim < time_ns else time_ns
+        try:
+            while True:
+                while True:
+                    event = srt[idx]
+                    t = event.time_ns
+                    if t > limit:
+                        break
+                    idx += 1
+                    if event.cancelled:
+                        queue._stale -= 1
+                        skipped += 1
+                        continue
+                    event._queue = None
+                    self._now_ns = t
+                    event.callback()
+                    npmin = queue._pending_min
+                    if npmin < pmin:
+                        pmin = npmin
+                        plim = pmin - shift
+                        limit = plim if plim < time_ns else time_ns
+                # Run exhausted up to `limit`: either everything due has
+                # fired (pending all beyond the horizon) or a merge is due.
+                if pmin > time_ns:
+                    break
+                queue._idx = idx
+                queue._live -= idx - base - skipped
+                base = 0
+                skipped = 0
+                srt = queue._merge()
+                idx = 0
+                pmin = _INF
+                limit = time_ns
+            self._now_ns = time_ns
+        finally:
+            queue._idx = idx
+            queue._live -= idx - base - skipped
+            self._running = False
+
+    def _run_instrumented(self, queue: BatchedEventQueue, time_ns: int) -> None:
+        """The batched dispatch loop with obs instrumentation.
+
+        Duplicated from :meth:`run_until` (not merged with per-event
+        branches) for the same reason as the reference engine: the
+        disabled path must stay within the obs overhead budget.
+        """
+        tracer = self._obs.tracer
+        t0_wall_ns = tracer.now_ns()
+        t0_sim_ns = self._now_ns
+        dispatched = 0
+        # Tie handling mirrors run_until: see the `shift` comment there.
+        shift = 0 if queue._tiebreak_rng is None else 1
+        if queue._backlog:
+            queue._merge()
+        srt = queue._sorted
+        idx = queue._idx
+        pmin = queue._pending_min
+        plim = pmin - shift
+        limit = plim if plim < time_ns else time_ns
+        fired = 0
+        try:
+            while True:
+                while True:
+                    event = srt[idx]
+                    t = event.time_ns
+                    if t > limit:
+                        break
+                    idx += 1
+                    if event.cancelled:
+                        queue._stale -= 1
+                        continue
+                    fired += 1
+                    event._queue = None
+                    self._now_ns = t
+                    event.callback()
+                    dispatched += 1
+                    npmin = queue._pending_min
+                    if npmin < pmin:
+                        pmin = npmin
+                        plim = pmin - shift
+                        limit = plim if plim < time_ns else time_ns
+                if pmin > time_ns:
+                    break
+                queue._idx = idx
+                queue._live -= fired
+                fired = 0
+                srt = queue._merge()
+                idx = 0
+                pmin = _INF
+                limit = time_ns
+        finally:
+            queue._idx = idx
+            queue._live -= fired
+            if dispatched:
+                self._obs_dispatched.inc(dispatched)
+                self._obs_batches.observe(dispatched)
+                tracer.complete(
+                    "sim.dispatch",
+                    cat="sim",
+                    track=self._obs_track,
+                    t0_wall_ns=t0_wall_ns,
+                    sim_t0_ns=t0_sim_ns,
+                    sim_t1_ns=self._now_ns,
+                    events=dispatched,
+                )
+            self._obs_depth.set(queue._live + len(queue._pending))
+            compactions = queue.compactions
+            if compactions != self._obs_compact_seen:
+                self._obs_compactions.inc(compactions - self._obs_compact_seen)
+                self._obs_compact_seen = compactions

@@ -1,0 +1,645 @@
+"""Differential cross-check harness between simulation backends.
+
+The backend equivalence promise (docs/backends.md) is enforced here: a
+*scenario* — a serializable program of scheduling/cancel/run operations,
+either over a bare simulator or over a full machine — runs once per
+backend, full state is snapshotted at every sync point, and the first
+differing sync point is distilled into a structured
+:class:`DivergenceReport` (sync time, first diverging dispatched event,
+field path, both values).  Comparison is exact: integer clocks, event
+``(time_ns, seq)`` pairs, and bit-identical floats — there is no
+tolerance to hide behind.
+
+Three consumers:
+
+* the property-based differential suite
+  (``tests/property/test_prop_backends.py``) shrinks failing scenarios
+  with Hypothesis and saves them under ``tests/fixtures/crosscheck/``;
+* saved fixtures replay as plain regression tests;
+* ``python -m repro.sim.crosscheck`` runs a seeded scenario sweep (the
+  CI smoke job) and writes the divergence report as a JSON artifact on
+  failure.
+
+Scenario specs are plain JSON dicts — ``{"kind": "engine"|"machine",
+"seed": ..., "ops": [...]}`` — so a shrunk Hypothesis failure, a saved
+fixture, and a CLI-generated scenario are the same object.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.sim.backends import resolve_backend
+from repro.sim.rng import RngFactory
+from repro.units import ms
+
+#: Horizon appended after the last explicit sync so late events are
+#: always observed (ns).
+FINAL_SYNC_NS = 50_000
+
+#: Workload palette for machine scenarios (names in repro.workloads).
+WORKLOAD_NAMES = ("PAUSE_LOOP", "SPIN", "MEMORY_READ", "STREAM_TRIAD", "FIRESTARTER")
+
+
+# ---------------------------------------------------------------------------
+# state snapshots
+# ---------------------------------------------------------------------------
+
+
+def _norm_seq(seq: Any) -> Any:
+    """Shuffle-mode seqs are tuples; JSON-normalize to lists."""
+    return list(seq) if isinstance(seq, tuple) else seq
+
+
+def queue_live_snapshot(sim) -> list[list]:
+    """Live ``[time_ns, seq]`` pairs of a simulator's queue, fire order.
+
+    Only *live* entries compare: the backends intentionally differ in
+    when stale cancelled entries are physically dropped (reference
+    compacts the heap in place, batched filters at the next merge), so
+    ``resident`` is an implementation detail, not semantics.
+    """
+    queue = sim._queue
+    entries = []
+    if hasattr(queue, "_sorted"):
+        # Batched store: sorted run + step-path backlog + append buffer.
+        for event in queue._sorted[queue._idx : -1]:
+            if not event.cancelled:
+                entries.append((event.time_ns, event.seq))
+        for time_ns, seq, event in queue._backlog:
+            if not event.cancelled:
+                entries.append((time_ns, seq))
+        for event in queue._pending:
+            if not event.cancelled:
+                entries.append((event.time_ns, event.seq))
+    else:
+        for time_ns, seq, event in queue._heap:
+            if not event.cancelled:
+                entries.append((time_ns, seq))
+    entries.sort()
+    return [[time_ns, _norm_seq(seq)] for time_ns, seq in entries]
+
+
+def machine_snapshot(machine) -> dict[str, Any]:
+    """Full observable machine state at a sync point.
+
+    Covers the clock, the live event queue, every per-thread and
+    per-core register the experiments read, the exact power breakdown,
+    and the raw RAPL energy counters.  All floats compare exactly.
+    """
+    from dataclasses import fields as dc_fields
+
+    topo = machine.topology
+    breakdown = machine.power_model.breakdown(machine, machine.thermal_state.temps_c)
+    return {
+        "now_ns": machine.sim.now_ns,
+        "state_version": machine.state_version,
+        "pending_events": machine.sim.pending_events,
+        "queue": queue_live_snapshot(machine.sim),
+        "temps_c": list(machine.thermal_state.temps_c),
+        "threads": [
+            {
+                "cpu": thread.cpu_id,
+                "online": thread.online,
+                "cstate": thread.effective_cstate,
+                "active": thread.is_active,
+                "aperf": thread.aperf_cycles,
+                "mperf": thread.mperf_cycles,
+                "instructions": thread.instructions,
+            }
+            for thread in topo.threads()
+        ],
+        "cores": [{"freq_hz": core.applied_freq_hz} for core in topo.cores()],
+        "power": {
+            f.name: getattr(breakdown, f.name) for f in dc_fields(breakdown)
+        },
+        "rapl": {
+            "pkg_raw": [
+                machine.rapl_msrs.read_pkg_raw(i)
+                for i in range(len(topo.packages))
+            ],
+            "core_raw": [
+                machine.rapl_msrs.read_core_raw(i) for i in range(topo.n_cores)
+            ],
+            "last_update_ns": machine.rapl_msrs.last_update_ns,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# divergence reporting
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One differing field between the two backend runs."""
+
+    path: str
+    reference: Any
+    candidate: Any
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "reference": self.reference,
+            "candidate": self.candidate,
+        }
+
+
+def diff_state(reference: Any, candidate: Any, path: str = "") -> list[Divergence]:
+    """Recursive exact comparison; returns every differing leaf path."""
+    if isinstance(reference, dict) and isinstance(candidate, dict):
+        out: list[Divergence] = []
+        for key in sorted(reference.keys() | candidate.keys(), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in reference or key not in candidate:
+                out.append(
+                    Divergence(
+                        sub,
+                        reference.get(key, "<absent>"),
+                        candidate.get(key, "<absent>"),
+                    )
+                )
+            else:
+                out.extend(diff_state(reference[key], candidate[key], sub))
+        return out
+    if isinstance(reference, (list, tuple)) and isinstance(candidate, (list, tuple)):
+        out = []
+        if len(reference) != len(candidate):
+            out.append(
+                Divergence(f"{path}.<len>", len(reference), len(candidate))
+            )
+        for i, (a, b) in enumerate(zip(reference, candidate)):
+            out.extend(diff_state(a, b, f"{path}[{i}]"))
+        return out
+    if reference != candidate or type(reference) is not type(candidate):
+        return [Divergence(path or "<root>", reference, candidate)]
+    return []
+
+
+@dataclass
+class DivergenceReport:
+    """First point where two backend runs of one scenario disagree."""
+
+    scenario: dict[str, Any]
+    backends: list[str]
+    sync_index: int
+    sync_time_ns: int
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def first(self) -> Divergence:
+        return self.divergences[0]
+
+    def first_event(self) -> Divergence | None:
+        """The first diverging dispatched event, if dispatch order differs.
+
+        Engine snapshots log fired events as ``[time_ns, tag, seq]``, so
+        a dispatch-order divergence surfaces under a ``fired[...]`` path.
+        """
+        for divergence in self.divergences:
+            if ".fired[" in divergence.path or divergence.path.startswith("fired["):
+                return divergence
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "backends": list(self.backends),
+            "sync_index": self.sync_index,
+            "sync_time_ns": self.sync_time_ns,
+            "divergences": [d.as_dict() for d in self.divergences],
+        }
+
+    def render(self, limit: int = 10) -> str:
+        lines = [
+            f"backend divergence: {self.backends[0]} vs {self.backends[1]}",
+            f"  scenario: kind={self.scenario.get('kind')} "
+            f"seed={self.scenario.get('seed')} "
+            f"ops={len(self.scenario.get('ops', []))}",
+            f"  first diverging sync point: #{self.sync_index} "
+            f"at t={self.sync_time_ns} ns "
+            f"({len(self.divergences)} differing field(s))",
+        ]
+        event = self.first_event()
+        if event is not None:
+            lines.append(
+                f"  first diverging event: {event.path}: "
+                f"{event.reference!r} != {event.candidate!r}"
+            )
+        for divergence in self.divergences[:limit]:
+            lines.append(
+                f"    {divergence.path}: {divergence.reference!r} "
+                f"!= {divergence.candidate!r}"
+            )
+        if len(self.divergences) > limit:
+            lines.append(f"    ... {len(self.divergences) - limit} more")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# engine scenarios
+# ---------------------------------------------------------------------------
+
+
+def generate_engine_scenario(
+    seed: int, *, n_ops: int = 60, shuffle: bool = False
+) -> dict[str, Any]:
+    """A seeded random engine-op program (see :func:`run_scenario`).
+
+    The op mix deliberately concentrates on ordering hazards: bursts of
+    same-timestamp events, zero-period reschedule chains, zero-delay
+    spawns from callbacks, and cancels executed both between and inside
+    callbacks.
+    """
+    rng = RngFactory(seed).child("crosscheck/engine-ops")
+
+    def draw(hi: int) -> int:
+        return int(rng.integers(0, hi))
+
+    ops: list[list[int | str]] = []
+    for _ in range(n_ops):
+        r = draw(100)
+        if r < 22:
+            ops.append(["after", draw(2_000)])
+        elif r < 32:
+            ops.append(["at", draw(2_500)])
+        elif r < 48:
+            ops.append(["burst", draw(1_000), 2 + draw(4)])
+        elif r < 62:
+            ops.append(["chain", draw(500), 2 + draw(6), draw(300)])
+        elif r < 72:
+            ops.append(["spawn", draw(800), draw(200)])
+        elif r < 81:
+            ops.append(["cancel", draw(64)])
+        elif r < 89:
+            ops.append(["cancel_in_cb", draw(700), draw(64)])
+        else:
+            ops.append(["sync", 1 + draw(3_000)])
+    ops.append(["sync", 5_000])
+    spec: dict[str, Any] = {"kind": "engine", "seed": int(seed), "ops": ops}
+    if shuffle:
+        spec["shuffle"] = True
+    return spec
+
+
+def _run_engine(spec: dict[str, Any], backend) -> list[dict[str, Any]]:
+    backend = resolve_backend(backend)
+    tiebreak = None
+    if spec.get("shuffle"):
+        tiebreak = RngFactory(int(spec.get("seed", 0))).child("crosscheck/shuffle")
+    sim = backend.create_simulator(tiebreak_rng=tiebreak)
+
+    live: list = []
+    fired: list[list] = []
+    tags = itertools.count()
+
+    def scheduled_cb(tag: int, holder: list, body=None):
+        def cb():
+            fired.append([sim.now_ns, tag, _norm_seq(holder[0].seq)])
+            if body is not None:
+                body()
+
+        return cb
+
+    def sched_after(delay_ns: int, body=None):
+        tag = next(tags)
+        holder: list = []
+        event = sim.schedule_after(delay_ns, scheduled_cb(tag, holder, body))
+        holder.append(event)
+        live.append(event)
+        return event
+
+    def sched_at(offset_ns: int):
+        tag = next(tags)
+        holder: list = []
+        event = sim.schedule_at(
+            sim.now_ns + offset_ns, scheduled_cb(tag, holder)
+        )
+        holder.append(event)
+        live.append(event)
+        return event
+
+    def make_chain(remaining: int, period_ns: int):
+        def body():
+            if remaining > 1:
+                sched_after(period_ns, make_chain(remaining - 1, period_ns))
+
+        return body
+
+    def snapshot() -> dict[str, Any]:
+        snap = {
+            "now_ns": sim.now_ns,
+            "pending": sim.pending_events,
+            "fired": [list(entry) for entry in fired],
+            "queue": queue_live_snapshot(sim),
+        }
+        fired.clear()
+        return snap
+
+    snapshots: list[dict[str, Any]] = []
+    for op in spec["ops"]:
+        kind = op[0]
+        if kind == "after":
+            sched_after(op[1])
+        elif kind == "at":
+            sched_at(op[1])
+        elif kind == "burst":
+            for _ in range(op[2]):
+                sched_after(op[1])
+        elif kind == "chain":
+            sched_after(op[1], make_chain(op[2], op[3]))
+        elif kind == "spawn":
+            child_delay = op[2]
+            sched_after(op[1], lambda child_delay=child_delay: sched_after(child_delay))
+        elif kind == "cancel":
+            if live:
+                live.pop(op[1] % len(live)).cancel()
+        elif kind == "cancel_in_cb":
+            k = op[2]
+
+            def cancel_body(k=k):
+                if live:
+                    live.pop(k % len(live)).cancel()
+
+            sched_after(op[1], cancel_body)
+        elif kind == "sync":
+            sim.run_until(sim.now_ns + op[1])
+            snapshots.append(snapshot())
+        else:
+            raise ConfigurationError(f"unknown engine scenario op {kind!r}")
+    sim.run_until(sim.now_ns + FINAL_SYNC_NS)
+    snapshots.append(snapshot())
+    return snapshots
+
+
+# ---------------------------------------------------------------------------
+# machine scenarios
+# ---------------------------------------------------------------------------
+
+
+def generate_machine_scenario(seed: int, *, n_ops: int = 12) -> dict[str, Any]:
+    """A seeded random machine-op program (frequencies, workloads,
+    hotplug, measurements, event-driven windows)."""
+    rng = RngFactory(seed).child("crosscheck/machine-ops")
+
+    def draw(hi: int) -> int:
+        return int(rng.integers(0, hi))
+
+    ops: list[list[int | str]] = []
+    for _ in range(n_ops):
+        r = draw(100)
+        if r < 15:
+            ops.append(["freq_all", draw(3)])
+        elif r < 28:
+            ops.append(["freq", draw(64), draw(3)])
+        elif r < 46:
+            ops.append(["run", draw(len(WORKLOAD_NAMES)), 1 + draw(8)])
+        elif r < 54:
+            ops.append(["stop"])
+        elif r < 62:
+            ops.append(["offline", 1 + draw(63)])
+        elif r < 68:
+            ops.append(["online", 1 + draw(63)])
+        elif r < 78:
+            ops.append(["measure", 1 + draw(3)])
+        elif r < 90:
+            ops.append(["event_mode", 2 + draw(5), draw(3)])
+        else:
+            ops.append(["sync"])
+    ops.append(["sync"])
+    return {"kind": "machine", "seed": int(seed), "ops": ops}
+
+
+def _run_machine(spec: dict[str, Any], backend) -> list[dict[str, Any]]:
+    import repro.workloads as workloads
+    from repro.machine import Machine
+
+    backend = resolve_backend(backend)
+    machine = Machine(
+        "EPYC 7302",
+        n_packages=1,
+        seed=int(spec.get("seed", 0)),
+        backend=backend.name,
+    )
+    snapshots: list[dict[str, Any]] = []
+    try:
+        freqs = machine.sku.available_freqs_hz
+        cpus = machine.os.all_cpus()
+        for op in spec["ops"]:
+            kind = op[0]
+            if kind == "freq_all":
+                machine.os.set_all_frequencies(freqs[op[1] % len(freqs)])
+            elif kind == "freq":
+                machine.os.set_frequency(
+                    cpus[op[1] % len(cpus)], freqs[op[2] % len(freqs)]
+                )
+            elif kind == "run":
+                workload = getattr(
+                    workloads, WORKLOAD_NAMES[op[1] % len(WORKLOAD_NAMES)]
+                )
+                online = [
+                    c
+                    for c in machine.os.first_thread_cpus()
+                    if machine.topology.thread(c).online
+                ]
+                if online:
+                    machine.os.run(workload, online[: 1 + op[2] % len(online)])
+            elif kind == "stop":
+                machine.os.stop()
+            elif kind == "offline":
+                cpu = cpus[op[1] % len(cpus)]
+                # cpu0 stays online (Linux semantics); state-guarded so
+                # the op is a no-op rather than an error when already off.
+                if cpu != cpus[0] and machine.topology.thread(cpu).online:
+                    machine.os.hotplug.set_offline(cpu)
+            elif kind == "online":
+                cpu = cpus[op[1] % len(cpus)]
+                if not machine.topology.thread(cpu).online:
+                    machine.os.hotplug.set_online(cpu)
+            elif kind == "measure":
+                machine.measure(0.05 * op[1])
+            elif kind == "event_mode":
+                machine.enable_event_mode(rapl_ticks=True)
+                machine.os.set_all_frequencies(freqs[op[2] % len(freqs)])
+                machine.sim.run_for(ms(op[1]))
+                machine.disable_event_mode()
+            elif kind == "sync":
+                snapshots.append(machine_snapshot(machine))
+            else:
+                raise ConfigurationError(f"unknown machine scenario op {kind!r}")
+        snapshots.append(machine_snapshot(machine))
+    finally:
+        machine.shutdown()
+    return snapshots
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(spec: dict[str, Any], backend) -> list[dict[str, Any]]:
+    """Execute one scenario on one backend; snapshots per sync point."""
+    kind = spec.get("kind")
+    if kind == "engine":
+        return _run_engine(spec, backend)
+    if kind == "machine":
+        return _run_machine(spec, backend)
+    raise ConfigurationError(f"unknown scenario kind {kind!r}")
+
+
+@dataclass
+class CrossCheckRunner:
+    """Runs scenarios on two backends and reports the first divergence."""
+
+    backends: tuple[str, str] = ("reference", "batched")
+
+    def run(self, spec: dict[str, Any]) -> DivergenceReport | None:
+        """None when the backends agree at every sync point."""
+        ref_name, cand_name = self.backends
+        ref_snaps = run_scenario(spec, ref_name)
+        cand_snaps = run_scenario(spec, cand_name)
+        for index, (ref_snap, cand_snap) in enumerate(zip(ref_snaps, cand_snaps)):
+            divergences = diff_state(ref_snap, cand_snap)
+            if divergences:
+                return DivergenceReport(
+                    scenario=spec,
+                    backends=[ref_name, cand_name],
+                    sync_index=index,
+                    sync_time_ns=int(ref_snap.get("now_ns", -1)),
+                    divergences=divergences,
+                )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# fixtures (shrunk property-suite failures, replayed as regressions)
+# ---------------------------------------------------------------------------
+
+
+def fixture_name(spec: dict[str, Any]) -> str:
+    import hashlib
+
+    blob = json.dumps(spec, sort_keys=True).encode()
+    return f"{spec.get('kind', 'scenario')}_{hashlib.sha256(blob).hexdigest()[:12]}.json"
+
+
+def save_fixture(spec: dict[str, Any], directory: str | Path) -> Path:
+    """Persist a scenario spec; name is content-addressed (idempotent)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / fixture_name(spec)
+    path.write_text(json.dumps({"spec": spec}, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_fixtures(directory: str | Path) -> list[tuple[str, dict[str, Any]]]:
+    """All saved ``(name, spec)`` pairs under ``directory``, sorted."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    out = []
+    for path in sorted(directory.glob("*.json")):
+        out.append((path.name, json.loads(path.read_text())["spec"]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# CLI (CI smoke job)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.crosscheck",
+        description="Differential cross-check of simulation backends: run "
+        "seeded random scenarios on two backends and fail on the first "
+        "state divergence (see docs/backends.md).",
+    )
+    parser.add_argument(
+        "--scenarios", type=int, default=50, metavar="N",
+        help="number of generated scenarios (default 50)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base scenario seed")
+    parser.add_argument(
+        "--kind", choices=["engine", "machine", "both"], default="both",
+        help="scenario families to generate (default both)",
+    )
+    parser.add_argument(
+        "--machine-every", type=int, default=10, metavar="K",
+        help="with --kind both: every Kth scenario is a machine scenario "
+        "(default 10; engine scenarios are far cheaper)",
+    )
+    parser.add_argument(
+        "--shuffle-every", type=int, default=4, metavar="K",
+        help="every Kth engine scenario runs in event-order shuffle mode "
+        "(default 4; 0 disables)",
+    )
+    parser.add_argument(
+        "--backends", nargs=2, default=["reference", "batched"],
+        metavar=("REF", "CAND"), help="backend pair to compare",
+    )
+    parser.add_argument(
+        "--fixtures", metavar="DIR",
+        help="also replay every saved fixture spec in DIR",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH",
+        help="on divergence: write the structured report JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    runner = CrossCheckRunner(backends=(args.backends[0], args.backends[1]))
+    specs: list[tuple[str, dict[str, Any]]] = []
+    if args.fixtures:
+        specs.extend(load_fixtures(args.fixtures))
+    for i in range(args.scenarios):
+        seed = args.seed + i
+        machine_turn = args.kind == "machine" or (
+            args.kind == "both"
+            and args.machine_every > 0
+            and i % args.machine_every == args.machine_every - 1
+        )
+        if machine_turn:
+            specs.append((f"machine/seed{seed}", generate_machine_scenario(seed)))
+        else:
+            shuffle = (
+                args.shuffle_every > 0
+                and i % args.shuffle_every == args.shuffle_every - 1
+            )
+            specs.append(
+                (
+                    f"engine/seed{seed}" + ("/shuffle" if shuffle else ""),
+                    generate_engine_scenario(seed, shuffle=shuffle),
+                )
+            )
+
+    for name, spec in specs:
+        report = runner.run(spec)
+        if report is not None:
+            print(f"DIVERGENCE in scenario {name}:", file=sys.stderr)
+            print(report.render(), file=sys.stderr)
+            if args.report:
+                Path(args.report).write_text(
+                    json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+                )
+                print(f"report written to {args.report}", file=sys.stderr)
+            return 1
+    print(
+        f"crosscheck OK: {len(specs)} scenario(s), "
+        f"{args.backends[0]} vs {args.backends[1]}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

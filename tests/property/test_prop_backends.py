@@ -1,0 +1,91 @@
+"""Property-based differential suite: reference vs batched backend.
+
+Hypothesis generates scenario op-programs (the same serializable DSL the
+CLI sweep uses — see :mod:`repro.sim.crosscheck`), runs each on both
+backends, and requires exact state agreement at every sync point.  A
+failing example shrinks to a minimal program and is written to
+``tests/fixtures/crosscheck/`` under a fixed ``shrunk_*`` name — the
+final (smallest) shrink wins — so the failure becomes a permanent
+regression via :func:`test_saved_fixtures_stay_equivalent`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.sim.crosscheck import (
+    CrossCheckRunner,
+    generate_machine_scenario,
+    load_fixtures,
+)
+
+FIXTURE_DIR = Path(__file__).resolve().parents[1] / "fixtures" / "crosscheck"
+
+_RUNNER = CrossCheckRunner()
+
+_DELAY = st.integers(min_value=0, max_value=2_000)
+
+_OP = st.one_of(
+    st.tuples(st.just("after"), _DELAY).map(list),
+    st.tuples(st.just("at"), _DELAY).map(list),
+    st.tuples(st.just("burst"), _DELAY, st.integers(2, 5)).map(list),
+    st.tuples(
+        st.just("chain"), _DELAY, st.integers(2, 6), st.integers(0, 300)
+    ).map(list),
+    st.tuples(st.just("spawn"), _DELAY, st.integers(0, 200)).map(list),
+    st.tuples(st.just("cancel"), st.integers(0, 63)).map(list),
+    st.tuples(st.just("cancel_in_cb"), _DELAY, st.integers(0, 63)).map(list),
+    st.tuples(st.just("sync"), st.integers(1, 3_000)).map(list),
+)
+
+
+def _check(spec: dict, shrunk_name: str) -> None:
+    report = _RUNNER.run(spec)
+    if report is not None:
+        # Fixed name: every shrink attempt overwrites it, so the file
+        # left behind is Hypothesis's minimal failing program.
+        FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+        (FIXTURE_DIR / shrunk_name).write_text(
+            json.dumps({"spec": spec}, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.fail(
+            f"backends diverged (spec saved to "
+            f"{FIXTURE_DIR / shrunk_name}):\n{report.render()}"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(_OP, min_size=1, max_size=40), shuffle=st.booleans())
+def test_engine_programs_agree(ops, shuffle):
+    spec = {"kind": "engine", "seed": 0, "ops": ops + [["sync", 5_000]]}
+    if shuffle:
+        spec["shuffle"] = True
+    _check(spec, "shrunk_engine_failure.json")
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_machine_programs_agree(seed):
+    _check(generate_machine_scenario(seed, n_ops=8), "shrunk_machine_failure.json")
+
+
+def _fixture_params():
+    fixtures = load_fixtures(FIXTURE_DIR)
+    assert fixtures, f"no committed crosscheck fixtures under {FIXTURE_DIR}"
+    return [pytest.param(spec, id=name) for name, spec in fixtures]
+
+
+@pytest.mark.parametrize("spec", _fixture_params())
+def test_saved_fixtures_stay_equivalent(spec):
+    """Every shrunk failure ever committed stays fixed."""
+    report = _RUNNER.run(spec)
+    assert report is None, report.render()

@@ -1,0 +1,180 @@
+"""The differential cross-check harness itself.
+
+The harness is test infrastructure, so its own failure modes get tests:
+an equivalent pair must come back clean, a planted divergence must be
+located at the right sync point with the right field path, reports must
+round-trip through JSON, and the CLI must exit nonzero (writing the
+report artifact) on divergence.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import crosscheck
+from repro.sim.crosscheck import (
+    CrossCheckRunner,
+    Divergence,
+    DivergenceReport,
+    diff_state,
+    fixture_name,
+    generate_engine_scenario,
+    generate_machine_scenario,
+    load_fixtures,
+    run_scenario,
+    save_fixture,
+)
+
+
+class TestDiffState:
+    def test_equal_states_no_divergence(self):
+        state = {"a": 1, "b": [1.5, {"c": "x"}]}
+        assert diff_state(state, dict(state)) == []
+
+    def test_leaf_difference_has_full_path(self):
+        ref = {"power": {"core_w": 1.25}, "queue": [[10, 3]]}
+        cand = {"power": {"core_w": 1.2500000001}, "queue": [[10, 3]]}
+        divs = diff_state(ref, cand)
+        assert [d.path for d in divs] == ["power.core_w"]
+        assert divs[0].reference == 1.25
+
+    def test_exactness_no_float_tolerance(self):
+        assert diff_state({"x": 1.0}, {"x": 1.0 + 2**-50}) != []
+
+    def test_length_mismatch_reported(self):
+        divs = diff_state({"q": [1, 2, 3]}, {"q": [1, 2]})
+        assert any(d.path == "q.<len>" for d in divs)
+
+    def test_missing_key_reported(self):
+        divs = diff_state({"a": 1}, {"b": 1})
+        assert {d.path for d in divs} == {"a", "b"}
+
+    def test_type_mismatch_is_divergence(self):
+        assert diff_state({"x": 1}, {"x": "1"}) != []
+
+
+class TestRunner:
+    def test_engine_scenarios_agree(self):
+        runner = CrossCheckRunner()
+        for seed in range(6):
+            spec = generate_engine_scenario(seed, shuffle=bool(seed % 2))
+            report = runner.run(spec)
+            assert report is None, report.render()
+
+    def test_machine_scenario_agrees(self):
+        report = CrossCheckRunner().run(generate_machine_scenario(0, n_ops=6))
+        assert report is None, report and report.render()
+
+    def test_scenarios_are_deterministic(self):
+        spec = generate_engine_scenario(11)
+        assert run_scenario(spec, "batched") == run_scenario(spec, "batched")
+        assert generate_engine_scenario(11) == spec
+
+    def test_planted_divergence_located(self, monkeypatch):
+        spec = generate_engine_scenario(1)
+        real = run_scenario
+
+        def skewed(s, backend):
+            snaps = real(s, backend)
+            if crosscheck.resolve_backend(backend).name == "batched":
+                snaps[2] = json.loads(json.dumps(snaps[2]))
+                snaps[2]["now_ns"] += 1
+            return snaps
+
+        monkeypatch.setattr(crosscheck, "run_scenario", skewed)
+        report = CrossCheckRunner().run(spec)
+        assert report is not None
+        assert report.sync_index == 2
+        assert report.first.path == "now_ns"
+        assert report.first.candidate == report.first.reference + 1
+
+    def test_unknown_kind_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_scenario({"kind": "quantum"}, "reference")
+
+
+class TestReport:
+    def _report(self):
+        return DivergenceReport(
+            scenario={"kind": "engine", "seed": 5, "ops": []},
+            backends=["reference", "batched"],
+            sync_index=3,
+            sync_time_ns=6222,
+            divergences=[
+                Divergence("fired[13][1]", 93, 90),
+                Divergence("queue[0][0]", 100, 200),
+            ],
+        )
+
+    def test_render_names_sync_point_and_event(self):
+        text = self._report().render()
+        assert "sync point: #3 at t=6222 ns" in text
+        assert "fired[13][1]" in text
+        assert "93" in text and "90" in text
+
+    def test_to_dict_roundtrips_through_json(self):
+        doc = json.loads(json.dumps(self._report().to_dict()))
+        assert doc["sync_time_ns"] == 6222
+        assert doc["divergences"][0] == {
+            "path": "fired[13][1]",
+            "reference": 93,
+            "candidate": 90,
+        }
+
+
+class TestFixtures:
+    def test_save_load_roundtrip(self, tmp_path):
+        spec = generate_engine_scenario(4, shuffle=True)
+        path = save_fixture(spec, tmp_path)
+        assert path.name == fixture_name(spec)
+        assert load_fixtures(tmp_path) == [(path.name, spec)]
+
+    def test_save_is_idempotent(self, tmp_path):
+        spec = generate_engine_scenario(4)
+        assert save_fixture(spec, tmp_path) == save_fixture(spec, tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_missing_dir_loads_empty(self, tmp_path):
+        assert load_fixtures(tmp_path / "nope") == []
+
+
+class TestCli:
+    def test_clean_sweep_exits_zero(self, capsys):
+        rc = crosscheck.main(
+            ["--scenarios", "3", "--seed", "0", "--kind", "engine"]
+        )
+        assert rc == 0
+        assert "crosscheck OK: 3 scenario" in capsys.readouterr().out
+
+    def test_divergence_exits_one_and_writes_report(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        report = DivergenceReport(
+            scenario={"kind": "engine", "seed": 0, "ops": []},
+            backends=["reference", "batched"],
+            sync_index=0,
+            sync_time_ns=42,
+            divergences=[Divergence("now_ns", 42, 43)],
+        )
+        monkeypatch.setattr(
+            crosscheck.CrossCheckRunner, "run", lambda self, spec: report
+        )
+        out = tmp_path / "divergence.json"
+        rc = crosscheck.main(
+            ["--scenarios", "1", "--kind", "engine", "--report", str(out)]
+        )
+        assert rc == 1
+        assert "DIVERGENCE" in capsys.readouterr().err
+        assert json.loads(out.read_text())["sync_time_ns"] == 42
+
+    def test_fixture_replay_included(self, tmp_path, capsys):
+        save_fixture(generate_engine_scenario(9), tmp_path)
+        rc = crosscheck.main(
+            ["--scenarios", "0", "--fixtures", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "1 scenario" in capsys.readouterr().out

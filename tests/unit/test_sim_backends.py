@@ -1,0 +1,341 @@
+"""Backend registry, dispatch plumbing, and cross-backend parity.
+
+Covers the selection chain (explicit arg > REPRO_SIM_BACKEND > default),
+the ``Simulator(backend=...)`` class dispatch, queue-API parity between
+the reference heap and the batched sorted-run store, and bit-identity of
+the vectorized power model against the scalar reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dc_fields
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import Machine
+from repro.power.model import PowerModel
+from repro.power.vector import VectorizedPowerModel
+from repro.sim import (
+    BatchedEventQueue,
+    BatchedSimulator,
+    SimBackend,
+    Simulator,
+    available_backends,
+    resolve_backend,
+)
+from repro.sim.backends import ENV_VAR
+from repro.sim.events import EventQueue
+from repro.sim.rng import RngFactory
+from repro.units import ghz, us
+from repro.workloads import FIRESTARTER, SPIN, STREAM_TRIAD
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "reference" in names and "batched" in names
+
+    def test_resolve_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_backend(None).name == "reference"
+
+    def test_resolve_explicit(self):
+        assert resolve_backend("batched").name == "batched"
+
+    def test_resolve_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "batched")
+        assert resolve_backend(None).name == "batched"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "batched")
+        assert resolve_backend("reference").name == "reference"
+
+    def test_unknown_backend_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="batched"):
+            resolve_backend("warp-drive")
+
+    def test_backend_instance_passes_through(self):
+        backend = resolve_backend("batched")
+        assert resolve_backend(backend) is backend
+
+    def test_register_duplicate_raises(self):
+        from repro.sim.backends import register_backend
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend(resolve_backend("reference"))
+
+
+class TestSimulatorDispatch:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        sim = Simulator()
+        assert type(sim) is Simulator
+        assert sim.backend_name == "reference"
+
+    def test_explicit_batched(self):
+        sim = Simulator(backend="batched")
+        assert type(sim) is BatchedSimulator
+        assert sim.backend_name == "batched"
+        assert isinstance(sim._queue, BatchedEventQueue)
+
+    def test_env_var_selects_batched(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "batched")
+        assert type(Simulator()) is BatchedSimulator
+
+    def test_subclass_construction_ignores_env(self, monkeypatch):
+        # Direct subclass construction must not re-dispatch.
+        monkeypatch.setenv(ENV_VAR, "reference")
+        assert type(BatchedSimulator()) is BatchedSimulator
+
+    def test_create_simulator_pins_backend_against_env(self, monkeypatch):
+        # A resolved backend's factory must not leak through the env
+        # var: the "reference" backend returns a reference simulator
+        # even when REPRO_SIM_BACKEND says otherwise.
+        monkeypatch.setenv(ENV_VAR, "batched")
+        sim = resolve_backend("reference").create_simulator()
+        assert type(sim) is Simulator
+
+    def test_backend_dataclass_shape(self):
+        backend = resolve_backend("batched")
+        assert isinstance(backend, SimBackend)
+        assert backend.simulator_cls is BatchedSimulator
+        assert backend.power_model_cls is VectorizedPowerModel
+
+
+class TestQueueParity:
+    """The batched store honours the EventQueue contract verbatim."""
+
+    def drain(self, queue, limit_ns):
+        order = []
+        while True:
+            event = queue.pop_due(limit_ns)
+            if event is None:
+                return order
+            order.append(event.time_ns)
+
+    def test_pop_due_order_and_exhaustion(self):
+        ref, bat = EventQueue(), BatchedEventQueue()
+        times = [30, 10, 20, 10, 40, 20]
+        for q in (ref, bat):
+            for t in times:
+                q.push(t, lambda: None)
+        assert self.drain(ref, 25) == self.drain(bat, 25) == [10, 10, 20, 20]
+        assert len(ref) == len(bat) == 2
+
+    def test_peek_pop_and_len(self):
+        queue = BatchedEventQueue()
+        assert queue.peek_time() is None
+        assert not queue
+        queue.push(50, lambda: None)
+        queue.push(20, lambda: None)
+        assert queue.peek_time() == 20
+        assert len(queue) == 2
+        assert queue.pop().time_ns == 20
+        assert queue.pop().time_ns == 50
+        assert queue.peek_time() is None
+
+    def test_cancelled_events_skipped_everywhere(self):
+        queue = BatchedEventQueue()
+        keep = queue.push(10, lambda: None)
+        queue.push(5, lambda: None).cancel()
+        queue.push(10, lambda: None).cancel()
+        assert queue.peek_time() == 10
+        assert len(queue) == 1
+        assert queue.pop() is keep
+
+    def test_clear_empties_queue(self):
+        queue = BatchedEventQueue()
+        events = [queue.push(i, lambda: None) for i in range(5)]
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.peek_time() is None
+        # Cancelling a cleared event is a harmless no-op.
+        events[0].cancel()
+
+    def test_negative_time_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            BatchedEventQueue().push(-1, lambda: None)
+
+    def test_compaction_drops_stale_entries(self):
+        queue = BatchedEventQueue()
+        far = [queue.push(1_000_000, lambda: None) for _ in range(256)]
+        queue.push(1, lambda: None)
+        assert queue.pop().time_ns == 1  # materializes the sorted run
+        for event in far[: len(far) * 3 // 4]:
+            event.cancel()
+        queue.push(2, lambda: None)
+        assert queue.pop().time_ns == 2  # merge runs the deferred filter
+        assert queue.compactions >= 1
+        assert queue.resident < 256
+        assert len(queue) == 64
+
+    def test_interleaved_push_pop_parity_with_reference(self):
+        # The event_queue.mixed shape: uniform-random times with pops
+        # (and cancels) interleaved.  Exercises the step-path backlog
+        # heap — pops drain the append buffer into it instead of
+        # rebuilding the run — and must reproduce the reference heap's
+        # (time, seq) order exactly.
+        def trace(queue_cls):
+            rng = RngFactory(11).child("backends/interleaved")
+            times = [int(t) for t in rng.integers(0, 100_000, size=600)]
+            ops = [int(o) for o in rng.integers(0, 10, size=600)]
+            queue = queue_cls()
+            live, out = [], []
+            for t, op in zip(times, ops):
+                if op < 6 or not live:
+                    live.append(queue.push(t, lambda: None))
+                elif op < 8:
+                    live.pop().cancel()
+                elif queue:
+                    out.append(queue.pop().time_ns)
+            while queue:
+                out.append(queue.pop().time_ns)
+            return out
+
+        assert trace(BatchedEventQueue) == trace(EventQueue)
+
+    def test_backlog_folds_into_dispatch(self):
+        # Step-path pops push events into the backlog heap; a subsequent
+        # run_until must fold it back and fire everything in order.
+        def fire_order(backend):
+            sim = Simulator(backend=backend)
+            seen = []
+            for i, t in enumerate([50, 10, 40, 20, 30, 20]):
+                sim.schedule_at(us(t), lambda i=i: seen.append(i))
+            popped = sim._queue.pop()  # drains the buffer into the backlog
+            assert popped.time_ns == us(10)
+            sim.run_until(us(60))
+            return popped.time_ns, seen
+
+        assert fire_order("batched") == fire_order("reference")
+
+    def test_shuffle_mode_ties_follow_seeded_seq(self):
+        # Identical tiebreak streams must give identical tie order on
+        # both queue implementations.
+        def order(queue_cls):
+            rng = RngFactory(7).child("event-order-shuffle/1")
+            queue = queue_cls(tiebreak_rng=rng)
+            fired = []
+            for i in range(16):
+                queue.push(100, lambda i=i: fired.append(i))
+            while queue:
+                queue.pop().callback()
+            return fired
+
+        reference = order(EventQueue)
+        assert order(BatchedEventQueue) == reference
+        assert reference != list(range(16))  # the shuffle actually shuffles
+
+
+class TestDispatchParity:
+    def test_pending_tie_with_sorted_run_in_shuffle_mode(self):
+        # Regression: an event pushed during dispatch, tying with an
+        # event already in the sorted run, must fire in (random) seq
+        # order — the batched loop has to merge before dispatching the
+        # tie, not drain the run first.
+        def fire_order(backend):
+            sim = Simulator(
+                backend=backend,
+                tiebreak_rng=RngFactory(3).child("event-order-shuffle/0"),
+            )
+            seen = []
+            for i in range(6):
+                sim.schedule_at(us(2), lambda i=i: seen.append(i))
+
+            def spawner():
+                for i in range(6, 12):
+                    sim.schedule_at(us(2), lambda i=i: seen.append(i))
+
+            sim.schedule_at(us(1), spawner)
+            sim.run_until(us(3))
+            return seen
+
+        assert fire_order("batched") == fire_order("reference")
+
+    def test_exception_in_callback_leaves_queue_consistent(self):
+        def crash_then_recover(backend):
+            sim = Simulator(backend=backend)
+            seen = []
+            sim.schedule_after(us(1), lambda: seen.append("a"))
+
+            def boom():
+                raise RuntimeError("callback failure")  # EXC001: arbitrary user-callback crash
+
+            sim.schedule_after(us(2), boom)
+            sim.schedule_after(us(3), lambda: seen.append("b"))
+            with pytest.raises(RuntimeError):
+                sim.run_until(us(5))
+            # The raising event is consumed; the rest still dispatch.
+            sim.run_until(us(5))
+            return seen, sim.pending_events
+
+        assert crash_then_recover("batched") == crash_then_recover("reference")
+
+
+class TestVectorizedPowerModel:
+    @pytest.fixture
+    def loaded_machine(self):
+        machine = Machine("EPYC 7302", n_packages=1, seed=99)
+        cpus = machine.os.first_thread_cpus()
+        machine.os.run(FIRESTARTER, cpus[:4])
+        machine.os.run(STREAM_TRIAD, cpus[4:8])
+        machine.os.run(SPIN, cpus[8:10])
+        for cpu in cpus[:4]:
+            machine.os.set_frequency(cpu, ghz(1.5))
+        machine.sim.run_for(us(500))
+        yield machine
+        machine.shutdown()
+
+    def _assert_identical(self, machine):
+        scalar = PowerModel(machine.cal).breakdown(
+            machine, machine.thermal_state.temps_c
+        )
+        vector = VectorizedPowerModel(machine.cal).breakdown(
+            machine, machine.thermal_state.temps_c
+        )
+        for f in dc_fields(scalar):
+            assert getattr(scalar, f.name) == getattr(vector, f.name), f.name
+
+    def test_idle_breakdown_bit_identical(self, small_machine):
+        self._assert_identical(small_machine)
+
+    def test_loaded_breakdown_bit_identical(self, loaded_machine):
+        self._assert_identical(loaded_machine)
+
+    def test_two_package_breakdown_bit_identical(self, machine):
+        machine.os.run(SPIN, machine.os.first_thread_cpus()[:12])
+        machine.sim.run_for(us(200))
+        self._assert_identical(machine)
+
+
+class TestMachineWiring:
+    def test_machine_backend_selection(self):
+        machine = Machine("EPYC 7302", n_packages=1, seed=1, backend="batched")
+        try:
+            assert machine.backend.name == "batched"
+            assert type(machine.sim) is BatchedSimulator
+            assert type(machine.power_model) is VectorizedPowerModel
+        finally:
+            machine.shutdown()
+
+    def test_experiment_config_flows_backend(self):
+        from repro.core import ExperimentConfig
+
+        cfg = ExperimentConfig(
+            seed=1, scale=0.02, sku="EPYC 7302", n_packages=1, backend="batched"
+        )
+        machine = cfg.build_machine()
+        try:
+            assert machine.backend.name == "batched"
+        finally:
+            machine.shutdown()
+
+    def test_cli_rejects_unknown_backend(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["selfcheck", "--backend", "warp-drive"])
+        assert "warp-drive" in capsys.readouterr().err

@@ -123,3 +123,78 @@ class TestPeriodicTask:
     def test_zero_period_rejected(self, sim):
         with pytest.raises(SimulationError):
             sim.periodic(0, lambda: None)
+
+
+class TestTieBreaking:
+    """Dispatch-order contract for same-timestamp events.
+
+    The contract (shared by every backend): ties dispatch in schedule
+    order, and an event scheduled *during* dispatch at the current time
+    runs after everything already queued at that time.  These are the
+    order-dependence hazards of ``run_until``/``pop_due`` made explicit.
+    """
+
+    def test_same_timestamp_fifo(self, sim):
+        seen = []
+        for i in range(8):
+            sim.schedule_at(us(5), lambda i=i: seen.append(i))
+        sim.run_until(us(5))
+        assert seen == list(range(8))
+
+    def test_mixed_schedule_paths_keep_fifo(self, sim):
+        # schedule_at and schedule_after interleaved at one timestamp
+        # still dispatch in overall schedule order.
+        seen = []
+        sim.schedule_at(us(5), lambda: seen.append("at0"))
+        sim.schedule_after(us(5), lambda: seen.append("after1"))
+        sim.schedule_at(us(5), lambda: seen.append("at2"))
+        sim.schedule_after(us(5), lambda: seen.append("after3"))
+        sim.run_until(us(5))
+        assert seen == ["at0", "after1", "at2", "after3"]
+
+    def test_zero_delay_from_callback_runs_after_existing_ties(self, sim):
+        seen = []
+        sim.schedule_after(
+            us(5), lambda: (seen.append("first"), sim.schedule_after(0, lambda: seen.append("spawned")))
+        )
+        sim.schedule_after(us(5), lambda: seen.append("second"))
+        sim.run_until(us(5))
+        # The zero-delay spawn lands at the same timestamp but was
+        # scheduled later than "second", so it must not overtake it.
+        assert seen == ["first", "second", "spawned"]
+
+    def test_cancel_within_tie_group_preserves_order(self, sim):
+        seen = []
+        events = [
+            sim.schedule_at(us(5), lambda i=i: seen.append(i)) for i in range(6)
+        ]
+        events[1].cancel()
+        events[4].cancel()
+        sim.run_until(us(5))
+        assert seen == [0, 2, 3, 5]
+
+    def test_pop_due_matches_run_until_order(self, backend):
+        # Draining the queue directly must observe the same order as
+        # dispatch; the batched store defers merging, which is exactly
+        # where an order bug would hide.
+        run_seen = []
+        drain = Simulator(backend=backend)
+        runner = Simulator(backend=backend)
+
+        def build(s, log):
+            s.schedule_after(us(2), lambda: log.append("a"))
+            s.schedule_after(us(1), lambda: log.append("b"))
+            s.schedule_after(us(2), lambda: log.append("c"))
+            s.schedule_after(us(1), lambda: log.append("d"))
+
+        build(runner, run_seen)
+        runner.run_until(us(2))
+
+        drain_seen = []
+        build(drain, drain_seen)
+        while True:
+            event = drain._queue.pop_due(us(2))
+            if event is None:
+                break
+            event.callback()
+        assert drain_seen == run_seen == ["b", "d", "a", "c"]
