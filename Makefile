@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-batched lint lint-json lint-flow lint-effects lint-changed baseline-update baseline-update-effects ordering-check selfcheck suite-parallel suite-traced golden bench bench-smoke bench-guard bench-backends crosscheck
+.PHONY: test test-batched lint lint-json lint-flow lint-effects lint-contracts lint-changed baseline-update baseline-update-effects baseline-update-contracts update-schema-registry ordering-check selfcheck suite-parallel suite-traced golden bench bench-smoke bench-guard bench-backends crosscheck
 
 # The default gate: static analysis first (DET001/SIM001/... keep the
 # cache/parallel code deterministic), then the full pytest tree — which
@@ -15,9 +15,9 @@ test-batched:
 	REPRO_SIM_BACKEND=batched $(PYTHON) -m pytest -x -q
 
 # Per-module rules over the whole tree, plus the whole-program effects
-# pass (hot-region budgets, obs guards, parallel pickle safety) over
-# src/repro against its checked-in baseline.
-lint: lint-effects
+# and contracts passes over src/repro against their checked-in
+# baselines.
+lint: lint-effects lint-contracts
 	$(PYTHON) -m repro.lint src/repro tests benchmarks examples
 
 lint-json:
@@ -42,6 +42,20 @@ lint-effects:
 
 baseline-update-effects:
 	$(PYTHON) -m repro.lint src/repro --effects --effects-baseline lint-effects.baseline.json --update-effects-baseline
+
+# Whole-program structural contracts: backend-pair parity
+# (lint-contracts.pairs.json), layer-boundary imports, and the schema
+# registry snapshot (lint-contracts.schemas.json) — vs the baseline.
+lint-contracts:
+	$(PYTHON) -m repro.lint src/repro --contracts --contracts-baseline lint-contracts.baseline.json
+
+baseline-update-contracts:
+	$(PYTHON) -m repro.lint src/repro --contracts --contracts-baseline lint-contracts.baseline.json --update-contracts-baseline
+
+# Re-snapshot the schema registry after a deliberate schema_version
+# bump; review the JSON diff like any other contract change.
+update-schema-registry:
+	$(PYTHON) -m repro.lint src/repro --contracts --update-schema-registry
 
 # Pre-commit convenience: full analysis, findings reported only for
 # files changed vs git HEAD (falls back to a full run without git).

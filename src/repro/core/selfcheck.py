@@ -10,7 +10,6 @@ at the broken anchor before any full experiment runs.
 from __future__ import annotations
 
 from repro.core.report import ComparisonTable
-from repro.lint.monitor import InvariantMonitor
 from repro.units import ghz
 from repro.workloads import FIRESTARTER, PAUSE_LOOP, SPIN
 
@@ -28,6 +27,10 @@ def selfcheck(machine, *, monitor: bool = True) -> ComparisonTable:
     cal = machine.cal
     sanitizer = None
     if monitor:
+        # Lazy import: core must not depend on the lint layer at module
+        # scope (CON010); the monitor is optional machinery.
+        from repro.lint.monitor import InvariantMonitor
+
         sanitizer = InvariantMonitor(machine, raise_on_violation=False).attach()
 
     # --- idle floor (Fig 7) -------------------------------------------------

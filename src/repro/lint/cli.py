@@ -84,6 +84,48 @@ def main(argv: list[str] | None = None) -> int:
         "lint-effects.regions.json in the working directory, if present)",
     )
     parser.add_argument(
+        "--contracts",
+        action="store_true",
+        help="also run the whole-program structural-contract analysis "
+        "(rules CON001-CON002 backend parity, CON010 layer boundaries, "
+        "CON020-CON021 schema registry)",
+    )
+    parser.add_argument(
+        "--no-contracts-cache",
+        action="store_true",
+        help="bypass the contracts-analysis result cache (forces a cold run)",
+    )
+    parser.add_argument(
+        "--contracts-baseline",
+        metavar="FILE",
+        help="baseline file of accepted contracts findings; matching "
+        "findings are filtered from the report (implies --contracts)",
+    )
+    parser.add_argument(
+        "--update-contracts-baseline",
+        action="store_true",
+        help="rewrite the --contracts-baseline file from this run's "
+        "contracts findings",
+    )
+    parser.add_argument(
+        "--pairs",
+        metavar="FILE",
+        help="backend-pair/layer manifest for --contracts (default: "
+        "lint-contracts.pairs.json in the working directory, if present)",
+    )
+    parser.add_argument(
+        "--schema-registry",
+        metavar="FILE",
+        help="schema registry snapshot for --contracts (default: "
+        "lint-contracts.schemas.json in the working directory, if present)",
+    )
+    parser.add_argument(
+        "--update-schema-registry",
+        action="store_true",
+        help="rewrite the schema registry snapshot from the analyzed "
+        "tree before checking (implies --contracts)",
+    )
+    parser.add_argument(
         "--changed-only",
         action="store_true",
         help="report findings only for files changed vs git HEAD "
@@ -114,23 +156,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        from repro.lint.effects import EFFECTS_RULE_TITLES
-        from repro.lint.engine import (
-            SUPPRESSION_REASON_RULE,
-            UNUSED_SUPPRESSION_RULE,
-        )
-        from repro.lint.flow import FLOW_RULE_TITLES
+        from repro.lint.sarif import rule_titles
 
-        catalogue = {
-            rule_id: cls.title for rule_id, cls in rules_by_id().items()
-        }
-        catalogue.update(FLOW_RULE_TITLES)
-        catalogue.update(EFFECTS_RULE_TITLES)
-        catalogue[UNUSED_SUPPRESSION_RULE] = "unused lint suppression comment"
-        catalogue[SUPPRESSION_REASON_RULE] = (
-            "effects-rule suppression without a reason= token"
-        )
-        for rule_id, title in sorted(catalogue.items()):
+        for rule_id, title in sorted(rule_titles().items()):
             print(f"{rule_id}  {title}")
         return 0
 
@@ -140,6 +168,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.update_effects_baseline and not args.effects_baseline:
         print(
             "repro-lint: --update-effects-baseline requires --effects-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update_contracts_baseline and not args.contracts_baseline:
+        print(
+            "repro-lint: --update-contracts-baseline requires "
+            "--contracts-baseline",
             file=sys.stderr,
         )
         return 2
@@ -163,6 +198,15 @@ def main(argv: list[str] | None = None) -> int:
             effects_baseline=args.effects_baseline,
             update_effects_baseline=args.update_effects_baseline,
             regions=args.regions,
+            contracts=args.contracts
+            or args.contracts_baseline is not None
+            or args.update_schema_registry,
+            contracts_cache=not args.no_contracts_cache,
+            contracts_baseline=args.contracts_baseline,
+            update_contracts_baseline=args.update_contracts_baseline,
+            pairs=args.pairs,
+            schema_registry=args.schema_registry,
+            update_schema_registry=args.update_schema_registry,
             changed_only=args.changed_only,
         )
     except LintError as err:

@@ -1,0 +1,325 @@
+"""Backend-pair parity rules.
+
+CON001 (error): a registered backend pair drifts in its *public
+interface* — the effective public method set (resolved through the base
+chain, so an inheriting candidate only answers for what it overrides or
+adds), the signature of any method both sides define (positional
+parameter names and order, keyword-only names, defaults count,
+``*args``/``**kwargs`` presence, property-ness), or the
+constructor-visible public state fields (``self.x = ...`` in ``__init__``
+along the base chain).
+
+CON002 (warning): a method defined on both sides whose *effect summary*
+(:mod:`repro.lint.effects.summaries`) disagrees in raises /
+mutates-global / reads-wall-clock.  A backend that can throw where its
+pair cannot, or that touches the wall clock where its pair is pure, is
+drifting semantically even if the signatures still line up.
+
+Findings are pinned to the candidate side (the implementation being
+held to the reference's contract) with the reference location quoted as
+the witness, so one deleted method yields exactly one finding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import SEVERITY_WARNING, Finding
+from repro.lint.flow.graph import ClassInfo, FuncInfo, Program
+
+from repro.lint.contracts.manifest import ContractsManifest, PairDecl
+
+RULE_PAIR_DRIFT = "CON001"
+RULE_PAIR_EFFECT = "CON002"
+
+#: Dunders that are representation/identity plumbing, not backend
+#: contract surface.
+_EXEMPT_DUNDERS = {
+    "__repr__",
+    "__str__",
+    "__hash__",
+    "__eq__",
+    "__ne__",
+    "__new__",
+    "__init_subclass__",
+    "__class_getitem__",
+    "__slots__",
+}
+
+#: Effect-summary bits CON002 compares between paired methods.
+_EFFECT_BITS = (
+    ("t_raises", "raises"),
+    ("t_mutates_global", "mutates a global"),
+    ("t_reads_wall_clock", "reads the wall clock"),
+)
+
+
+def _is_public(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return name not in _EXEMPT_DUNDERS
+    return not name.startswith("_")
+
+
+def _effective_methods(program: Program, cls: ClassInfo) -> dict[str, FuncInfo]:
+    """Public method name -> FuncInfo, resolved through the base chain
+    (nearest definition wins, BFS over linked bases)."""
+    methods: dict[str, FuncInfo] = {}
+    seen: set[str] = set()
+    queue = [cls.qname]
+    while queue:
+        qname = queue.pop(0)
+        if qname in seen:
+            continue
+        seen.add(qname)
+        info = program.classes.get(qname)
+        if info is None:
+            continue
+        for name, func in info.methods.items():
+            if _is_public(name):
+                methods.setdefault(name, func)
+        queue.extend(info.bases)
+    return methods
+
+
+def _init_fields(program: Program, cls: ClassInfo) -> set[str]:
+    """Public ``self.x`` names assigned in any ``__init__`` along the
+    base chain (the constructor-visible state surface)."""
+    fields: set[str] = set()
+    seen: set[str] = set()
+    queue = [cls.qname]
+    while queue:
+        qname = queue.pop(0)
+        if qname in seen:
+            continue
+        seen.add(qname)
+        info = program.classes.get(qname)
+        if info is None:
+            continue
+        init = info.methods.get("__init__")
+        if init is not None:
+            for node in ast.walk(_holder(init)):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _is_public(target.attr)
+                    ):
+                        fields.add(target.attr)
+        queue.extend(info.bases)
+    return fields
+
+
+def _holder(func: FuncInfo) -> ast.AST:
+    if func.node is not None:
+        return func.node
+    return ast.Module(body=func.body, type_ignores=[])
+
+
+def _signature(func: FuncInfo) -> dict[str, object]:
+    """The comparable shape of one method's signature.
+
+    Defaulted underscore-prefixed parameters are dropped: they are the
+    bind-time micro-optimization idiom (``def f(x, _len=len)``) — never
+    part of the callable surface a pair must honour.
+    """
+    node = func.node
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = node.args
+    all_pos = [*args.posonlyargs, *args.args]
+    n_defaults = len(args.defaults)
+    shaped: list[tuple[str, bool]] = [
+        (a.arg, i >= len(all_pos) - n_defaults) for i, a in enumerate(all_pos)
+    ]
+    if shaped and shaped[0][0] in ("self", "cls"):
+        shaped = shaped[1:]
+    shaped = [
+        (name, has_default)
+        for name, has_default in shaped
+        if not (has_default and name.startswith("_"))
+    ]
+    kwonly = sorted(
+        a.arg
+        for a, default in zip(args.kwonlyargs, args.kw_defaults)
+        if not (default is not None and a.arg.startswith("_"))
+    )
+    return {
+        "positional": [name for name, _ in shaped],
+        "defaults": sum(1 for _, has_default in shaped if has_default),
+        "kwonly": kwonly,
+        "vararg": args.vararg.arg if args.vararg else None,
+        "kwarg": args.kwarg.arg if args.kwarg else None,
+        "property": func.is_property,
+    }
+
+
+def _describe_drift(ref_sig: dict, cand_sig: dict) -> str:
+    """First human-readable difference between two signature shapes."""
+    if ref_sig["positional"] != cand_sig["positional"]:
+        return (
+            f"positional parameters {cand_sig['positional']} != "
+            f"reference {ref_sig['positional']}"
+        )
+    if ref_sig["kwonly"] != cand_sig["kwonly"]:
+        return (
+            f"keyword-only parameters {cand_sig['kwonly']} != "
+            f"reference {ref_sig['kwonly']}"
+        )
+    if ref_sig["defaults"] != cand_sig["defaults"]:
+        return (
+            f"{cand_sig['defaults']} defaulted parameter(s) != "
+            f"reference {ref_sig['defaults']}"
+        )
+    for slot in ("vararg", "kwarg"):
+        if (ref_sig[slot] is None) != (cand_sig[slot] is None):
+            star = "*" if slot == "vararg" else "**"
+            return f"{star}-parameter presence differs from the reference"
+    if ref_sig["property"] != cand_sig["property"]:
+        return "one side is a @property, the other a plain method"
+    return "signature shape differs"
+
+
+def _manifest_finding(manifest: ContractsManifest, message: str) -> Finding:
+    return Finding(
+        path=manifest.path or "lint-contracts.pairs.json",
+        line=1,
+        col=0,
+        rule=RULE_PAIR_DRIFT,
+        message=message,
+    )
+
+
+def check_pairs(
+    program: Program,
+    manifest: ContractsManifest,
+    summaries: dict | None,
+) -> list[Finding]:
+    """CON001/CON002 findings for every declared pair."""
+    findings: list[Finding] = []
+    for pair in manifest.pairs:
+        findings.extend(_check_pair(program, manifest, pair, summaries))
+    return findings
+
+
+def _check_pair(
+    program: Program,
+    manifest: ContractsManifest,
+    pair: PairDecl,
+    summaries: dict | None,
+) -> list[Finding]:
+    ref = program.classes.get(pair.reference)
+    cand = program.classes.get(pair.candidate)
+    missing = [
+        qname
+        for qname, cls in ((pair.reference, ref), (pair.candidate, cand))
+        if cls is None
+    ]
+    if missing:
+        return [
+            _manifest_finding(
+                manifest,
+                f"pair entry {pair.reference!r} ↔ {pair.candidate!r} names "
+                f"unknown class(es) {', '.join(missing)}; fix the qualified "
+                "name or drop the entry",
+            )
+        ]
+    assert ref is not None and cand is not None
+
+    findings: list[Finding] = []
+    ref_methods = _effective_methods(program, ref)
+    cand_methods = _effective_methods(program, cand)
+    names = (set(ref_methods) | set(cand_methods)) - set(pair.ignore_methods)
+
+    for name in sorted(names):
+        ref_m = ref_methods.get(name)
+        cand_m = cand_methods.get(name)
+        if ref_m is None or cand_m is None:
+            present, absent_cls, present_cls = (
+                (cand_m, ref, cand) if ref_m is None else (ref_m, cand, ref)
+            )
+            assert present is not None
+            findings.append(
+                Finding(
+                    path=absent_cls.module.parsed.path,
+                    line=absent_cls.node.lineno,
+                    col=absent_cls.node.col_offset,
+                    rule=RULE_PAIR_DRIFT,
+                    message=(
+                        f"backend pair drift: {absent_cls.qname} has no "
+                        f"public method '{name}' but its pair "
+                        f"{present_cls.qname} defines it at "
+                        f"{present.path}:{present.node.lineno}; implement it "
+                        "or add it to the pair's ignore_methods with a reason"
+                    ),
+                )
+            )
+            continue
+        if ref_m is cand_m:
+            continue  # inherited from a shared base: trivially identical
+        ref_sig, cand_sig = _signature(ref_m), _signature(cand_m)
+        if ref_sig != cand_sig:
+            findings.append(
+                Finding(
+                    path=cand_m.path,
+                    line=cand_m.node.lineno,
+                    col=cand_m.node.col_offset,
+                    rule=RULE_PAIR_DRIFT,
+                    message=(
+                        f"backend pair drift: {cand.qname}.{name} signature "
+                        f"disagrees with {ref.qname}.{name} "
+                        f"({ref_m.path}:{ref_m.node.lineno}): "
+                        + _describe_drift(ref_sig, cand_sig)
+                    ),
+                )
+            )
+        elif summaries is not None:
+            ref_sum = summaries.get(ref_m.qname)
+            cand_sum = summaries.get(cand_m.qname)
+            if ref_sum is not None and cand_sum is not None:
+                for attr, label in _EFFECT_BITS:
+                    ref_bit = getattr(ref_sum, attr)
+                    cand_bit = getattr(cand_sum, attr)
+                    if ref_bit != cand_bit:
+                        side = cand.qname if cand_bit else ref.qname
+                        findings.append(
+                            Finding(
+                                path=cand_m.path,
+                                line=cand_m.node.lineno,
+                                col=cand_m.node.col_offset,
+                                rule=RULE_PAIR_EFFECT,
+                                message=(
+                                    f"backend pair effect drift: only "
+                                    f"{side}.{name} {label} (pair at "
+                                    f"{ref_m.path}:{ref_m.node.lineno}); "
+                                    "backends must fail and touch state "
+                                    "identically"
+                                ),
+                                severity=SEVERITY_WARNING,
+                            )
+                        )
+
+    ref_fields = _init_fields(program, ref) - set(pair.ignore_fields)
+    cand_fields = _init_fields(program, cand) - set(pair.ignore_fields)
+    for name in sorted(ref_fields ^ cand_fields):
+        absent_cls = cand if name in ref_fields else ref
+        present_cls = ref if name in ref_fields else cand
+        findings.append(
+            Finding(
+                path=absent_cls.module.parsed.path,
+                line=absent_cls.node.lineno,
+                col=absent_cls.node.col_offset,
+                rule=RULE_PAIR_DRIFT,
+                message=(
+                    f"backend pair drift: constructor-visible field "
+                    f"'{name}' exists only on {present_cls.qname}; assign "
+                    f"it in {absent_cls.qname}.__init__ too or add it to "
+                    "the pair's ignore_fields with a reason"
+                ),
+            )
+        )
+    return findings

@@ -40,9 +40,10 @@ UNUSED_SUPPRESSION_RULE = "LINT001"
 SUPPRESSION_REASON_RULE = "LINT002"
 
 #: Rule-id prefixes whose suppressions must carry a ``reason=`` token.
-#: Effects findings gate perf and isolation invariants; excusing one
-#: without a recorded justification defeats the review trail.
-REASON_REQUIRED_PREFIXES = ("HOT", "OBS", "PAR")
+#: Effects and contracts findings gate perf, isolation and structural
+#: invariants; excusing one without a recorded justification defeats
+#: the review trail.
+REASON_REQUIRED_PREFIXES = ("HOT", "OBS", "PAR", "CON")
 
 
 @dataclass
@@ -69,6 +70,9 @@ class LintReport:
     #: Statistics of the whole-program effects analysis, when it ran
     #: (module/function/region counts, cache status).
     effects: dict[str, Any] | None = None
+    #: Statistics of the whole-program contracts analysis, when it ran
+    #: (pair/layer/schema counts, cache status).
+    contracts: dict[str, Any] | None = None
 
     @property
     def errors(self) -> list[Finding]:
@@ -294,6 +298,13 @@ def lint_paths(
     effects_baseline: str | None = None,
     update_effects_baseline: bool = False,
     regions: str | None = None,
+    contracts: bool = False,
+    contracts_cache: bool = True,
+    contracts_baseline: str | None = None,
+    update_contracts_baseline: bool = False,
+    pairs: str | None = None,
+    schema_registry: str | None = None,
+    update_schema_registry: bool = False,
     changed_only: bool = False,
 ) -> LintReport:
     """Lint every python file under ``paths``.
@@ -309,6 +320,14 @@ def lint_paths(
     (``effects_baseline`` / ``update_effects_baseline``) and region
     manifest (``regions``; defaults to ``lint-effects.regions.json``
     in the working directory when present).
+
+    With ``contracts=True`` the whole-program structural-contract
+    analysis (:mod:`repro.lint.contracts`) runs too: backend-pair
+    parity against the ``pairs`` manifest (default
+    ``lint-contracts.pairs.json``), layer-boundary imports, and the
+    schema registry against ``schema_registry`` (default
+    ``lint-contracts.schemas.json``; ``update_schema_registry``
+    rewrites it from the tree first).
 
     ``changed_only`` restricts reported findings to files changed vs
     ``git HEAD`` (plus untracked files).  Every file is still *parsed*
@@ -378,6 +397,26 @@ def lint_paths(
         report.suppressed += effects_report.suppressed
         report.effects = effects_report.stats()
         checkable |= EFFECTS_RULE_IDS
+
+    if contracts:
+        from repro.lint.contracts import CONTRACTS_RULE_IDS
+        from repro.lint.contracts import analyze_modules as analyze_contracts
+
+        contracts_report = analyze_contracts(
+            modules,
+            use_cache=contracts_cache,
+            baseline_path=contracts_baseline,
+            update_baseline=update_contracts_baseline,
+            manifest_path=pairs,
+            registry_path=schema_registry,
+            update_registry=update_schema_registry,
+        )
+        report.findings.extend(
+            f for f in contracts_report.findings if in_seeds(f.path)
+        )
+        report.suppressed += contracts_report.suppressed
+        report.contracts = contracts_report.stats()
+        checkable |= CONTRACTS_RULE_IDS
 
     if unused_check:
         for parsed in seeded:

@@ -32,68 +32,9 @@ def format_json(report: LintReport) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def _sarif_rule_catalogue() -> list[dict]:
-    """SARIF rule metadata for every rule this tool can emit."""
-    from repro.lint.effects import EFFECTS_RULE_TITLES
-    from repro.lint.engine import SUPPRESSION_REASON_RULE, UNUSED_SUPPRESSION_RULE
-    from repro.lint.flow import FLOW_RULE_TITLES
-    from repro.lint.rules import rules_by_id
-
-    titles: dict[str, str] = {
-        rule_id: cls.title for rule_id, cls in rules_by_id().items()
-    }
-    titles.update(FLOW_RULE_TITLES)
-    titles.update(EFFECTS_RULE_TITLES)
-    titles[UNUSED_SUPPRESSION_RULE] = "unused lint suppression comment"
-    titles[SUPPRESSION_REASON_RULE] = (
-        "effects-rule suppression without a reason= token"
-    )
-    return [
-        {"id": rule_id, "shortDescription": {"text": title}}
-        for rule_id, title in sorted(titles.items())
-    ]
-
-
 def format_sarif(report: LintReport) -> str:
-    """SARIF 2.1.0 log for code-scanning upload and IDE ingestion."""
-    results = [
-        {
-            "ruleId": f.rule,
-            "level": "warning" if f.severity == "warning" else "error",
-            "message": {"text": f.message},
-            "locations": [
-                {
-                    "physicalLocation": {
-                        "artifactLocation": {
-                            "uri": f.path.replace("\\", "/"),
-                            "uriBaseId": "SRCROOT",
-                        },
-                        "region": {
-                            "startLine": max(f.line, 1),
-                            "startColumn": f.col + 1,
-                        },
-                    }
-                }
-            ],
-        }
-        for f in report.findings
-    ]
-    log = {
-        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
-        "version": "2.1.0",
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "repro-lint",
-                        "informationUri": "https://example.invalid/repro-zen2",
-                        "rules": _sarif_rule_catalogue(),
-                    }
-                },
-                "columnKind": "utf16CodeUnits",
-                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
-                "results": results,
-            }
-        ],
-    }
-    return json.dumps(log, indent=2, sort_keys=True)
+    """SARIF 2.1.0 log (delegates to the shared :mod:`repro.lint.sarif`
+    writer so every pass shares one run and rule catalogue)."""
+    from repro.lint.sarif import format_sarif as _format_sarif
+
+    return _format_sarif(report)

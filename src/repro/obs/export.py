@@ -150,6 +150,20 @@ def _metadata_events(
     return events
 
 
+def _trace_envelope(
+    events: list[dict[str, Any]], other: dict[str, Any]
+) -> dict[str, Any]:
+    """The single ``repro.obs/trace`` envelope writer (CON020: one
+    schema, one emitting site — both export paths funnel through here)."""
+    return {
+        "schema": TRACE_SCHEMA_ID,
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+        "otherData": other,
+    }
+
+
 def trace_document(tracer: SpanTracer, **other_data: Any) -> dict[str, Any]:
     """Build the ``repro.obs/trace`` v1 document for a tracer's records."""
     pids = _track_pids(tracer)
@@ -164,13 +178,7 @@ def trace_document(tracer: SpanTracer, **other_data: Any) -> dict[str, Any]:
     events = _metadata_events(pids, labels) + body
     other = {"records": len(body), "dropped": tracer.dropped}
     other.update(other_data)
-    return {
-        "schema": TRACE_SCHEMA_ID,
-        "schema_version": TRACE_SCHEMA_VERSION,
-        "displayTimeUnit": "ms",
-        "traceEvents": events,
-        "otherData": other,
-    }
+    return _trace_envelope(events, other)
 
 
 def merge_trace_documents(docs: list[dict[str, Any]]) -> dict[str, Any]:
@@ -206,13 +214,7 @@ def merge_trace_documents(docs: list[dict[str, Any]]) -> dict[str, Any]:
     other["records"] = sum(
         1 for ev in events if ev.get("ph") != "M"
     )
-    return {
-        "schema": TRACE_SCHEMA_ID,
-        "schema_version": TRACE_SCHEMA_VERSION,
-        "displayTimeUnit": "ms",
-        "traceEvents": events,
-        "otherData": other,
-    }
+    return _trace_envelope(events, other)
 
 
 def summarize_trace(doc: dict[str, Any]) -> str:

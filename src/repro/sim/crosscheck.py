@@ -44,6 +44,10 @@ from repro.units import ms
 #: always observed (ns).
 FINAL_SYNC_NS = 50_000
 
+#: Schema family of the divergence-report artifact CI uploads.
+REPORT_SCHEMA_ID = "repro.sim/crosscheck-report"
+REPORT_SCHEMA_VERSION = 1
+
 #: Workload palette for machine scenarios (names in repro.workloads).
 WORKLOAD_NAMES = ("PAUSE_LOOP", "SPIN", "MEMORY_READ", "STREAM_TRIAD", "FIRESTARTER")
 
@@ -212,6 +216,8 @@ class DivergenceReport:
 
     def to_dict(self) -> dict[str, Any]:
         return {
+            "schema": REPORT_SCHEMA_ID,
+            "schema_version": REPORT_SCHEMA_VERSION,
             "scenario": self.scenario,
             "backends": list(self.backends),
             "sync_index": self.sync_index,
@@ -243,6 +249,44 @@ class DivergenceReport:
         if len(self.divergences) > limit:
             lines.append(f"    ... {len(self.divergences) - limit} more")
         return "\n".join(lines)
+
+
+def validate_report_document(doc: dict[str, Any]) -> list[str]:
+    """Schema errors in a persisted divergence-report document."""
+    errors: list[str] = []
+    if doc.get("schema") != REPORT_SCHEMA_ID:
+        errors.append(
+            f"schema must be {REPORT_SCHEMA_ID!r}, got {doc.get('schema')!r}"
+        )
+    if doc.get("schema_version") != REPORT_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {REPORT_SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    if not isinstance(doc.get("scenario"), dict):
+        errors.append("scenario must be an object")
+    backends = doc.get("backends")
+    if not (
+        isinstance(backends, list)
+        and len(backends) == 2
+        and all(isinstance(b, str) for b in backends)
+    ):
+        errors.append("backends must be a list of two backend names")
+    for key in ("sync_index", "sync_time_ns"):
+        if not isinstance(doc.get(key), int):
+            errors.append(f"{key} must be an integer")
+    divergences = doc.get("divergences")
+    if not (isinstance(divergences, list) and divergences):
+        errors.append("divergences must be a non-empty list")
+    else:
+        for i, entry in enumerate(divergences):
+            if not (isinstance(entry, dict) and isinstance(entry.get("path"), str)):
+                errors.append(f"divergences[{i}] needs a string 'path'")
+            elif not {"reference", "candidate"} <= entry.keys():
+                errors.append(
+                    f"divergences[{i}] needs 'reference' and 'candidate'"
+                )
+    return errors
 
 
 # ---------------------------------------------------------------------------
@@ -508,6 +552,21 @@ class CrossCheckRunner:
         ref_name, cand_name = self.backends
         ref_snaps = run_scenario(spec, ref_name)
         cand_snaps = run_scenario(spec, cand_name)
+        if len(ref_snaps) != len(cand_snaps):
+            # A backend that produced fewer sync points is itself a
+            # divergence; zip would silently truncate the comparison.
+            index = min(len(ref_snaps), len(cand_snaps))
+            return DivergenceReport(
+                scenario=spec,
+                backends=[ref_name, cand_name],
+                sync_index=index,
+                sync_time_ns=-1,
+                divergences=[
+                    Divergence(
+                        "<sync_count>", len(ref_snaps), len(cand_snaps)
+                    )
+                ],
+            )
         for index, (ref_snap, cand_snap) in enumerate(zip(ref_snaps, cand_snaps)):
             divergences = diff_state(ref_snap, cand_snap)
             if divergences:

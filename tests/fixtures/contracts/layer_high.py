@@ -1,0 +1,9 @@
+"""High-layer fixture module (the one ``layer_low`` must not import)."""
+
+
+def helper():
+    return "expensive high-layer machinery"
+
+
+def exporter(payload):
+    return {"payload": payload}

@@ -1,0 +1,25 @@
+"""Low-layer fixture module with deliberate boundary violations (CON010).
+
+Two module-scope imports of the high layer are positives; the lazy
+function-level import and the ``TYPE_CHECKING`` block are the
+sanctioned escape hatches and must stay clean.
+"""
+
+from typing import TYPE_CHECKING
+
+import layer_high  # module scope -> CON010
+from layer_high import helper  # second statement, second CON010
+
+if TYPE_CHECKING:
+    from layer_high import exporter  # annotation-only: exempt
+
+
+def compute(x):
+    return layer_high.exporter(helper() + str(x))
+
+
+def lazy_path(x):
+    # Function-level import: the documented lazy idiom, exempt.
+    from layer_high import exporter
+
+    return exporter(x)

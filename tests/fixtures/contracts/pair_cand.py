@@ -1,0 +1,47 @@
+"""Candidate side of the skewed backend pair (CON001/CON002 positives).
+
+Drifts, one per rule facet:
+
+* no ``pop_due``                      -> CON001 (missing method)
+* extra public ``drain``              -> CON001 (method only on one side)
+* ``push`` gained a positional param  -> CON001 (signature arity)
+* ``cancel_all`` kwonly name changed  -> CON001 (kwarg names)
+* ``__init__`` drops ``self.limit``   -> CON001 (constructor state)
+* ``peek_time`` raises                -> CON002 (effect drift)
+
+``step``/``reset`` stay conforming (negatives), and the underscore
+default on ``step`` must not count as signature surface.
+"""
+
+
+class FakeBatchedQueue:
+    def __init__(self, capacity):
+        self.count = 0
+        self._buf = []
+        self._capacity = capacity  # private: 'limit' field drift -> CON001
+
+    def push(self, time_ns, callback, coalesce):  # extra arg -> CON001
+        self.count += 1
+        self._buf.append((time_ns, callback, coalesce))
+
+    def drain(self):  # only on the candidate -> CON001
+        out, self._buf = self._buf, []
+        self.count = 0
+        return out
+
+    def peek_time(self):
+        if not self._buf:  # raising where the pair returns None -> CON002
+            raise ValueError("empty queue")
+        return min(entry[0] for entry in self._buf)
+
+    def cancel_all(self, *, label=None):  # kwonly name drift -> CON001
+        self.count = 0
+        self._buf = []
+        return label
+
+    def step(self, n, _shift=2):  # conforming: underscore default ignored
+        return n ** _shift
+
+    def reset(self):
+        self.count = 0
+        self._buf = []

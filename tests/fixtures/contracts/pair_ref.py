@@ -1,0 +1,44 @@
+"""Reference side of a deliberately-skewed backend pair (CON001/CON002).
+
+Test DATA for the contracts pass — every drift here is intentional and
+asserted by ``tests/unit/test_lint_contracts.py``.
+"""
+
+
+class FakeQueue:
+    """The reference queue: the contract the candidate must honour."""
+
+    def __init__(self, capacity):
+        self.count = 0
+        self.limit = capacity
+        self._heap = []
+
+    def push(self, time_ns, callback):
+        self.count += 1
+        self._heap.append((time_ns, callback))
+
+    def pop_due(self, limit_ns):  # line: candidate has no pop_due -> CON001
+        if self._heap and self._heap[0][0] <= limit_ns:
+            self.count -= 1
+            return self._heap.pop(0)
+        return None
+
+    def peek_time(self):
+        if self._heap:
+            return self._heap[0][0]
+        return None
+
+    def cancel_all(self, *, tag=None):
+        self.count = 0
+        self._heap = []
+        return tag
+
+    def step(self, n, _pow=pow):  # underscore default: not contract surface
+        return _pow(n, 2)
+
+    def reset(self):
+        self.count = 0
+        self._heap = []
+
+    def legacy_shim(self):  # excused via ignore_methods in the manifest
+        return None

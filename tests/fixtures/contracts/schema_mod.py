@@ -1,0 +1,55 @@
+"""Schema-registry fixture module (CON020/CON021 positives).
+
+* ``alpha``: writer's field set grew (``total``) while the registry
+  snapshot still records v1 without it -> CON020 (drift without bump)
+* ``dual``: two writer sites for one schema -> CON020
+* ``unregistered``: writer for a schema the registry never saw -> CON020
+* ``noval``: writer with no validator anywhere -> CON020
+* ``orphan``: validator with no writer -> CON020
+* ``validate_dual`` is referenced by no fixture test -> CON021
+"""
+
+ALPHA_ID = "repro.fixture/alpha"
+ALPHA_VERSION = 1
+
+
+def alpha_document(items):
+    return {
+        "schema": ALPHA_ID,
+        "schema_version": ALPHA_VERSION,
+        "items": list(items),
+        "total": len(items),  # new field, version not bumped -> CON020
+    }
+
+
+def validate_alpha(doc):
+    errors = []
+    if doc.get("schema") != ALPHA_ID:
+        errors.append("wrong schema")
+    return errors
+
+
+def dual_document_a():
+    return {"schema": "repro.fixture/dual", "schema_version": 1, "a": 1}
+
+
+def dual_document_b():  # second writer site -> CON020
+    return {"schema": "repro.fixture/dual", "schema_version": 1, "a": 2}
+
+
+def validate_dual(doc):  # never referenced by a test -> CON021
+    return [] if doc.get("schema") == "repro.fixture/dual" else ["wrong schema"]
+
+
+def unregistered_document():  # schema absent from the snapshot -> CON020
+    return {"schema": "repro.fixture/unregistered", "schema_version": 1}
+
+
+def noval_document():  # no validator anywhere -> CON020
+    return {"schema": "repro.fixture/noval", "schema_version": 1, "x": 0}
+
+
+def validate_orphan(doc):  # validator whose writer was deleted -> CON020
+    if doc["schema"] != "repro.fixture/orphan":
+        return ["wrong schema"]
+    return []

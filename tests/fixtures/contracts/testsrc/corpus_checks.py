@@ -1,0 +1,22 @@
+"""Fixture test corpus for the CON021 reachability check.
+
+This file is DATA for tests/unit/test_lint_contracts.py — it lives in
+the ``tests_root`` named by the fixture manifest (CON021 scans every
+``.py`` there) but is deliberately NOT named ``test_*.py`` so pytest
+never collects it.  It mentions ``validate_alpha`` and
+``validate_orphan``; the dual-schema checker is deliberately absent so
+exactly one validator trips CON021.  CON021 is a substring scan, so
+even naming that function here would count as coverage.
+"""
+
+
+def test_alpha_round_trip():
+    from schema_mod import alpha_document, validate_alpha
+
+    assert validate_alpha(alpha_document([1, 2])) == []
+
+
+def test_orphan_rejects_foreign():
+    from schema_mod import validate_orphan
+
+    assert validate_orphan({"schema": "repro.fixture/alpha"})

@@ -73,6 +73,35 @@ def test_cli_bad_path_exits_two(capsys):
     assert lint_main(["/no/such/path-xyz"]) == 2
 
 
+def test_contracts_pass_is_clean_on_real_tree():
+    from repro.lint.contracts import analyze_paths
+
+    report = analyze_paths(
+        [str(SRC_REPRO)],
+        use_cache=False,
+        manifest_path=str(REPO_ROOT / "lint-contracts.pairs.json"),
+        registry_path=str(REPO_ROOT / "lint-contracts.schemas.json"),
+    )
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == [], f"contract violations:\n{rendered}"
+    assert report.pairs == 3 and report.schemas == 5
+
+
+def test_cli_contracts_clean_tree_exits_zero(capsys):
+    rc = lint_main(
+        [
+            str(SRC_REPRO),
+            "--contracts",
+            "--no-contracts-cache",
+            "--contracts-baseline",
+            str(REPO_ROOT / "lint-contracts.baseline.json"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "0 finding(s)" in out
+
+
 def test_selfcheck_is_event_order_independent():
     report = selfcheck_ordering(seeds=(1, 2, 3))
     assert len(report.digests) == 4  # stable + three shuffles

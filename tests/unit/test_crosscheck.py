@@ -15,6 +15,8 @@ import pytest
 
 from repro.sim import crosscheck
 from repro.sim.crosscheck import (
+    REPORT_SCHEMA_ID,
+    REPORT_SCHEMA_VERSION,
     CrossCheckRunner,
     Divergence,
     DivergenceReport,
@@ -25,6 +27,7 @@ from repro.sim.crosscheck import (
     load_fixtures,
     run_scenario,
     save_fixture,
+    validate_report_document,
 )
 
 
@@ -96,6 +99,24 @@ class TestRunner:
         with pytest.raises(ConfigurationError):
             run_scenario({"kind": "quantum"}, "reference")
 
+    def test_snapshot_count_mismatch_is_divergence(self, monkeypatch):
+        # Regression: zip() would silently truncate the comparison when
+        # one backend produced fewer sync points, hiding the divergence.
+        spec = generate_engine_scenario(2)
+        real = run_scenario
+
+        def truncated(s, backend):
+            snaps = real(s, backend)
+            if crosscheck.resolve_backend(backend).name == "batched":
+                snaps = snaps[:-1]
+            return snaps
+
+        monkeypatch.setattr(crosscheck, "run_scenario", truncated)
+        report = CrossCheckRunner().run(spec)
+        assert report is not None
+        assert report.first.path == "<sync_count>"
+        assert report.first.reference == report.first.candidate + 1
+
 
 class TestReport:
     def _report(self):
@@ -124,6 +145,24 @@ class TestReport:
             "reference": 93,
             "candidate": 90,
         }
+
+    def test_to_dict_is_schema_tagged_and_validates(self):
+        doc = json.loads(json.dumps(self._report().to_dict()))
+        assert doc["schema"] == REPORT_SCHEMA_ID
+        assert doc["schema_version"] == REPORT_SCHEMA_VERSION
+        assert validate_report_document(doc) == []
+
+    def test_validator_rejects_foreign_and_tampered_documents(self):
+        assert validate_report_document({"schema": "repro.obs/trace"})
+        doc = self._report().to_dict()
+        doc["schema_version"] = 99
+        assert any("schema_version" in e for e in validate_report_document(doc))
+        doc = self._report().to_dict()
+        doc["divergences"] = []
+        assert any("divergences" in e for e in validate_report_document(doc))
+        doc = self._report().to_dict()
+        doc["backends"] = ["reference"]
+        assert any("backends" in e for e in validate_report_document(doc))
 
 
 class TestFixtures:
@@ -170,6 +209,41 @@ class TestCli:
         assert rc == 1
         assert "DIVERGENCE" in capsys.readouterr().err
         assert json.loads(out.read_text())["sync_time_ns"] == 42
+
+    def test_real_divergence_exits_nonzero(self, monkeypatch, capsys):
+        # Exit-code audit: a divergence found by the real runner (not a
+        # mocked run()) must propagate to a non-zero process exit.
+        real = run_scenario
+
+        def skewed(s, backend):
+            snaps = real(s, backend)
+            if crosscheck.resolve_backend(backend).name == "batched":
+                snaps[-1] = json.loads(json.dumps(snaps[-1]))
+                snaps[-1]["now_ns"] += 1
+            return snaps
+
+        monkeypatch.setattr(crosscheck, "run_scenario", skewed)
+        rc = crosscheck.main(["--scenarios", "1", "--kind", "engine"])
+        assert rc == 1
+        assert "DIVERGENCE" in capsys.readouterr().err
+
+    def test_report_artifact_is_schema_valid(self, tmp_path, monkeypatch):
+        real = run_scenario
+
+        def skewed(s, backend):
+            snaps = real(s, backend)
+            if crosscheck.resolve_backend(backend).name == "batched":
+                snaps[-1] = json.loads(json.dumps(snaps[-1]))
+                snaps[-1]["now_ns"] += 1
+            return snaps
+
+        monkeypatch.setattr(crosscheck, "run_scenario", skewed)
+        out = tmp_path / "report.json"
+        rc = crosscheck.main(
+            ["--scenarios", "1", "--kind", "engine", "--report", str(out)]
+        )
+        assert rc == 1
+        assert validate_report_document(json.loads(out.read_text())) == []
 
     def test_fixture_replay_included(self, tmp_path, capsys):
         save_fixture(generate_engine_scenario(9), tmp_path)

@@ -1,0 +1,306 @@
+"""Whole-program contracts analysis: fixture corpus, cache, baseline,
+manifest health, and the two acceptance mutation demos (method deletion
+and schema field drift must each surface exactly one finding)."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+from repro.lint.contracts import (
+    CONTRACTS_RULE_IDS,
+    analyze_paths,
+    contracts_cache_key,
+)
+from repro.lint.sarif import rule_titles
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = os.path.join("tests", "fixtures", "contracts")
+PAIRS = os.path.join(FIXTURES, "contracts.pairs.json")
+REGISTRY = os.path.join(FIXTURES, "contracts.schemas.json")
+
+#: The fixture walk is an explicit file list: the lint walker prunes
+#: ``fixtures`` directories from subtree scans, and ``testsrc/`` is
+#: CON021 corpus data, not analyzed source.
+FIXTURE_FILES = [
+    os.path.join(FIXTURES, name)
+    for name in (
+        "pair_ref.py",
+        "pair_cand.py",
+        "layer_high.py",
+        "layer_low.py",
+        "schema_mod.py",
+    )
+]
+
+#: Every seeded true positive in the fixture corpus, by (rule, file, line).
+EXPECTED = {
+    ("CON001", "pair_cand.py", 17),  # missing pop_due (at absent class)
+    ("CON001", "pair_cand.py", 17),  # constructor field 'limit' dropped
+    ("CON001", "pair_cand.py", 23),  # push gained a positional param
+    ("CON001", "pair_cand.py", 37),  # cancel_all kwonly name drift
+    ("CON001", "pair_ref.py", 8),  # extra candidate-only method drain
+    ("CON002", "pair_cand.py", 32),  # peek_time raises, reference never
+    ("CON010", "layer_low.py", 10),  # module-scope import layer_high
+    ("CON010", "layer_low.py", 11),  # module-scope from-import
+    ("CON020", "contracts.schemas.json", 1),  # stale 'ghost' entry
+    ("CON020", "schema_mod.py", 17),  # alpha field drift, no version bump
+    ("CON020", "schema_mod.py", 37),  # second writer site for 'dual'
+    ("CON020", "schema_mod.py", 45),  # unregistered schema
+    ("CON020", "schema_mod.py", 49),  # writer with no validator
+    ("CON020", "schema_mod.py", 53),  # validator with no writer
+    ("CON021", "schema_mod.py", 41),  # validate_dual named by no test
+}
+
+#: Lines that look like positives but must stay silent (negatives).
+NEGATIVE_LINES = {
+    ("pair_ref.py", 36),  # underscore-default param is not surface
+    ("pair_ref.py", 43),  # legacy_shim excused via ignore_methods
+    ("pair_cand.py", 42),  # conforming step (underscore default too)
+    ("pair_cand.py", 45),  # conforming reset
+    ("layer_low.py", 14),  # TYPE_CHECKING import is exempt
+    ("layer_low.py", 23),  # function-level lazy import is exempt
+    ("schema_mod.py", 33),  # the FIRST dual writer is not the extra one
+    ("schema_mod.py", 27),  # validate_alpha is test-covered
+}
+
+
+def _run_fixture(**kwargs):
+    kwargs.setdefault("use_cache", False)
+    return analyze_paths(
+        FIXTURE_FILES, manifest_path=PAIRS, registry_path=REGISTRY, **kwargs
+    )
+
+
+class TestFixtureCorpus:
+    def test_every_seeded_bug_is_found(self):
+        report = _run_fixture()
+        got = {
+            (f.rule, os.path.basename(f.path), f.line) for f in report.findings
+        }
+        assert got == EXPECTED
+        assert len(report.findings) == 15  # two findings share pair_cand.py:17
+
+    def test_all_rules_are_exercised(self):
+        report = _run_fixture()
+        assert {f.rule for f in report.findings} == CONTRACTS_RULE_IDS
+
+    def test_negatives_stay_silent(self):
+        report = _run_fixture()
+        hits = {(os.path.basename(f.path), f.line) for f in report.findings}
+        assert not hits & NEGATIVE_LINES
+
+    def test_severities(self):
+        report = _run_fixture()
+        by_rule = {f.rule: f.severity for f in report.findings}
+        assert by_rule["CON002"] == "warning"
+        assert by_rule["CON021"] == "warning"
+        for rule in ("CON001", "CON010", "CON020"):
+            assert by_rule[rule] == "error"
+
+    def test_missing_method_names_the_reference_witness(self):
+        report = _run_fixture()
+        finding = next(
+            f
+            for f in report.findings
+            if f.rule == "CON001" and "pop_due" in f.message
+        )
+        assert "pair_ref.py:20" in f"{finding.message}"
+
+    def test_stats_shape(self):
+        report = _run_fixture()
+        stats = report.stats()
+        assert stats["modules"] == 5
+        assert stats["pairs"] == 1
+        assert stats["layers"] == 2
+        # alpha/dual/unregistered/noval/orphan; the stale ghost entry
+        # exists only in the snapshot, not in code.
+        assert stats["schemas"] == 5
+        assert stats["findings"] == 15
+
+
+class TestManifestHealth:
+    def test_unknown_pair_class_is_reported(self, tmp_path):
+        manifest = tmp_path / "pairs.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "pairs": [
+                        {
+                            "reference": "pair_ref.FakeQueue",
+                            "candidate": "no.such.Class",
+                        }
+                    ],
+                }
+            )
+        )
+        report = analyze_paths(
+            FIXTURE_FILES[:1],
+            use_cache=False,
+            manifest_path=str(manifest),
+            registry_path=REGISTRY,
+        )
+        hits = [f for f in report.findings if "no.such.Class" in f.message]
+        assert len(hits) == 1 and hits[0].rule == "CON001"
+
+    def test_unmatched_layer_prefix_is_reported(self, tmp_path):
+        manifest = tmp_path / "pairs.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "layers": {
+                        "assign": {"ghost": ["no_such_module"]},
+                        "allow": {"ghost": []},
+                    },
+                }
+            )
+        )
+        report = analyze_paths(
+            FIXTURE_FILES[:1],
+            use_cache=False,
+            manifest_path=str(manifest),
+            registry_path=REGISTRY,
+        )
+        assert any(
+            f.rule == "CON010" and "no_such_module" in f.message
+            for f in report.findings
+        )
+
+    def test_allow_cycle_is_reported(self, tmp_path):
+        manifest = tmp_path / "pairs.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "layers": {
+                        "assign": {
+                            "low": ["layer_low"],
+                            "high": ["layer_high"],
+                        },
+                        "allow": {"low": ["high"], "high": ["low"]},
+                    },
+                }
+            )
+        )
+        report = analyze_paths(
+            FIXTURE_FILES,
+            use_cache=False,
+            manifest_path=str(manifest),
+            registry_path=REGISTRY,
+        )
+        assert any(
+            f.rule == "CON010" and "cycle" in f.message for f in report.findings
+        )
+
+
+class TestCacheAndBaseline:
+    def test_second_run_hits_the_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        cold = _run_fixture(use_cache=True)
+        warm = _run_fixture(use_cache=True)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_editing_the_manifest_invalidates_the_key(self, tmp_path):
+        from repro.lint.engine import parse_module, read_source
+
+        modules = [
+            parse_module(read_source(path), path) for path in FIXTURE_FILES
+        ]
+        before = contracts_cache_key(modules, PAIRS, REGISTRY)
+        other = tmp_path / "pairs.json"
+        other.write_text(json.dumps({"version": 1, "pairs": []}))
+        after = contracts_cache_key(modules, str(other), REGISTRY)
+        assert before != after
+
+    def test_baseline_swallows_and_reports_known_findings(self, tmp_path):
+        baseline = tmp_path / "contracts.baseline.json"
+        first = _run_fixture(
+            baseline_path=str(baseline), update_baseline=True
+        )
+        assert first.findings == [] and first.baselined == 15
+        second = _run_fixture(baseline_path=str(baseline))
+        assert second.findings == [] and second.baselined == 15
+
+
+class TestSarifCatalogue:
+    def test_merged_catalogue_covers_every_family(self):
+        titles = rule_titles()
+        for rule_id in (
+            "CON001",
+            "CON002",
+            "CON010",
+            "CON020",
+            "CON021",
+            "HOT001",
+            "OBS001",
+            "PAR001",
+            "DIM001",
+            "DET001",
+            "LINT001",
+            "LINT002",
+        ):
+            assert rule_id in titles, rule_id
+
+
+def _copy_real_tree(tmp_path):
+    dest = tmp_path / "repro"
+    shutil.copytree(REPO_ROOT / "src" / "repro", dest)
+    return dest
+
+
+def _analyze_real_copy(dest):
+    return analyze_paths(
+        [str(dest)],
+        use_cache=False,
+        manifest_path=str(REPO_ROOT / "lint-contracts.pairs.json"),
+        registry_path=str(REPO_ROOT / "lint-contracts.schemas.json"),
+    )
+
+
+class TestAcceptanceMutations:
+    """The two demos from the issue: each mutation yields exactly one
+    finding with a file/line witness."""
+
+    def test_deleting_a_batched_queue_method_trips_con001(self, tmp_path):
+        dest = _copy_real_tree(tmp_path)
+        batched = dest / "sim" / "batched.py"
+        text = batched.read_text()
+        anchor = "    def pop_due(self, limit_ns: int) -> Event | None:"
+        assert text.count(anchor) == 1
+        batched.write_text(
+            text.replace(
+                anchor,
+                "    def _hidden_pop_due(self, limit_ns: int) -> Event | None:",
+            )
+        )
+        report = _analyze_real_copy(dest)
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == "CON001"
+        assert "pop_due" in finding.message
+        assert finding.path.endswith("batched.py") and finding.line > 0
+
+    def test_schema_field_drift_without_bump_trips_con020(self, tmp_path):
+        dest = _copy_real_tree(tmp_path)
+        schema = dest / "bench" / "schema.py"
+        text = schema.read_text()
+        anchor = '        "params": {"warmup": warmup, "reps": reps},'
+        assert text.count(anchor) == 1
+        schema.write_text(
+            text.replace(anchor, anchor + '\n        "hostname": "x",')
+        )
+        report = _analyze_real_copy(dest)
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == "CON020"
+        assert "schema_version bump" in finding.message
+        assert "hostname" in finding.message
+        assert finding.path.endswith("schema.py") and finding.line > 0

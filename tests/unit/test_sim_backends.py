@@ -83,6 +83,28 @@ class TestSimulatorDispatch:
         monkeypatch.setenv(ENV_VAR, "batched")
         assert type(Simulator()) is BatchedSimulator
 
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        # The full precedence chain at the constructor: an explicit
+        # backend= argument must win over REPRO_SIM_BACKEND.
+        monkeypatch.setenv(ENV_VAR, "batched")
+        sim = Simulator(backend="reference")
+        assert type(sim) is Simulator
+        assert sim.backend_name == "reference"
+
+    def test_experiment_config_backend_beats_env(self, monkeypatch):
+        # ExperimentConfig.backend (what the CLI --backend flag sets)
+        # must override the env var all the way down to the machine.
+        from repro.core.experiment import ExperimentConfig
+
+        monkeypatch.setenv(ENV_VAR, "batched")
+        machine = ExperimentConfig(
+            scale=0.01, backend="reference"
+        ).build_machine()
+        try:
+            assert type(machine.sim) is Simulator
+        finally:
+            machine.shutdown()
+
     def test_subclass_construction_ignores_env(self, monkeypatch):
         # Direct subclass construction must not re-dispatch.
         monkeypatch.setenv(ENV_VAR, "reference")
