@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-batched lint lint-json lint-flow lint-effects lint-contracts lint-changed baseline-update baseline-update-effects baseline-update-contracts update-schema-registry ordering-check selfcheck suite-parallel suite-traced golden bench bench-smoke bench-guard bench-backends crosscheck
+.PHONY: test test-batched lint lint-json lint-flow lint-effects lint-contracts lint-changed baseline-update baseline-update-effects baseline-update-contracts update-schema-registry ordering-check selfcheck suite-parallel suite-traced golden bench bench-smoke bench-guard bench-backends crosscheck serve service-smoke
 
 # The default gate: static analysis first (DET001/SIM001/... keep the
 # cache/parallel code deterministic), then the full pytest tree — which
@@ -112,3 +112,14 @@ bench-backends:
 # (the CI smoke job runs 200; see docs/backends.md).
 crosscheck:
 	$(PYTHON) -m repro.sim.crosscheck --scenarios 200 --report crosscheck_divergence.json
+
+# Run the HTTP experiment service in the foreground (SIGTERM/Ctrl-C
+# drains gracefully; see docs/service.md).
+serve:
+	$(PYTHON) -m repro.service serve
+
+# End-to-end service demo: daemon subprocess, 8 concurrent clients over
+# 4 unique configs, exactly 4 executions (dedup counters), byte-identical
+# result documents, graceful SIGTERM drain (the CI job).
+service-smoke:
+	$(PYTHON) -m repro.service smoke

@@ -8,10 +8,21 @@ with ``REPRO_CACHE_DIR``)::
 
 Every write lands via a same-directory temp file plus ``os.replace`` so
 readers never observe a torn document, and a crashed writer leaves at
-worst an orphaned ``*.tmp`` file that the next eviction sweep removes.
-The index records a monotonically increasing access sequence per entry;
-when the object store exceeds ``max_bytes`` the lowest-sequence (least
-recently used) entries are evicted first.
+worst an orphaned ``*.tmp.<pid>`` file: the next eviction sweep (or
+``clear()``) removes any such file older than ``TMP_SWEEP_AGE_S``.  The
+age window keeps the sweep from racing a live writer that is mid-store
+under a different pid.  The index records a monotonically increasing
+access sequence per entry; when the object store exceeds ``max_bytes``
+the lowest-sequence (least recently used) entries are evicted first.
+
+Multiple processes may share one cache root (``run_suite`` workers, the
+:mod:`repro.service` daemon's thread pool, concurrent CLI runs): every
+index read-modify-write happens under an exclusive ``fcntl`` lock on
+``index.lock``, so concurrent writers cannot lose each other's entries
+— without it, eviction accounting drifts and objects leak past
+``max_bytes``.  Object writes themselves need no lock: they are
+content-addressed, so two writers racing on one key write identical
+bytes.
 
 The cache is an optimization layer, never an oracle: any I/O or decode
 problem on the read path degrades to a miss, and the caller recomputes.
@@ -22,13 +33,24 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
 
 from repro.errors import CacheError
 
 #: Default size cap for the object store (bytes).
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Orphaned ``*.tmp.<pid>`` files older than this are removed by the
+#: eviction sweep.  Generous on purpose: a live writer holds its temp
+#: file for milliseconds, so an hour-old one is a crashed writer's.
+TMP_SWEEP_AGE_S = 3600.0
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -111,6 +133,7 @@ class ResultCache:
         self.stats = CacheStats()
         self._objects_dir = os.path.join(self.root, "objects")
         self._index_path = os.path.join(self.root, "index.json")
+        self._lock_path = os.path.join(self.root, "index.lock")
         self._obs = None
 
     def attach_obs(self, obs) -> None:
@@ -180,11 +203,10 @@ class ResultCache:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             blob = json.dumps(doc, sort_keys=True, indent=2) + "\n"
             self._atomic_write(path, blob)
-            index = self._load_index()
-            index.seq += 1
-            index.entries[key] = _IndexEntry(size=len(blob), seq=index.seq)
-            self._evict(index)
-            self._save_index(index)
+            with self._index_update() as index:
+                index.seq += 1
+                index.entries[key] = _IndexEntry(size=len(blob), seq=index.seq)
+                self._evict(index)
             self.stats.stores += 1
             if self._obs is not None:
                 self._obs_stores.inc()
@@ -210,13 +232,39 @@ class ResultCache:
 
     def clear(self) -> None:
         """Drop every object and reset the index."""
-        index = self._load_index()
-        for key in list(index.entries):
-            self._remove_object(key)
-        index.entries.clear()
-        self._save_index(index)
+        with self._index_update() as index:
+            for key in list(index.entries):
+                self._remove_object(key)
+            index.entries.clear()
+        self._sweep_orphan_tmp()
 
     # --- internals ---------------------------------------------------------
+
+    @contextmanager
+    def _index_update(self) -> Iterator[_Index]:
+        """Load-mutate-save the index under the cross-process lock.
+
+        The index must be (re-)loaded *inside* the critical section:
+        loading before the lock would re-introduce the lost-update race
+        this lock exists to close.
+        """
+        with self._index_lock():
+            index = self._load_index()
+            yield index
+            self._save_index(index)
+
+    @contextmanager
+    def _index_lock(self) -> Iterator[None]:
+        if fcntl is None:  # pragma: no cover - non-POSIX hosts
+            yield
+            return
+        os.makedirs(self.root, exist_ok=True)
+        fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the fd releases the flock
 
     def _object_path(self, key: str) -> str:
         return os.path.join(self._objects_dir, key[:2], f"{key}.json")
@@ -248,26 +296,23 @@ class ResultCache:
             raise CacheError(f"cannot write cache object {path}: {err}") from err
 
     def _touch(self, key: str) -> None:
-        index = self._load_index()
-        entry = index.entries.get(key)
-        if entry is None:
-            # Object exists but predates the index (or the index was
-            # lost): adopt it so eviction accounting stays truthful.
-            try:
-                size = os.path.getsize(self._object_path(key))
-            except OSError:
-                return
-            entry = _IndexEntry(size=size, seq=0)
-            index.entries[key] = entry
-        index.seq += 1
-        entry.seq = index.seq
-        self._save_index(index)
+        with self._index_update() as index:
+            entry = index.entries.get(key)
+            if entry is None:
+                # Object exists but predates the index (or the index was
+                # lost): adopt it so eviction accounting stays truthful.
+                try:
+                    size = os.path.getsize(self._object_path(key))
+                except OSError:
+                    return
+                entry = _IndexEntry(size=size, seq=0)
+                index.entries[key] = entry
+            index.seq += 1
+            entry.seq = index.seq
 
     def _drop_entry(self, key: str) -> None:
-        index = self._load_index()
-        if key in index.entries:
-            del index.entries[key]
-            self._save_index(index)
+        with self._index_update() as index:
+            index.entries.pop(key, None)
 
     def _remove_object(self, key: str) -> None:
         try:
@@ -279,6 +324,7 @@ class ResultCache:
         total = sum(e.size for e in index.entries.values())
         if total <= self.max_bytes:
             return
+        self._sweep_orphan_tmp()
         for key in sorted(index.entries, key=lambda k: index.entries[k].seq):
             if total <= self.max_bytes or len(index.entries) == 1:
                 break
@@ -288,6 +334,24 @@ class ResultCache:
             self.stats.evictions += 1
             if self._obs is not None:
                 self._obs_evictions.inc()
+
+    def _sweep_orphan_tmp(self) -> None:
+        """Remove stale ``*.tmp.<pid>`` files a crashed writer left behind.
+
+        Only files older than :data:`TMP_SWEEP_AGE_S` go — a younger one
+        may belong to a writer that is mid-``os.replace`` right now.
+        """
+        cutoff = time.time() - TMP_SWEEP_AGE_S  # lint: disable=DET001 (host-side file-age housekeeping)
+        for dirpath, _, filenames in os.walk(self.root):
+            for filename in filenames:
+                if ".tmp." not in filename:
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    if os.path.getmtime(path) < cutoff:
+                        os.unlink(path)
+                except OSError:  # pragma: no cover - raced another sweep
+                    pass
 
     def _load_index(self) -> _Index:
         try:

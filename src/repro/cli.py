@@ -174,13 +174,20 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # `repro-zen2 serve [...]` runs the HTTP experiment service
+        # (also reachable as `python -m repro.service`).
+        from repro.service.cli import main as service_main
+
+        return service_main(["serve", *argv[1:]])
 
     parser = argparse.ArgumentParser(
         prog="repro-zen2",
         description="Reproduce the CLUSTER 2021 Zen 2 energy-efficiency paper "
         "(run 'repro-zen2 lint --help' for the static-analysis pass, "
         "'repro-zen2 bench --help' for the microbenchmarks, "
-        "'repro-zen2 obs --help' for the trace/metrics inspector)",
+        "'repro-zen2 obs --help' for the trace/metrics inspector, "
+        "'repro-zen2 serve --help' for the HTTP experiment service)",
     )
     parser.add_argument(
         "experiment",

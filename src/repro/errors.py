@@ -74,6 +74,12 @@ class CacheError(ReproError):
     """The result cache store is unusable (bad root, corrupt index)."""
 
 
+class ServiceError(ReproError):
+    """The experiment service rejected a request (bad job spec, quota or
+    queue budget exhausted, draining).  Subclasses in
+    :mod:`repro.service.queue` carry the HTTP status and retry hint."""
+
+
 class ConvergenceWarning(UserWarning):
     """A fixed-point iteration exited at its sweep cap without reaching
     tolerance (e.g. the power<->temperature coupling in

@@ -34,6 +34,7 @@ byte-identical to a serial one.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import (
     ProcessPoolExecutor,
     TimeoutError as FutureTimeoutError,
@@ -46,6 +47,12 @@ from repro.errors import ParallelError
 
 #: Upper bound on gang-pool size however many tasks arrive.
 MAX_JOBS = 64
+
+#: How long :func:`_terminate` waits for a SIGTERMed worker to exit
+#: before escalating to SIGKILL.  Workers are pure compute, so a well-
+#: behaved one dies in milliseconds; the budget only bounds the worst
+#: case (e.g. a worker stuck in uninterruptible I/O).
+REAP_GRACE_S = 5.0
 
 
 @dataclass(frozen=True)
@@ -183,13 +190,29 @@ def _mp_context():
 
 
 def _terminate(executor: ProcessPoolExecutor) -> None:
-    """Abandon a pool whose workers may be stuck, without waiting."""
+    """Abandon a pool whose workers may be stuck: terminate, then reap.
+
+    Terminating alone is not enough — a SIGTERMed child stays a zombie
+    until its parent waits on it, so a long run with many timeout-retry
+    cycles would accumulate defunct processes (and leak their pids).
+    Each worker is therefore joined with a shared :data:`REAP_GRACE_S`
+    budget, escalating to SIGKILL for any that ignored SIGTERM.
+    """
     processes = list(getattr(executor, "_processes", {}).values())
     executor.shutdown(wait=False, cancel_futures=True)
     for proc in processes:
         try:
             proc.terminate()
         except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+    deadline = time.monotonic() + REAP_GRACE_S  # lint: disable=DET001 (host-side process reaping)
+    for proc in processes:
+        try:
+            proc.join(max(0.0, deadline - time.monotonic()))  # lint: disable=DET001 (host-side process reaping)
+            if proc.is_alive():  # pragma: no cover - ignored SIGTERM
+                proc.kill()
+                proc.join()
+        except (OSError, ValueError, AssertionError):  # pragma: no cover
             pass
 
 

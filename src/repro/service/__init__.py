@@ -1,0 +1,52 @@
+"""repro.service — the HTTP experiment daemon.
+
+A thin asyncio service over the existing execution stack: clients POST
+a suite request (entries + config), the bounded job queue deduplicates
+identical in-flight work (single-flight, keyed on the result cache's
+own content addresses), executes leaders on :mod:`repro.parallel`'s
+process pool through :func:`repro.core.suite.run_suite`, and serves the
+finished :func:`~repro.core.suite.suite_to_dict` documents byte-for-byte
+identical to a direct run.  Per-tenant quotas and a queue budget give
+backpressure (HTTP 429 + ``Retry-After``); SIGTERM drains gracefully;
+``/metrics`` exposes ``service.*`` series from the shared
+:class:`~repro.obs.MetricsRegistry`.  See docs/service.md.
+"""
+
+from __future__ import annotations
+
+from repro.service.jobs import Job, JobSpec, entry_keys, job_key
+from repro.service.queue import (
+    JobQueue,
+    QueueFull,
+    QuotaExceeded,
+    ServiceDraining,
+    ServiceLimits,
+)
+from repro.service.schema import (
+    DEDUP_SOURCES,
+    JOB_SCHEMA_ID,
+    JOB_SCHEMA_VERSION,
+    JOB_STATES,
+    job_document,
+    validate_job_document,
+)
+from repro.service.server import ExperimentService
+
+__all__ = [
+    "ExperimentService",
+    "Job",
+    "JobSpec",
+    "JobQueue",
+    "ServiceLimits",
+    "QuotaExceeded",
+    "QueueFull",
+    "ServiceDraining",
+    "job_key",
+    "entry_keys",
+    "job_document",
+    "validate_job_document",
+    "JOB_SCHEMA_ID",
+    "JOB_SCHEMA_VERSION",
+    "JOB_STATES",
+    "DEDUP_SOURCES",
+]

@@ -1,0 +1,337 @@
+"""The asyncio experiment service: HTTP/1.1 front end over the job queue.
+
+The protocol surface is deliberately tiny and dependency-free — a
+line-oriented HTTP/1.1 parser over :func:`asyncio.start_server`, every
+response ``Connection: close``:
+
+==========================================  =================================
+``POST /v1/jobs``                           submit a job, ``202`` +
+                                            ``repro.service/job`` document
+                                            (``429`` + ``Retry-After`` on
+                                            quota/queue budget, ``503``
+                                            while draining, ``400`` on a
+                                            malformed spec)
+``GET /v1/jobs``                            list known job ids
+``GET /v1/jobs/<id>[?wait_s=N]``            job status; ``wait_s`` long-polls
+                                            until the job is terminal
+``GET /v1/jobs/<id>/result``                the finished suite document,
+                                            byte-identical to a direct
+                                            ``run_suite`` + ``dump_json``
+                                            of the same configuration
+``GET /healthz``                            liveness + drain state + depth
+``GET /metrics``                            Prometheus text exposition
+``GET /metrics.json``                       ``repro.obs/metrics`` v1 snapshot
+==========================================  =================================
+
+``SIGTERM``/``SIGINT`` trigger a graceful drain: new submissions get
+503, admitted jobs run to completion, status/result/metrics stay
+served until the queue is empty, then the listener closes and
+:func:`serve` returns (exit code 0).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.cache import ResultCache
+from repro.core.suite import run_suite, suite_to_dict
+from repro.errors import ReproError, ServiceError
+from repro.obs import Obs
+from repro.service.jobs import Job, JobSpec
+from repro.service.queue import (
+    JobQueue,
+    QueueFull,
+    QuotaExceeded,
+    ServiceDraining,
+    ServiceLimits,
+)
+from repro.service.schema import job_document
+
+#: Cap on one long-poll; clients re-poll, the connection never idles longer.
+MAX_WAIT_S = 60.0
+#: Request bodies above this are rejected outright (413).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ExperimentService:
+    """One service instance: queue, HTTP listener, metrics, drain logic."""
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        limits: ServiceLimits | None = None,
+        pool_jobs: int = 2,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        obs: Obs | None = None,
+    ) -> None:
+        self.obs = obs or Obs()
+        self.cache = cache
+        self.pool_jobs = pool_jobs
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.queue = JobQueue(
+            self._execute,
+            metrics=self.obs.metrics,
+            limits=limits,
+            cache=cache,
+        )
+        self._server: asyncio.Server | None = None
+        self._drain_requested = asyncio.Event()
+        self._m_http_help = "HTTP requests by route template and status"
+
+    # --- execution ---------------------------------------------------------
+
+    def _execute(self, spec: JobSpec) -> dict[str, Any]:
+        """Run one job (worker thread).  The returned document is exactly
+        what a direct ``run_suite`` + ``suite_to_dict`` of the same
+        configuration produces — execution mode never leaks into it."""
+        result = run_suite(
+            spec.config,
+            only=list(spec.entries),
+            parallel=self.pool_jobs,
+            cache=self.cache,
+            timeout_s=self.timeout_s,
+            retries=self.retries,
+            obs=self.obs,
+        )
+        return suite_to_dict(result)
+
+    # --- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Start workers and the listener; returns the bound port."""
+        await self.queue.start()
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self._server.sockets[0].getsockname()[1]
+
+    def request_drain(self) -> None:
+        """Begin a graceful shutdown (idempotent, signal-handler safe)."""
+        self._drain_requested.set()
+
+    async def wait_drained(self) -> None:
+        """Block until drain is requested, then run it to completion."""
+        await self._drain_requested.wait()
+        await self.queue.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 8787) -> None:
+        """Run until SIGTERM/SIGINT, then drain and return."""
+        bound = await self.start(host, port)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_drain)
+            except NotImplementedError:  # pragma: no cover - non-Unix loops
+                pass
+        print(f"repro service listening on http://{host}:{bound}", flush=True)
+        await self.wait_drained()
+        print("repro service drained, exiting", flush=True)
+
+    # --- HTTP plumbing -----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        route = "unparsed"
+        try:
+            method, target, body = await self._read_request(reader)
+            route, status, payload, headers = await self._dispatch(
+                method, target, body
+            )
+        except _HttpError as err:
+            status, payload, headers = err.status, err.payload(), err.headers
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        self.obs.metrics.counter(
+            "service.http_requests",
+            self._m_http_help,
+            "requests",
+            route=route,
+            status=str(status),
+        ).inc()
+        await self._respond(writer, status, payload, headers)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0], parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as err:
+                    raise _HttpError(400, "bad Content-Length") from err
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, target, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        headers: dict[str, str],
+    ) -> None:
+        reason = {
+            200: "OK",
+            202: "Accepted",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            409: "Conflict",
+            413: "Payload Too Large",
+            429: "Too Many Requests",
+            503: "Service Unavailable",
+        }.get(status, "OK")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        out_headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(payload)),
+            "Connection": "close",
+        }
+        out_headers.update(headers)
+        head.extend(f"{k}: {v}" for k, v in out_headers.items())
+        try:
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+            writer.write(payload)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+
+    # --- routing -----------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[str, int, bytes, dict[str, str]]:
+        """Returns ``(route_template, status, payload, extra_headers)``."""
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        if path == "/v1/jobs":
+            if method == "POST":
+                return await self._post_job(body)
+            if method == "GET":
+                doc = {"jobs": self.queue.job_ids()}
+                return "/v1/jobs", 200, _json_bytes(doc), {}
+            raise _HttpError(405, f"{method} not supported on {path}")
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/") :]
+            if method != "GET":
+                raise _HttpError(405, f"{method} not supported on {path}")
+            if rest.endswith("/result"):
+                return self._get_result(rest[: -len("/result")])
+            return await self._get_job(rest, url.query)
+        if method != "GET":
+            raise _HttpError(405, f"{method} not supported on {path}")
+        if path == "/healthz":
+            doc = {
+                "status": "draining" if self.queue.draining else "ok",
+                "queue_depth": self.queue.depth,
+                "jobs": self.queue.state_counts(),
+            }
+            return "/healthz", 200, _json_bytes(doc), {}
+        if path == "/metrics":
+            payload = self.obs.to_prometheus().encode()
+            headers = {"Content-Type": "text/plain; version=0.0.4"}
+            return "/metrics", 200, payload, headers
+        if path == "/metrics.json":
+            return "/metrics.json", 200, _json_bytes(self.obs.metrics_snapshot()), {}
+        raise _HttpError(404, f"no route for {path}")
+
+    async def _post_job(
+        self, body: bytes
+    ) -> tuple[str, int, bytes, dict[str, str]]:
+        try:
+            doc = json.loads(body or b"{}")
+        except ValueError as err:
+            raise _HttpError(400, f"request body is not JSON: {err}") from err
+        try:
+            spec = JobSpec.from_request(doc)
+            job, joined = await self.queue.submit(spec)
+        except (QuotaExceeded, QueueFull) as err:
+            raise _HttpError(
+                429, str(err), {"Retry-After": f"{err.retry_after_s:g}"}
+            ) from err
+        except ServiceDraining as err:
+            raise _HttpError(503, str(err)) from err
+        except ReproError as err:
+            raise _HttpError(400, str(err)) from err
+        status = 200 if joined else 202
+        return "/v1/jobs", status, _json_bytes(job_document(job)), {}
+
+    async def _get_job(
+        self, job_id: str, query: str
+    ) -> tuple[str, int, bytes, dict[str, str]]:
+        job = self._lookup(job_id)
+        wait_raw = parse_qs(query).get("wait_s", ["0"])[-1]
+        try:
+            wait_s = float(wait_raw)
+        except ValueError as err:
+            raise _HttpError(400, f"bad wait_s: {wait_raw!r}") from err
+        if wait_s > 0 and not job.terminal:
+            try:
+                await asyncio.wait_for(
+                    job.finished.wait(), min(wait_s, MAX_WAIT_S)
+                )
+            except asyncio.TimeoutError:
+                pass  # report current (non-terminal) state
+        return "/v1/jobs/{id}", 200, _json_bytes(job_document(job)), {}
+
+    def _get_result(
+        self, job_id: str
+    ) -> tuple[str, int, bytes, dict[str, str]]:
+        job = self._lookup(job_id)
+        if job.state == "failed":
+            raise _HttpError(409, f"job {job_id} failed: {job.error}")
+        if job.result is None:
+            raise _HttpError(409, f"job {job_id} is {job.state}; poll until done")
+        # Rendered exactly like repro.core.serialize.dump_json so the
+        # response bytes equal a direct run_suite document on disk.
+        payload = (
+            json.dumps(job.result, indent=2, sort_keys=True) + "\n"
+        ).encode()
+        return "/v1/jobs/{id}/result", 200, payload, {}
+
+    def _lookup(self, job_id: str) -> Job:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"no such job: {job_id}")
+        return job
+
+
+class _HttpError(ServiceError):
+    """Internal: carries an HTTP status (and headers) up to the handler."""
+
+    def __init__(
+        self, status: int, message: str, headers: dict[str, str] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+    def payload(self) -> bytes:
+        return _json_bytes({"error": str(self)})
+
+
+def _json_bytes(doc: Any) -> bytes:
+    return (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode()

@@ -1,0 +1,168 @@
+"""End-to-end service smoke: the acceptance demo, runnable in CI.
+
+Spawns the daemon as a real subprocess, then from 8 concurrent client
+threads submits 4 *unique* suite configurations (each submitted twice).
+Asserts the whole contract in one pass:
+
+* exactly 4 pool executions — the single-flight/dedup counters on
+  ``/metrics`` prove the other 4 submissions were absorbed;
+* every returned result document is byte-identical to a direct
+  in-process ``run_suite`` + ``dump_json`` of the same configuration;
+* ``/metrics`` exposes the ``service.*`` series and ``/metrics.json``
+  validates as a ``repro.obs/metrics`` v1 document;
+* SIGTERM drains gracefully: the process exits 0 on its own.
+
+Run it via ``make service-smoke`` or ``python -m repro.service smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import urllib.error
+import urllib.request
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.suite import run_suite, suite_to_dict
+from repro.obs import validate_metrics_document
+
+#: Two fast registry entries keep the smoke under a CI minute.
+ENTRIES = ["sec5a_idle_sibling", "sec7_rapl_update_rate"]
+SCALE = 0.02
+SEEDS = [0, 1, 2, 3]  # 4 unique configs
+CLIENTS = 8  # each config submitted twice
+
+
+def _request(port: int, path: str, body: dict | None = None) -> tuple[int, bytes]:
+    url = f"http://127.0.0.1:{port}{path}"
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+def _client(port: int, seed: int, out: dict[int, bytes], lock: threading.Lock):
+    body = {
+        "tenant": f"smoke-{seed % 2}",
+        "entries": ENTRIES,
+        "config": {"seed": seed, "scale": SCALE},
+    }
+    status, payload = _request(port, "/v1/jobs", body)
+    assert status in (200, 202), (status, payload)
+    job_id = json.loads(payload)["id"]
+    while True:
+        status, payload = _request(port, f"/v1/jobs/{job_id}?wait_s=30")
+        assert status == 200, (status, payload)
+        doc = json.loads(payload)
+        if doc["state"] in ("done", "failed"):
+            break
+    assert doc["state"] == "done", doc
+    status, payload = _request(port, f"/v1/jobs/{job_id}/result")
+    assert status == 200, (status, payload)
+    with lock:
+        out[seed] = payload
+
+
+def _parse_prometheus(text: str) -> dict[str, float]:
+    series = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        series[name] = float(value)
+    return series
+
+
+def run_smoke() -> int:
+    workdir = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    env = dict(os.environ, REPRO_CACHE_DIR=os.path.join(workdir, "cache"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    try:
+        assert proc.stdout is not None
+        banner = proc.stdout.readline()
+        assert "listening on" in banner, banner
+        port = int(banner.rsplit(":", 1)[1])
+        print(f"smoke: daemon up on port {port}")
+
+        results: dict[int, bytes] = {}
+        lock = threading.Lock()
+        threads = [
+            threading.Thread(target=_client, args=(port, seed, results, lock))
+            for seed in SEEDS
+            for _ in range(CLIENTS // len(SEEDS))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not any(t.is_alive() for t in threads), "client thread hung"
+        assert sorted(results) == SEEDS, sorted(results)
+        print(f"smoke: {CLIENTS} clients done, {len(results)} unique configs")
+
+        # Exactly one pool execution per unique config: the dedup proof.
+        status, payload = _request(port, "/metrics")
+        assert status == 200
+        series = _parse_prometheus(payload.decode())
+        executions = series.get("repro_service_executions", 0.0)
+        assert executions == len(SEEDS), (
+            f"expected exactly {len(SEEDS)} executions, metrics say "
+            f"{executions}"
+        )
+        assert any(n.startswith("repro_service_") for n in series), series
+        deduped = sum(
+            v for n, v in series.items() if n.startswith("repro_service_dedup")
+        )
+        assert deduped >= CLIENTS - len(SEEDS), series
+        print(f"smoke: executions={executions:g} dedup-absorbed={deduped:g}")
+
+        status, payload = _request(port, "/metrics.json")
+        assert status == 200
+        problems = validate_metrics_document(json.loads(payload))
+        assert problems == [], problems
+
+        # Byte-identical to a direct in-process run of the same config.
+        for seed in SEEDS:
+            direct = suite_to_dict(
+                run_suite(
+                    ExperimentConfig(seed=seed, scale=SCALE), only=ENTRIES
+                )
+            )
+            expected = (
+                json.dumps(direct, indent=2, sort_keys=True) + "\n"
+            ).encode()
+            assert results[seed] == expected, (
+                f"seed {seed}: service document differs from direct run"
+            )
+        print("smoke: all 4 result documents byte-identical to direct runs")
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, (proc.returncode, out)
+        assert "drained" in out, out
+        print("smoke: SIGTERM drained cleanly, exit 0")
+        print("service smoke OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(run_smoke())

@@ -1,0 +1,263 @@
+"""End-to-end exercise of the experiment service over real sockets.
+
+An in-process :class:`~repro.service.server.ExperimentService` is bound
+to an ephemeral port and driven through hand-written HTTP/1.1 clients
+on :func:`asyncio.open_connection` — the same wire surface external
+clients use.  Covers the acceptance contract: concurrent clients
+coalesce onto one run per unique configuration, result documents are
+byte-identical to a direct ``run_suite`` + ``dump_json``, quota
+exhaustion surfaces as 429 + ``Retry-After``, and drain finishes
+admitted work while rejecting new submissions with 503.
+
+The subprocess + SIGTERM variant of this flow lives in
+``repro.service.smoke`` (run by ``make service-smoke`` and CI).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.cache import ResultCache
+from repro.core.experiment import ExperimentConfig
+from repro.core.serialize import dump_json
+from repro.core.suite import run_suite, suite_to_dict
+from repro.obs import validate_metrics_document
+from repro.service import ServiceLimits, validate_job_document
+from repro.service.server import ExperimentService
+
+ENTRIES = ["sec5a_idle_sibling"]
+SCALE = 0.01
+
+
+async def _http(
+    port: int, method: str, path: str, body: dict | None = None
+) -> tuple[int, dict[str, str], bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    request = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode()
+    writer.write(request + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, content = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, content
+
+
+async def _submit_and_fetch(port: int, seed: int) -> bytes:
+    """One client: submit, long-poll to completion, return result bytes."""
+    status, _, content = await _http(
+        port,
+        "POST",
+        "/v1/jobs",
+        {"entries": ENTRIES, "config": {"seed": seed, "scale": SCALE}},
+    )
+    assert status in (200, 202), (status, content)
+    doc = json.loads(content)
+    assert validate_job_document(doc) == []
+    job_id = doc["id"]
+    while True:
+        status, _, content = await _http(
+            port, "GET", f"/v1/jobs/{job_id}?wait_s=30"
+        )
+        assert status == 200
+        doc = json.loads(content)
+        assert validate_job_document(doc) == []
+        if doc["state"] in ("done", "failed"):
+            break
+    assert doc["state"] == "done", doc
+    status, headers, content = await _http(
+        port, "GET", f"/v1/jobs/{job_id}/result"
+    )
+    assert status == 200
+    assert headers["content-type"] == "application/json"
+    return content
+
+
+def test_concurrent_clients_one_run_per_config_byte_identical(tmp_path):
+    seeds = [0, 1]
+    clients_per_seed = 3
+
+    async def scenario():
+        service = ExperimentService(
+            cache=ResultCache(str(tmp_path / "service-cache")), pool_jobs=1
+        )
+        port = await service.start(port=0)
+        results = await asyncio.gather(
+            *(
+                _submit_and_fetch(port, seed)
+                for seed in seeds
+                for _ in range(clients_per_seed)
+            )
+        )
+        status, _, metrics_raw = await _http(port, "GET", "/metrics.json")
+        assert status == 200
+        service.request_drain()
+        await service.wait_drained()
+        return results, json.loads(metrics_raw)
+
+    results, metrics_doc = asyncio.run(scenario())
+
+    # Six clients, two unique configs, exactly two pool executions.
+    assert validate_metrics_document(metrics_doc) == []
+    by_name = {m["name"]: m for m in metrics_doc["metrics"]}
+    executions = sum(s["value"] for s in by_name["service.executions"]["series"])
+    assert executions == len(seeds)
+    deduped = sum(s["value"] for s in by_name["service.dedup"]["series"])
+    assert deduped == len(seeds) * (clients_per_seed - 1)
+
+    # All clients of one seed got the same bytes, and those bytes equal
+    # a direct run_suite + dump_json of the same configuration.
+    for i, seed in enumerate(seeds):
+        chunk = results[
+            i * clients_per_seed : (i + 1) * clients_per_seed
+        ]
+        assert len(set(chunk)) == 1
+        direct = suite_to_dict(
+            run_suite(ExperimentConfig(seed=seed, scale=SCALE), only=ENTRIES)
+        )
+        golden = tmp_path / f"direct-{seed}.json"
+        dump_json(direct, str(golden))
+        assert chunk[0] == golden.read_bytes()
+
+
+def test_quota_rejection_and_draining_status_codes():
+    gate = threading.Event()
+
+    def gated_runner(spec):
+        assert gate.wait(timeout=30.0)
+        return suite_to_dict(run_suite(spec.config, only=list(spec.entries)))
+
+    async def scenario():
+        service = ExperimentService(
+            limits=ServiceLimits(tenant_quota=1, retry_after_s=3.0),
+            pool_jobs=1,
+        )
+        service.queue._runner = gated_runner  # hold jobs in-flight
+        port = await service.start(port=0)
+
+        body = {"entries": ENTRIES, "config": {"seed": 0, "scale": SCALE}}
+        status, _, content = await _http(port, "POST", "/v1/jobs", body)
+        assert status == 202
+        leader = json.loads(content)["id"]
+
+        # Same tenant, different config, quota of 1 -> 429 + Retry-After.
+        over = {"entries": ENTRIES, "config": {"seed": 1, "scale": SCALE}}
+        status, headers, content = await _http(port, "POST", "/v1/jobs", over)
+        assert status == 429, content
+        assert headers["retry-after"] == "3"
+        assert "quota" in json.loads(content)["error"]
+
+        # Identical config joins the in-flight job instead: no quota cost.
+        status, _, content = await _http(port, "POST", "/v1/jobs", body)
+        assert status == 200
+        joined = json.loads(content)
+        assert joined["id"] == leader
+        assert joined["dedup"] == "inflight"
+        assert joined["clients"] == 2
+
+        # Drain: health flips, new submissions get 503, polls still work.
+        service.request_drain()
+        drained = asyncio.create_task(service.wait_drained())
+        await asyncio.sleep(0.05)
+        status, _, content = await _http(port, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(content)["status"] == "draining"
+        status, _, content = await _http(port, "POST", "/v1/jobs", over)
+        assert status == 503, content
+        status, _, content = await _http(port, "GET", f"/v1/jobs/{leader}")
+        assert status == 200
+
+        gate.set()
+        await asyncio.wait_for(drained, 60)
+        job = service.queue.get(leader)
+        assert job is not None and job.state == "done"
+
+    asyncio.run(scenario())
+
+
+def test_error_routes_and_request_validation():
+    async def scenario():
+        service = ExperimentService(pool_jobs=1)
+        port = await service.start(port=0)
+
+        status, _, content = await _http(port, "GET", "/no/such/route")
+        assert status == 404
+
+        status, _, content = await _http(port, "DELETE", "/v1/jobs")
+        assert status == 405
+
+        status, _, content = await _http(port, "GET", "/v1/jobs/job-999999")
+        assert status == 404
+        assert "no such job" in json.loads(content)["error"]
+
+        status, _, content = await _http(
+            port, "POST", "/v1/jobs", {"entries": ["nope"]}
+        )
+        assert status == 400
+        assert "unknown suite entries" in json.loads(content)["error"]
+
+        status, _, content = await _http(
+            port, "POST", "/v1/jobs", {"config": {"seed": "zero"}}
+        )
+        assert status == 400
+
+        status, _, content = await _http(port, "GET", "/healthz")
+        assert status == 200
+        health = json.loads(content)
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 0
+
+        status, headers, content = await _http(port, "GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert "repro_service_http_requests" in content.decode()
+
+        status, _, content = await _http(port, "GET", "/v1/jobs")
+        assert status == 200
+        assert json.loads(content) == {"jobs": []}
+
+        service.request_drain()
+        await service.wait_drained()
+
+    asyncio.run(scenario())
+
+
+def test_result_before_done_is_conflict():
+    gate = threading.Event()
+
+    def gated_runner(spec):
+        assert gate.wait(timeout=30.0)
+        return suite_to_dict(run_suite(spec.config, only=list(spec.entries)))
+
+    async def scenario():
+        service = ExperimentService(pool_jobs=1)
+        service.queue._runner = gated_runner
+        port = await service.start(port=0)
+        body = {"entries": ENTRIES, "config": {"seed": 0, "scale": SCALE}}
+        status, _, content = await _http(port, "POST", "/v1/jobs", body)
+        assert status == 202
+        job_id = json.loads(content)["id"]
+        status, _, content = await _http(
+            port, "GET", f"/v1/jobs/{job_id}/result"
+        )
+        assert status == 409
+        assert "poll until done" in json.loads(content)["error"]
+        gate.set()
+        service.request_drain()
+        await service.wait_drained()
+
+    asyncio.run(scenario())

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import glob
 import json
+import multiprocessing
 import os
+import time
 
 import pytest
 
@@ -16,8 +18,17 @@ from repro.cache import (
     default_cache_dir,
     source_digest,
 )
+from repro.cache.store import TMP_SWEEP_AGE_S
 from repro.core.experiment import ExperimentConfig
 from repro.errors import CacheError
+
+
+def _stress_put(root: str, worker_id: int, count: int) -> None:
+    """One stress-test writer process: ``count`` distinct puts."""
+    cache = ResultCache(root, max_bytes=1 << 30)
+    for i in range(count):
+        key = f"{worker_id:02d}{i:04d}".ljust(64, "0")
+        cache.put(key, {"worker": worker_id, "i": i, "pad": "x" * 64})
 
 
 class TestCacheKey:
@@ -145,6 +156,63 @@ class TestStore:
         reopened = ResultCache(root)
         assert reopened.get(key) == {"x": 2}
         assert reopened.keys() == [key]
+
+    def test_crash_mid_store_orphan_swept_by_eviction(self, tmp_path):
+        """A crashed writer's stale ``*.tmp.<pid>`` file is removed by the
+        next eviction sweep — the exact promise of the module docstring."""
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=400)
+        key = "ab" + "0" * 62
+        # Simulate a writer that died between open() and os.replace().
+        orphan = cache._object_path(key) + ".tmp.99999"
+        os.makedirs(os.path.dirname(orphan), exist_ok=True)
+        with open(orphan, "w") as fh:
+            fh.write('{"torn":')
+        stale = time.time() - TMP_SWEEP_AGE_S - 60.0  # lint: disable=DET001 (ages a fixture file)
+        os.utime(orphan, (stale, stale))
+        # A fresh temp file must survive: it may belong to a live writer.
+        fresh = cache._object_path("cd" + "0" * 62) + ".tmp.88888"
+        os.makedirs(os.path.dirname(fresh), exist_ok=True)
+        with open(fresh, "w") as fh:
+            fh.write('{"live":')
+        for i in range(8):  # exceed max_bytes so eviction actually runs
+            cache.put(f"{i:02d}" + "1" * 62, {"i": i, "pad": "x" * 100})
+        assert cache.stats.evictions > 0
+        assert not os.path.exists(orphan)
+        assert os.path.exists(fresh)
+
+    def test_clear_sweeps_stale_tmp(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.put("ab" + "0" * 62, {"x": 1})
+        orphan = os.path.join(cache.root, "index.json.tmp.77777")
+        with open(orphan, "w") as fh:
+            fh.write("{")
+        stale = time.time() - TMP_SWEEP_AGE_S - 60.0  # lint: disable=DET001 (ages a fixture file)
+        os.utime(orphan, (stale, stale))
+        cache.clear()
+        assert not os.path.exists(orphan)
+
+    def test_concurrent_writers_lose_no_index_entries(self, tmp_path):
+        """Lost-update regression: processes sharing one cache root must
+        never drop each other's index entries (the unlocked read-modify-
+        write race made eviction accounting drift silently)."""
+        root = str(tmp_path / "shared")
+        n_workers, per_worker = 4, 25
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_stress_put, args=(root, w, per_worker))
+            for w in range(n_workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60.0)
+            assert p.exitcode == 0
+        reopened = ResultCache(root, max_bytes=1 << 30)
+        assert len(reopened.keys()) == n_workers * per_worker
+        # Every indexed size must match the object actually on disk.
+        index = reopened._load_index()
+        for key, entry in index.entries.items():
+            assert os.path.getsize(reopened._object_path(key)) == entry.size
 
     def test_stats_as_dict_shape(self):
         doc = CacheStats(hits=3, misses=1).as_dict()

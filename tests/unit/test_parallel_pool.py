@@ -174,6 +174,51 @@ class TestFaultInjection:
         assert failure is not None
         assert failure.attempts == 4  # 1 + 3 retries
 
+    @pytest.mark.skipif(
+        not os.path.isdir("/proc"), reason="zombie scan needs /proc"
+    )
+    def test_timeout_retry_cycle_leaves_no_zombie_workers(self, tmp_path):
+        """Terminated workers must be reaped, not abandoned as zombies.
+
+        The scan reads /proc directly instead of using multiprocessing
+        APIs: ``active_children()`` joins (reaps) as a side effect, which
+        would hide exactly the leak this test exists to catch.
+        """
+
+        def zombie_children() -> list[int]:
+            me = str(os.getpid())
+            zombies = []
+            for entry in os.listdir("/proc"):
+                if not entry.isdigit():
+                    continue
+                try:
+                    with open(f"/proc/{entry}/stat") as fh:
+                        fields = fh.read().rpartition(")")[2].split()
+                except OSError:
+                    continue
+                # After the comm field: fields[0]=state, fields[1]=ppid.
+                if len(fields) > 1 and fields[1] == me and fields[0] == "Z":
+                    zombies.append(int(entry))
+            return zombies
+
+        outcomes = run_tasks(
+            [Task("h", _hang), Task("a", _double, (5,))],
+            jobs=2,
+            timeout_s=0.3,
+            retries=1,
+        )
+        by_name = {o.name: o for o in outcomes}
+        assert by_name["h"].failure is not None
+        assert by_name["h"].failure.kind == "timeout"
+        assert by_name["a"].ok
+        # _terminate joins each worker before returning, so no child of
+        # this process may still be defunct.  A short grace loop absorbs
+        # unrelated pytest/plugin children finishing asynchronously.
+        deadline = time.perf_counter() + 5.0  # lint: disable=DET001 (test bounds host wall-clock)
+        while zombie_children() and time.perf_counter() < deadline:  # lint: disable=DET001
+            time.sleep(0.05)
+        assert zombie_children() == []
+
     def test_failure_as_dict_is_json_shaped(self):
         outcomes = run_tasks([Task("b", _boom)], jobs=1, retries=0)
         doc = outcomes[0].failure.as_dict()
