@@ -67,8 +67,9 @@ def main(argv: list[str] | None = None) -> int:
         "--guard",
         action="store_true",
         help="overhead-budget check: time sim.dispatch against the "
-        "obs-disabled variant in interleaved rounds and exit 1 if the "
-        "disabled path loses more than the 2%% budget",
+        "obs-disabled variant and the flight-recorder feed variant in "
+        "interleaved rounds and exit 1 if either candidate loses more "
+        "than the 2%% budget",
     )
     parser.add_argument(
         "--guard-rounds",
@@ -119,27 +120,41 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.guard:
-        from repro.bench.harness import GUARD_BUDGET, run_overhead_guard
+        from repro.bench.harness import (
+            GUARD_BUDGET,
+            GUARD_CANDIDATE,
+            GUARD_FLIGHTREC_CANDIDATE,
+            run_overhead_guard,
+        )
 
         ctx = BenchContext(scale=args.scale, seed=args.seed)
         budget = GUARD_BUDGET if args.guard_budget is None else args.guard_budget
-        try:
-            verdict = run_overhead_guard(
-                ctx,
-                rounds=args.guard_rounds,
-                budget=budget,
-                progress=lambda msg: print(msg, file=sys.stderr),
+        labels = {
+            GUARD_CANDIDATE: "obs disabled-path guard",
+            GUARD_FLIGHTREC_CANDIDATE: "flight-recorder feed guard",
+        }
+        status = 0
+        for candidate, label in labels.items():
+            try:
+                verdict = run_overhead_guard(
+                    ctx,
+                    rounds=args.guard_rounds,
+                    budget=budget,
+                    candidate=candidate,
+                    progress=lambda msg: print(msg, file=sys.stderr),
+                )
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"{label}: median throughput ratio "
+                f"{verdict['median_ratio']:.4f} over {verdict['rounds']} "
+                f"round(s), budget {verdict['budget']:.0%} -> "
+                f"{'PASS' if verdict['ok'] else 'FAIL'}"
             )
-        except ConfigurationError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        print(
-            f"obs disabled-path guard: median throughput ratio "
-            f"{verdict['median_ratio']:.4f} over {verdict['rounds']} "
-            f"round(s), budget {verdict['budget']:.0%} -> "
-            f"{'PASS' if verdict['ok'] else 'FAIL'}"
-        )
-        return 0 if verdict["ok"] else 1
+            if not verdict["ok"]:
+                status = 1
+        return status
 
     only = [n.strip() for n in args.only.split(",") if n.strip()] if args.only else None
 

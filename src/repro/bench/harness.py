@@ -168,6 +168,10 @@ def run_kernels(
 GUARD_BUDGET = 0.02
 GUARD_BASELINE = "sim.dispatch"
 GUARD_CANDIDATE = "obs.overhead_disabled"
+#: Second guarded candidate: bare dispatch plus the crash flight
+#: recorder's ring feed (a breadcrumb every 256th event) — the
+#: always-on diagnostics path shares the disabled-obs 2% budget.
+GUARD_FLIGHTREC_CANDIDATE = "obs.flightrec_overhead"
 
 
 def run_overhead_guard(
@@ -175,24 +179,30 @@ def run_overhead_guard(
     *,
     rounds: int = 5,
     budget: float = GUARD_BUDGET,
+    candidate: str = GUARD_CANDIDATE,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
-    """Interleaved A/B budget check for the disabled-obs dispatch path.
+    """Interleaved A/B budget check for an instrumented dispatch path.
 
     Each round times the baseline (bare ``Simulator``) and the candidate
-    (``Obs(enabled=False)`` attached, collapsed by ``effective_obs``)
-    back-to-back, so slow drift in host clock frequency or cache state
-    cancels out of the per-round throughput ratio.  The verdict is the
-    *median* ratio over rounds — robust to one noisy neighbour — and the
-    run passes when the candidate keeps at least ``1 - budget`` of the
-    baseline's throughput.
+    kernel (default: ``Obs(enabled=False)`` attached, collapsed by
+    ``effective_obs``; ``GUARD_FLIGHTREC_CANDIDATE`` checks the flight-
+    recorder ring feed instead) back-to-back, so slow drift in host
+    clock frequency or cache state cancels out of the per-round
+    throughput ratio.  The verdict is the *median* ratio over rounds —
+    robust to one noisy neighbour — and the run passes when the
+    candidate keeps at least ``1 - budget`` of the baseline's
+    throughput.
     """
     from repro.bench.kernels import REGISTRY
 
     if rounds < 1:
         raise ConfigurationError(f"guard rounds must be >= 1, got {rounds}")
+    if candidate not in REGISTRY:
+        raise ConfigurationError(f"unknown guard candidate kernel {candidate!r}")
+    candidate_name = candidate
     baseline = REGISTRY[GUARD_BASELINE].setup(ctx)
-    candidate = REGISTRY[GUARD_CANDIDATE].setup(ctx)
+    candidate = REGISTRY[candidate_name].setup(ctx)
     baseline()
     candidate()  # one untimed warmup each
     ratios: list[float] = []
@@ -209,7 +219,7 @@ def run_overhead_guard(
     median_ratio = percentile(ratios, 50.0)
     return {
         "baseline": GUARD_BASELINE,
-        "candidate": GUARD_CANDIDATE,
+        "candidate": candidate_name,
         "rounds": rounds,
         "budget": budget,
         "ratios": ratios,

@@ -126,7 +126,7 @@ def _setup_sim_dispatch(
     backend = resolve_backend(ctx.backend)
 
     def run() -> int:
-        if obs_mode == "none":
+        if obs_mode in ("none", "flightrec"):
             sim = backend.create_simulator()
         else:
             from repro.obs import Obs
@@ -141,7 +141,29 @@ def _setup_sim_dispatch(
             if fired[0] <= n_events - chains:
                 sim.schedule_after(period_ns, cb)
 
-        for i in range(chains):
+        if obs_mode == "flightrec":
+            # Bare dispatch plus the flight-recorder ring feed: one of
+            # the 256 chains records a breadcrumb on every firing (one
+            # ring event per ~256 dispatches — far denser than the real
+            # cold-boundary breadcrumbs), while the other 255 run the
+            # unmodified callback.  This times the ring's deque-append
+            # cost itself, without polluting every event with a
+            # benchmark-only counter check.
+            from repro.obs.flightrec import recorder
+
+            rec = recorder()
+
+            def cb_note() -> None:  # lint: hot (per-event dispatch callback)
+                fired[0] += 1
+                rec.note("bench.tick")
+                if fired[0] <= n_events - chains:
+                    sim.schedule_after(period_ns, cb_note)
+
+        else:
+            cb_note = cb
+
+        sim.schedule_after(1, cb_note)
+        for i in range(1, chains):
             sim.schedule_after(i + 1, cb)
         horizon_ns = (n_events // chains + 2) * period_ns + chains
         sim.run_until(horizon_ns)
@@ -245,6 +267,17 @@ REGISTRY: dict[str, Kernel] = {
             unit="events/s",
             better="higher",
             setup=lambda ctx: _setup_sim_dispatch(ctx, obs_mode="disabled"),
+        ),
+        Kernel(
+            name="obs.flightrec_overhead",
+            description="sim.dispatch plus the flight-recorder ring "
+            "feed (one breadcrumb chain among 256): bounds the "
+            "always-on crash ring's cost under the hottest loop — "
+            "guarded against sim.dispatch with the same <=2% budget "
+            "as the obs disabled path",
+            unit="events/s",
+            better="higher",
+            setup=lambda ctx: _setup_sim_dispatch(ctx, obs_mode="flightrec"),
         ),
         Kernel(
             name="machine.measure.1s",

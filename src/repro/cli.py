@@ -284,7 +284,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "suite":
         from repro.cache import ResultCache
         from repro.core.serialize import dump_json
-        from repro.core.suite import run_suite, suite_to_dict
+        from repro.core.suite import (
+            run_suite,
+            suite_to_dict,
+            suite_trace_document,
+        )
 
         cache = None if (args.no_cache or args.monitor) else ResultCache()
         obs = None
@@ -310,7 +314,9 @@ def main(argv: list[str] | None = None) -> int:
             dump_json(suite_to_dict(result), args.json)
             print(f"structured report written to {args.json}")
         if args.trace:
-            dump_json(obs.trace_document(), args.trace)
+            # Merged timeline: the parent document plus every worker-
+            # shipped trace of a parallel run (serial runs merge one).
+            dump_json(suite_trace_document(result), args.trace)
             print(f"trace written to {args.trace}")
         if args.metrics:
             with open(args.metrics, "w") as fh:

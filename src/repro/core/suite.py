@@ -17,6 +17,7 @@ digests match regardless of execution mode (docs/parallelism.md).
 
 from __future__ import annotations
 
+import os
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable
@@ -130,7 +131,27 @@ def _execute_entry(
     parallel workers always receive ``obs=None``).  The returned
     document is independent of ``obs`` — observability data lives in
     the obs bundle, never in the result.
+
+    Entry start/end always leave flight-recorder breadcrumbs (and the
+    entry name as ring context), so a crash bundle from any execution
+    mode names the experiment that was running.
     """
+    from repro.obs.flightrec import recorder
+
+    rec = recorder()
+    rec.context["entry"] = name
+    rec.note("suite.entry.start", entry=name, seed=cfg.seed)
+    try:
+        return _execute_entry_inner(name, cfg, monitor, obs)
+    finally:
+        rec.note("suite.entry.end", entry=name)
+        rec.context.pop("entry", None)
+
+
+def _execute_entry_inner(
+    name: str, cfg: ExperimentConfig, monitor: bool = False, obs=None
+) -> dict[str, Any]:
+    """The entry body behind the flight-recorder breadcrumbs."""
     if not monitor and obs is None:
         return table_to_dict(SUITE[name](cfg))
 
@@ -164,6 +185,36 @@ def _execute_entry(
             "checks": sum(mon.checks_run for mon in monitors),
             "violations": [v for mon in monitors for v in mon.violations],
         },
+    }
+
+
+def _execute_entry_traced(
+    name: str,
+    cfg: ExperimentConfig,
+    monitor: bool = False,
+    trace: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Run one entry in a pool worker with its own tracer.
+
+    The parent cannot ship its :class:`repro.obs.Obs` across the process
+    boundary, so the worker builds a private one, inherits the parent's
+    ``trace_id`` through the ``trace`` context dict, runs the real
+    experiment under full instrumentation (machine attach included, via
+    ``_execute_entry``), and returns the serialized trace document next
+    to the result — the parent merges them with
+    :func:`suite_trace_document`.  The ``"doc"`` payload is exactly what
+    the untraced path returns, so cached results and suite documents
+    stay byte-identical with tracing on or off.
+    """
+    from repro.obs import Obs
+
+    trace = trace or {}
+    obs = Obs(trace_id=trace.get("trace_id"))
+    with obs.tracer.span(name, cat="experiment"):
+        doc = _execute_entry(name, cfg, monitor, obs)
+    return {
+        "doc": doc,
+        "trace": obs.trace_document(entry=name, os_pid=os.getpid()),
     }
 
 
@@ -216,6 +267,12 @@ class SuiteResult:
     #: serialized: :func:`suite_to_dict` depends only on experiment
     #: outputs, so traced and untraced runs stay byte-identical.
     obs: Any = None
+    #: ``repro.obs/trace`` documents shipped back by pool workers of a
+    #: traced parallel run (one per executed entry), in completion
+    #: order.  Merged with the parent timeline by
+    #: :func:`suite_trace_document`; never serialized into the suite
+    #: document.
+    worker_traces: list = field(default_factory=list)
 
     @property
     def all_ok(self) -> bool:
@@ -323,10 +380,15 @@ def run_suite(
     if monitor:
         cache = None
     if obs is not None:
-        from repro.obs import effective_obs
+        from repro.obs import effective_obs, mint_trace_id
 
         obs = effective_obs(obs)
         result.obs = obs
+        if obs is not None and obs.tracer.trace_id is None:
+            # Content-derived, so identical runs mint identical ids.
+            obs.tracer.trace_id = mint_trace_id(
+                "suite", cfg.seed, cfg.scale, cfg.sku, cfg.backend, *names
+            )
     if obs is not None and cache is not None:
         cache.attach_obs(obs)
 
@@ -362,19 +424,38 @@ def run_suite(
             to_run = list(names)
 
         if parallel > 1 and len(to_run) > 1:
-            tasks = [
-                Task(name=name, fn=_execute_entry, args=(name, cfg, monitor))
-                for name in to_run
-            ]
+            if obs is not None:
+                # Traced fan-out: each worker runs its own tracer over
+                # the real experiment and ships the serialized trace
+                # back next to the result document.
+                trace_ctx = {"trace_id": obs.tracer.trace_id}
+                tasks = [
+                    Task(
+                        name=name,
+                        fn=_execute_entry_traced,
+                        args=(name, cfg, monitor, trace_ctx),
+                    )
+                    for name in to_run
+                ]
+            else:
+                tasks = [
+                    Task(
+                        name=name, fn=_execute_entry, args=(name, cfg, monitor)
+                    )
+                    for name in to_run
+                ]
             outcomes = run_tasks(
                 tasks, jobs=parallel, timeout_s=timeout_s, retries=retries,
                 obs=obs,
             )
             for outcome in outcomes:
-                if outcome.ok:
-                    docs[outcome.name] = outcome.value
-                else:
+                if not outcome.ok:
                     result.errors[outcome.name] = outcome.failure
+                elif obs is not None:
+                    docs[outcome.name] = outcome.value["doc"]
+                    result.worker_traces.append(outcome.value["trace"])
+                else:
+                    docs[outcome.name] = outcome.value
         else:
             for name in to_run:
                 if obs is not None:
@@ -440,3 +521,32 @@ def suite_to_dict(result: SuiteResult) -> dict[str, Any]:
             name: inv.as_dict() for name, inv in result.invariants.items()
         }
     return doc
+
+
+def suite_trace_document(result: SuiteResult, **other_data: Any) -> dict[str, Any]:
+    """The merged end-to-end timeline of a traced run.
+
+    Stitches the parent tracer's document (suite span, pool phases,
+    per-task lanes, cache events) together with every worker-shipped
+    trace from :attr:`SuiteResult.worker_traces` into one pid-remapped
+    ``repro.obs/trace`` document — process names are labelled ``suite``
+    and per-entry (``fig7_idle_power:host``, ...), and the shared
+    ``trace_id`` survives the merge.  Serial traced runs merge trivially
+    (one input document), so callers get one output shape either way.
+    """
+    if result.obs is None:
+        raise SuiteError(
+            "suite_trace_document needs a traced run — pass obs= to "
+            "run_suite"
+        )
+    from repro.obs import merge_trace_documents
+
+    docs = [result.obs.trace_document()]
+    labels: list[str | None] = ["suite"]
+    for i, doc in enumerate(result.worker_traces):
+        entry = (doc.get("otherData") or {}).get("entry")
+        labels.append(str(entry) if entry else f"worker{i}")
+        docs.append(doc)
+    merged = merge_trace_documents(docs, labels=labels)
+    merged["otherData"].update(other_data)
+    return merged

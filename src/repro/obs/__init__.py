@@ -30,6 +30,15 @@ from repro.obs.export import (
     summarize_trace,
     trace_document,
 )
+from repro.obs.flightrec import (
+    FlightRecorder,
+    dump_bundle,
+    flightrec_document,
+    record_crash,
+    recorder,
+    summarize_flightrec,
+)
+from repro.obs.log import StructuredLogger, log_document
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS_S,
@@ -39,15 +48,26 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.schema import (
+    FLIGHTREC_SCHEMA_ID,
+    FLIGHTREC_SCHEMA_VERSION,
+    LOG_SCHEMA_ID,
+    LOG_SCHEMA_VERSION,
     METRICS_SCHEMA_ID,
     METRICS_SCHEMA_VERSION,
     TRACE_SCHEMA_ID,
     TRACE_SCHEMA_VERSION,
     validate_document,
+    validate_flightrec_document,
+    validate_log_document,
     validate_metrics_document,
     validate_trace_document,
 )
-from repro.obs.tracer import DEFAULT_MAX_EVENTS, HOST_TRACK, SpanTracer
+from repro.obs.tracer import (
+    DEFAULT_MAX_EVENTS,
+    HOST_TRACK,
+    SpanTracer,
+    mint_trace_id,
+)
 
 __all__ = [
     "Obs",
@@ -56,17 +76,32 @@ __all__ = [
     "Gauge",
     "Histogram",
     "SpanTracer",
+    "StructuredLogger",
+    "FlightRecorder",
+    "mint_trace_id",
+    "recorder",
+    "record_crash",
     "trace_document",
     "merge_trace_documents",
+    "log_document",
+    "flightrec_document",
+    "dump_bundle",
     "summarize_trace",
     "summarize_metrics",
+    "summarize_flightrec",
     "validate_document",
     "validate_metrics_document",
     "validate_trace_document",
+    "validate_log_document",
+    "validate_flightrec_document",
     "METRICS_SCHEMA_ID",
     "METRICS_SCHEMA_VERSION",
     "TRACE_SCHEMA_ID",
     "TRACE_SCHEMA_VERSION",
+    "LOG_SCHEMA_ID",
+    "LOG_SCHEMA_VERSION",
+    "FLIGHTREC_SCHEMA_ID",
+    "FLIGHTREC_SCHEMA_VERSION",
     "LATENCY_BUCKETS_S",
     "COUNT_BUCKETS",
     "DEFAULT_MAX_EVENTS",
@@ -88,10 +123,31 @@ class Obs:
         enabled: bool = True,
         max_events: int = DEFAULT_MAX_EVENTS,
         clock: Callable[[], int] | None = None,
+        trace_id: str | None = None,
+        epoch_ns: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        log_stream: Any | None = None,
+        log_path: str | None = None,
     ) -> None:
         self.enabled = enabled
-        self.metrics = MetricsRegistry()
-        self.tracer = SpanTracer(max_events=max_events, clock=clock)
+        # metrics= lets the service share one registry across per-job Obs
+        # bundles; epoch_ns= puts per-job tracers on the service tracer's
+        # time base so cross-object complete() spans align.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = SpanTracer(
+            max_events=max_events,
+            clock=clock,
+            trace_id=trace_id,
+            epoch_ns=epoch_ns,
+        )
+        self.log = StructuredLogger(
+            tracer=self.tracer, stream=log_stream, path=log_path, clock=clock
+        )
+
+    @property
+    def trace_id(self) -> str | None:
+        """The request-scoped correlation id (None = uncorrelated)."""
+        return self.tracer.trace_id
 
     # Convenience pass-throughs so call sites read obs.span(...) /
     # obs.counter(...) without reaching into the halves.
@@ -131,6 +187,10 @@ class Obs:
     def metrics_snapshot(self) -> dict[str, Any]:
         """The ``repro.obs/metrics`` v1 JSON document."""
         return self.metrics.snapshot()
+
+    def log_document(self) -> dict[str, Any]:
+        """The ``repro.obs/log`` v1 document for the retained log tail."""
+        return log_document(self.log.records())
 
     def to_prometheus(self) -> str:
         """The Prometheus text exposition of all metric families."""

@@ -8,13 +8,18 @@ Subcommands:
   exits 1 listing every problem found (CI runs this on the traced
   smoke-suite artifacts);
 * ``merge OUT IN [IN ...]`` — merge trace documents into one
-  Perfetto-loadable file, remapping process ids so runs stay distinct.
+  Perfetto-loadable file, remapping process ids so runs stay distinct;
+* ``report PATH [PATH ...]`` — digest crash flight-recorder bundles:
+  each PATH is a bundle file or a directory to scan for
+  ``flightrec-*.json`` (e.g. ``$REPRO_FLIGHTREC_DIR`` after a failure).
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 from repro.core.serialize import dump_json, load_json
@@ -23,7 +28,10 @@ from repro.obs.export import (
     summarize_metrics,
     summarize_trace,
 )
+from repro.obs.flightrec import summarize_flightrec
 from repro.obs.schema import (
+    FLIGHTREC_SCHEMA_ID,
+    LOG_SCHEMA_ID,
     METRICS_SCHEMA_ID,
     TRACE_SCHEMA_ID,
     sniff_schema,
@@ -45,6 +53,18 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         print(summarize_trace(doc))
     elif schema == METRICS_SCHEMA_ID:
         print(summarize_metrics(doc))
+    elif schema == FLIGHTREC_SCHEMA_ID:
+        print(summarize_flightrec(doc))
+    elif schema == LOG_SCHEMA_ID:
+        records = doc.get("records") or []
+        levels: dict[str, int] = {}
+        for rec in records:
+            if isinstance(rec, dict):
+                level = str(rec.get("level", "?"))
+                levels[level] = levels.get(level, 0) + 1
+        mix = ", ".join(f"{k}={n}" for k, n in sorted(levels.items()))
+        print(f"log: {len(records)} record(s) from pid {doc.get('pid')}"
+              + (f" ({mix})" if mix else ""))
     else:
         print(f"error: {args.file}: unknown schema {schema!r}", file=sys.stderr)
         return 1
@@ -85,6 +105,35 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    paths: list[str] = []
+    for target in args.paths:
+        if os.path.isdir(target):
+            paths.extend(
+                sorted(glob.glob(os.path.join(target, "flightrec-*.json")))
+            )
+        else:
+            paths.append(target)
+    if not paths:
+        print("no flight-recorder bundles found")
+        return 0
+    status = 0
+    for i, path in enumerate(paths):
+        if i:
+            print()
+        doc = _load(path)
+        problems = validate_document(doc)
+        if problems or sniff_schema(doc) != FLIGHTREC_SCHEMA_ID:
+            status = 1
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  {problem}")
+            continue
+        print(f"{path}:")
+        print(summarize_flightrec(doc))
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-zen2 obs",
@@ -104,6 +153,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("out")
     p.add_argument("inputs", nargs="+", metavar="IN")
     p.set_defaults(fn=_cmd_merge)
+
+    p = sub.add_parser(
+        "report", help="digest crash flight-recorder bundles"
+    )
+    p.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="bundle file, or directory to scan for flightrec-*.json",
+    )
+    p.set_defaults(fn=_cmd_report)
 
     args = parser.parse_args(argv)
     return args.fn(args)

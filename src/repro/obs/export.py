@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.errors import ConfigurationError
 from repro.obs.schema import TRACE_SCHEMA_ID, TRACE_SCHEMA_VERSION
 from repro.obs.tracer import HOST_TRACK, SpanTracer
 
@@ -177,21 +178,41 @@ def trace_document(tracer: SpanTracer, **other_data: Any) -> dict[str, Any]:
             body.append(_instant_event(record, pid, labels))
     events = _metadata_events(pids, labels) + body
     other = {"records": len(body), "dropped": tracer.dropped}
+    if tracer.trace_id is not None:
+        other["trace_id"] = tracer.trace_id
     other.update(other_data)
     return _trace_envelope(events, other)
 
 
-def merge_trace_documents(docs: list[dict[str, Any]]) -> dict[str, Any]:
+def merge_trace_documents(
+    docs: list[dict[str, Any]], labels: list[str | None] | None = None
+) -> dict[str, Any]:
     """Merge trace documents into one, remapping pids to avoid collisions.
 
     Events keep their per-document timestamps (each document's host epoch
     is its own zero); process names gain a ``run<N>:`` prefix when more
-    than one document is merged so the origin stays visible.
+    than one document is merged so the origin stays visible.  ``labels``
+    (one per document, None entries fall back to ``run<N>``) replace the
+    default prefixes — the suite labels worker documents by entry name,
+    the service by job id.  When every input carries the same
+    ``otherData.trace_id`` the merged document keeps it, so one request's
+    cross-process timeline stays correlated end to end.
     """
+    if labels is not None and len(labels) != len(docs):
+        raise ConfigurationError(
+            f"labels must match docs: {len(labels)} label(s) for "
+            f"{len(docs)} document(s)"
+        )
     events: list[dict[str, Any]] = []
     other: dict[str, Any] = {"merged": len(docs)}
+    trace_ids: set[str] = set()
     next_pid = 1
     for i, doc in enumerate(docs):
+        prefix = None
+        if labels is not None and labels[i] is not None:
+            prefix = labels[i]
+        elif len(docs) > 1:
+            prefix = f"run{i}"
         remap: dict[int, int] = {}
         for ev in doc.get("traceEvents", []):
             pid = ev.get("pid")
@@ -201,19 +222,24 @@ def merge_trace_documents(docs: list[dict[str, Any]]) -> dict[str, Any]:
             out = dict(ev)
             out["pid"] = remap[pid]
             if (
-                len(docs) > 1
+                prefix is not None
+                and len(docs) > 1
                 and out.get("ph") == "M"
                 and out.get("name") == "process_name"
             ):
                 out["args"] = {
-                    "name": f"run{i}:{(ev.get('args') or {}).get('name', '?')}"
+                    "name": f"{prefix}:{(ev.get('args') or {}).get('name', '?')}"
                 }
             events.append(out)
-        dropped = (doc.get("otherData") or {}).get("dropped", 0)
-        other["dropped"] = other.get("dropped", 0) + dropped
+        doc_other = doc.get("otherData") or {}
+        other["dropped"] = other.get("dropped", 0) + doc_other.get("dropped", 0)
+        if isinstance(doc_other.get("trace_id"), str):
+            trace_ids.add(doc_other["trace_id"])
     other["records"] = sum(
         1 for ev in events if ev.get("ph") != "M"
     )
+    if len(trace_ids) == 1:
+        other["trace_id"] = trace_ids.pop()
     return _trace_envelope(events, other)
 
 

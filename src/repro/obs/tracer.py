@@ -30,6 +30,7 @@ Chrome-trace-event / Perfetto-loadable JSON form lives in
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -45,6 +46,18 @@ DEFAULT_MAX_EVENTS = 200_000
 HOST_TRACK = "host"
 
 
+def mint_trace_id(*parts: Any) -> str:
+    """A deterministic 16-hex-char trace id from content parts.
+
+    Content-derived (never wall clock), so identical runs mint identical
+    ids: the suite hashes its config fingerprint, the service hashes the
+    job id + job key.  Workers inherit the id through the trace context
+    the parent ships with each :class:`repro.parallel.Task`.
+    """
+    blob = "\x1f".join(str(p) for p in parts)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
 class SpanTracer:
     """Bounded recorder of completed spans and instant events."""
 
@@ -53,6 +66,8 @@ class SpanTracer:
         *,
         max_events: int = DEFAULT_MAX_EVENTS,
         clock: Callable[[], int] | None = None,
+        trace_id: str | None = None,
+        epoch_ns: int | None = None,
     ) -> None:
         if max_events < 1:
             raise ConfigurationError(
@@ -60,13 +75,19 @@ class SpanTracer:
             )
         self.max_events = max_events
         self._clock = clock if clock is not None else time.perf_counter_ns
-        self._epoch_ns = self._clock()
+        self._epoch_ns = epoch_ns if epoch_ns is not None else self._clock()
         self._records: deque[dict[str, Any]] = deque(maxlen=max_events)
         self._seq = 0
         self._stack: list[dict[str, Any]] = []
         #: Records dropped because the ring was full.
         self.dropped = 0
         self._track_counters: dict[str, int] = {}
+        #: Request-scoped correlation id carried into exported documents
+        #: and every structured log record (None = uncorrelated tracer).
+        self.trace_id = trace_id
+        from repro.obs.flightrec import recorder
+
+        self._flightrec = recorder()
 
     # ------------------------------------------------------------------
     # identity / clocks
@@ -79,6 +100,19 @@ class SpanTracer:
     def now_ns(self) -> int:
         """Wall time relative to the tracer's epoch."""
         return self._clock() - self._epoch_ns
+
+    @property
+    def epoch_ns(self) -> int:
+        """The absolute clock value this tracer's timestamps are relative
+        to.  Passing it to another tracer's ``epoch_ns=`` puts both on
+        one time base (the service does this per traced job, so HTTP
+        accept / queue wait / suite spans land on a shared axis)."""
+        return self._epoch_ns
+
+    @property
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span (log correlation), or None."""
+        return self._stack[-1]["id"] if self._stack else None
 
     def new_track(self, prefix: str) -> str:
         """A fresh deterministic track label (``prefix0``, ``prefix1``, ...).
@@ -98,6 +132,11 @@ class SpanTracer:
         if len(self._records) == self.max_events:
             self.dropped += 1
         self._records.append(record)
+        # Mirror every committed record into the process flight recorder
+        # (one bounded-deque append; the record dict is shared, not
+        # copied).  Costs nothing on the obs-disabled path — no tracer,
+        # no commit.
+        self._flightrec.push(record)
 
     def begin(
         self,

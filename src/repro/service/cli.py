@@ -74,6 +74,17 @@ def main(argv: list[str] | None = None) -> int:
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro-zen2)",
     )
+    parser.add_argument(
+        "--flightrec-dir",
+        default=None,
+        help="directory for crash flight-recorder bundles (sets "
+        "$REPRO_FLIGHTREC_DIR for this process and its pool workers)",
+    )
+    parser.add_argument(
+        "--log-jsonl",
+        default=None,
+        help="append structured JSON-line logs to PATH ('-' for stderr)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "smoke":
@@ -81,6 +92,19 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_smoke()
 
+    if args.flightrec_dir is not None:
+        import os
+
+        from repro.obs.flightrec import ENV_DIR
+
+        os.environ[ENV_DIR] = args.flightrec_dir
+
+    from repro.obs import Obs
+
+    obs = Obs(
+        log_stream=sys.stderr if args.log_jsonl == "-" else None,
+        log_path=None if args.log_jsonl in (None, "-") else args.log_jsonl,
+    )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     service = ExperimentService(
         cache=cache,
@@ -91,6 +115,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         pool_jobs=args.pool_jobs,
         timeout_s=args.timeout_s,
+        obs=obs,
     )
     asyncio.run(service.serve(args.host, args.port))
     return 0

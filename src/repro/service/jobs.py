@@ -32,11 +32,20 @@ _CONFIG_FIELDS = {f.name for f in dataclasses.fields(ExperimentConfig)}
 
 @dataclass(frozen=True)
 class JobSpec:
-    """Validated, backend-pinned description of one suite request."""
+    """Validated, backend-pinned description of one suite request.
+
+    ``trace`` requests end-to-end tracing for the job: the queue mints a
+    per-job tracer and the merged timeline becomes available at
+    ``GET /v1/jobs/<id>/trace``.  It never enters :func:`job_key` (a
+    traced and an untraced request produce byte-identical results, so
+    they dedup together); on a single-flight join the *leader's* flag
+    wins — joiners of an untraced leader get no trace.
+    """
 
     tenant: str
     entries: tuple[str, ...]
     config: ExperimentConfig
+    trace: bool = False
 
     @classmethod
     def from_request(cls, doc: Any) -> "JobSpec":
@@ -50,12 +59,15 @@ class JobSpec:
             raise ServiceError(
                 f"job request must be a JSON object, got {type(doc).__name__}"
             )
-        unknown = set(doc) - {"tenant", "entries", "config"}
+        unknown = set(doc) - {"tenant", "entries", "config", "trace"}
         if unknown:
             raise ServiceError(f"unknown job request keys: {sorted(unknown)}")
         tenant = doc.get("tenant", "anonymous")
         if not isinstance(tenant, str) or not tenant:
             raise ServiceError("tenant must be a non-empty string")
+        trace = doc.get("trace", False)
+        if not isinstance(trace, bool):
+            raise ServiceError(f"trace must be a boolean, got {trace!r}")
         entries = doc.get("entries")
         if entries is None:
             entries = list(SUITE)
@@ -93,7 +105,9 @@ class JobSpec:
         config = dataclasses.replace(
             config, backend=resolve_backend(config.backend).name
         )
-        return cls(tenant=tenant, entries=tuple(entries), config=config)
+        return cls(
+            tenant=tenant, entries=tuple(entries), config=config, trace=trace
+        )
 
 
 def _check_config_types(config: ExperimentConfig) -> None:
@@ -151,6 +165,20 @@ class Job:
     result: dict[str, Any] | None = None
     #: Event-loop timestamp of admission, for the latency histogram.
     t_submit: float = 0.0
+    #: Request-scoped correlation id (traced jobs only).
+    trace_id: str | None = None
+    #: Per-job :class:`repro.obs.Obs` minted at admission for traced
+    #: jobs — shares the service registry and epoch, never serialized.
+    obs: Any = None
+    #: Tracer timestamp of admission (service epoch), closing the
+    #: ``http.accept`` span and opening ``queue.wait``.
+    t_accept_ns: int = 0
+    #: The merged ``repro.obs/trace`` document, set by the runner thread
+    #: before the job turns terminal (``GET /v1/jobs/<id>/trace``).
+    trace: dict[str, Any] | None = None
+    #: ``repro.obs/flightrec`` bundle captured when the job failed
+    #: (``GET /v1/jobs/<id>/diagnostics``).
+    diagnostics: dict[str, Any] | None = None
     #: Set once the job reaches a terminal state (long-poll wakeup).
     finished: asyncio.Event = field(default_factory=asyncio.Event)
 

@@ -26,8 +26,10 @@ import asyncio
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.cache import config_fingerprint
 from repro.errors import ServiceError
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, Obs, mint_trace_id
+from repro.obs.flightrec import dump_bundle, flightrec_document, recorder
 from repro.service.jobs import Job, JobSpec, entry_keys, job_key
 
 
@@ -102,15 +104,27 @@ class JobQueue:
 
     def __init__(
         self,
-        runner: Callable[[JobSpec], dict[str, Any]],
+        runner: Callable[[Job], dict[str, Any]],
         *,
         metrics: MetricsRegistry,
         limits: ServiceLimits | None = None,
         cache: Any = None,
+        obs: Any = None,
     ) -> None:
+        """``runner`` receives the whole :class:`Job` (not just its
+        spec) so it can execute under the job's per-request obs bundle
+        and attach the merged trace before the job turns terminal.
+
+        ``obs`` is the *service* :class:`repro.obs.Obs`: traced jobs
+        mint their own tracer on its epoch and log through their own
+        correlated logger; queue-level events log through ``obs.log``.
+        Omitting it (unit tests) disables tracing and logging but not
+        metrics — those flow through ``metrics`` regardless.
+        """
         self._runner = runner
         self.limits = limits or ServiceLimits()
         self._cache = cache
+        self._obs = obs
         self._queue: asyncio.Queue[Job] = asyncio.Queue()
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, str] = {}  # job_key -> leader job id
@@ -192,6 +206,17 @@ class JobQueue:
             result=result,
         )
 
+    def _log(self, job: Job | None, level: str, event: str, **fields) -> None:
+        """Structured log via the job's correlated logger when it has
+        one, else the service logger; silent without an obs bundle."""
+        log = None
+        if job is not None and job.obs is not None:
+            log = job.obs.log
+        elif self._obs is not None:
+            log = self._obs.log
+        if log is not None:
+            log.log(level, event, **fields)
+
     async def submit(self, spec: JobSpec) -> tuple[Job, bool]:
         """Admit one submission; ``(job, joined_existing)``.
 
@@ -201,6 +226,10 @@ class JobQueue:
         if self._draining:
             self._m_sub["rejected_draining"].inc()
             self._tenant_counter(spec.tenant, "reject").inc()
+            self._log(
+                None, "warning", "job.rejected",
+                tenant=spec.tenant, reason="draining",
+            )
             raise ServiceDraining()
         key = job_key(spec)
         leader_id = self._inflight.get(key)
@@ -212,21 +241,46 @@ class JobQueue:
             self._m_sub["deduped"].inc()
             self._m_dedup["inflight"].inc()
             self._tenant_counter(spec.tenant, "admit").inc()
+            self._log(
+                job, "info", "job.deduped",
+                job_id=job.id, tenant=spec.tenant, clients=job.clients,
+            )
             return job, True
         load = self._tenant_load.get(spec.tenant, 0)
         if load >= self.limits.tenant_quota:
             self._m_sub["rejected_quota"].inc()
             self._tenant_counter(spec.tenant, "reject").inc()
+            self._log(
+                None, "warning", "job.rejected",
+                tenant=spec.tenant, reason="quota",
+            )
             raise QuotaExceeded(
                 spec.tenant, self.limits.tenant_quota, self.limits.retry_after_s
             )
         if self._active >= self.limits.queue_limit:
             self._m_sub["rejected_queue"].inc()
             self._tenant_counter(spec.tenant, "reject").inc()
+            self._log(
+                None, "warning", "job.rejected",
+                tenant=spec.tenant, reason="queue",
+            )
             raise QueueFull(self.limits.queue_limit, self.limits.retry_after_s)
 
         self._seq += 1
         job = Job(id=f"job-{self._seq:06d}", spec=spec, key=key)
+        if spec.trace and self._obs is not None:
+            # Mint the per-job obs bundle at the accept boundary: its
+            # tracer shares the service epoch (so the server-recorded
+            # http.accept span and everything after it sit on one time
+            # axis) and the shared metrics registry; the trace id is
+            # content-derived from the job identity.
+            job.trace_id = mint_trace_id(job.id, job.key)
+            job.obs = Obs(
+                trace_id=job.trace_id,
+                metrics=self._metrics,
+                epoch_ns=self._obs.tracer.epoch_ns,
+            )
+            job.t_accept_ns = job.obs.tracer.now_ns()
         if self._cache is not None and all(
             self._cache.contains(k) for k in entry_keys(spec).values()
         ):
@@ -243,6 +297,11 @@ class JobQueue:
         self._m_depth.set(self._active)
         self._m_sub["admitted"].inc()
         self._tenant_counter(spec.tenant, "admit").inc()
+        self._log(
+            job, "info", "job.admitted",
+            job_id=job.id, tenant=spec.tenant, dedup=job.dedup,
+            depth=self._active,
+        )
         await self._queue.put(job)
         return job, False
 
@@ -267,18 +326,35 @@ class JobQueue:
 
     async def _run_job(self, job: Job) -> None:
         job.state = "running"
+        if job.obs is not None:
+            # Queue wait: admission -> worker pickup.  Recorded with an
+            # explicit start so it touches http.accept exactly at
+            # t_accept — sequential host-lane siblings, strict nesting.
+            job.obs.tracer.complete(
+                "queue.wait",
+                cat="service",
+                t0_wall_ns=job.t_accept_ns,
+                job_id=job.id,
+            )
+        self._log(job, "info", "job.started", job_id=job.id, dedup=job.dedup)
         if job.dedup != "cache":
             # A "cache" job replays every entry from the shared store —
             # run_suite never touches the pool for it.
             self._m_executions.inc()
         try:
-            result = await asyncio.to_thread(self._runner, job.spec)
+            result = await asyncio.to_thread(self._runner, job)
         except Exception as err:  # noqa: BLE001 - runner failures become job state
-            job.finish("failed", error=f"{type(err).__name__}: {err}")
+            message = f"{type(err).__name__}: {err}"
+            # Diagnostics attach before the state flips, so a client
+            # that sees "failed" can always fetch the bundle.
+            job.diagnostics = self._capture_diagnostics(job, message)
+            job.finish("failed", error=message)
             self._m_jobs["failed"].inc()
+            self._log(job, "error", "job.failed", job_id=job.id, error=message)
         else:
             job.finish("done", result=result)
             self._m_jobs["done"].inc()
+            self._log(job, "info", "job.finished", job_id=job.id, state="done")
         finally:
             self._active -= 1
             self._m_depth.set(self._active)
@@ -292,6 +368,26 @@ class JobQueue:
                 del self._inflight[job.key]
             loop = asyncio.get_running_loop()
             self._m_latency.observe(loop.time() - job.t_submit)
+
+    def _capture_diagnostics(self, job: Job, message: str) -> dict[str, Any]:
+        """Freeze the flight-recorder ring into the job's crash bundle.
+
+        The bundle carries the recent event tail, a metrics snapshot,
+        the job's config fingerprint, and its entry cache-key digests;
+        it is also written to ``$REPRO_FLIGHTREC_DIR`` when configured.
+        """
+        rec = recorder()
+        rec.note("service.job.failed", job_id=job.id, error=message)
+        doc = flightrec_document(
+            rec,
+            f"job-failure:{job.id}",
+            metrics=self._metrics.snapshot(),
+            config=config_fingerprint(job.spec.config),
+            cache_keys=list(entry_keys(job.spec).values()),
+            trace_id=job.trace_id,
+        )
+        dump_bundle(doc)
+        return doc
 
     async def drain(self) -> None:
         """Reject new work, finish everything admitted, stop the workers."""

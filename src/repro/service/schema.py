@@ -1,4 +1,9 @@
-"""Schema id, writer, and validator for ``repro.service/job`` v1.
+"""Schema id, writer, and validator for ``repro.service/job`` v2.
+
+Version 2 adds the observability fields: ``trace_id`` (the request's
+correlation id, null for untraced jobs) and ``diagnostics_ready``
+(whether a crash flight-recorder bundle is attached, i.e. whether
+``GET /v1/jobs/<id>/diagnostics`` will answer 200).
 
 Every job resource the service returns (submit response, status poll)
 is tagged ``"schema": "repro.service/job"`` so clients and tooling can
@@ -22,7 +27,7 @@ from typing import Any
 from repro.cache import config_fingerprint
 
 JOB_SCHEMA_ID = "repro.service/job"
-JOB_SCHEMA_VERSION = 1
+JOB_SCHEMA_VERSION = 2
 
 #: Lifecycle: ``queued`` -> ``running`` -> ``done`` | ``failed``.
 JOB_STATES = ("queued", "running", "done", "failed")
@@ -52,6 +57,8 @@ def job_document(job: Any) -> dict[str, Any]:
         "clients": int(job.clients),
         "error": None if job.error is None else str(job.error),
         "result_ready": job.result is not None,
+        "trace_id": None if job.trace_id is None else str(job.trace_id),
+        "diagnostics_ready": job.diagnostics is not None,
     }
 
 
@@ -107,4 +114,11 @@ def validate_job_document(doc: object) -> list[str]:
         errors.append("result_ready must be a boolean")
     elif result_ready and state != "done":
         errors.append(f"result_ready requires state 'done', got {state!r}")
+    trace_id = doc.get("trace_id")
+    if trace_id is not None and (
+        not isinstance(trace_id, str) or not trace_id
+    ):
+        errors.append("trace_id must be null or a non-empty string")
+    if not isinstance(doc.get("diagnostics_ready"), bool):
+        errors.append("diagnostics_ready must be a boolean")
     return errors

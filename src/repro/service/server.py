@@ -18,10 +18,21 @@ response ``Connection: close``:
                                             byte-identical to a direct
                                             ``run_suite`` + ``dump_json``
                                             of the same configuration
+``GET /v1/jobs/<id>/trace``                 merged ``repro.obs/trace``
+                                            timeline of a ``"trace": true``
+                                            job: HTTP accept, queue wait,
+                                            pool phases, worker-side
+                                            experiment spans, one trace id
+``GET /v1/jobs/<id>/diagnostics``           ``repro.obs/flightrec`` crash
+                                            bundle of a failed job
 ``GET /healthz``                            liveness + drain state + depth
 ``GET /metrics``                            Prometheus text exposition
 ``GET /metrics.json``                       ``repro.obs/metrics`` v1 snapshot
 ==========================================  =================================
+
+Every request lands in the ``service.http_requests`` counter and the
+``service.http_latency_s`` histogram, labelled by route template and
+status code.
 
 ``SIGTERM``/``SIGINT`` trigger a graceful drain: new submissions get
 503, admitted jobs run to completion, status/result/metrics stay
@@ -38,7 +49,7 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.cache import ResultCache
-from repro.core.suite import run_suite, suite_to_dict
+from repro.core.suite import run_suite, suite_to_dict, suite_trace_document
 from repro.errors import ReproError, ServiceError
 from repro.obs import Obs
 from repro.service.jobs import Job, JobSpec
@@ -80,17 +91,28 @@ class ExperimentService:
             metrics=self.obs.metrics,
             limits=limits,
             cache=cache,
+            obs=self.obs,
         )
         self._server: asyncio.Server | None = None
         self._drain_requested = asyncio.Event()
         self._m_http_help = "HTTP requests by route template and status"
+        self._m_http_latency_help = (
+            "HTTP request wall latency by route template and status"
+        )
 
     # --- execution ---------------------------------------------------------
 
-    def _execute(self, spec: JobSpec) -> dict[str, Any]:
+    def _execute(self, job: Job) -> dict[str, Any]:
         """Run one job (worker thread).  The returned document is exactly
         what a direct ``run_suite`` + ``suite_to_dict`` of the same
-        configuration produces — execution mode never leaks into it."""
+        configuration produces — execution mode never leaks into it.
+
+        A traced job runs under its own per-request obs bundle; the
+        merged end-to-end timeline (HTTP accept through worker-side
+        dispatch) attaches to ``job.trace`` here, in the runner thread,
+        before the queue flips the job terminal — so a client that sees
+        ``done`` can always fetch the trace."""
+        spec = job.spec
         result = run_suite(
             spec.config,
             only=list(spec.entries),
@@ -98,8 +120,10 @@ class ExperimentService:
             cache=self.cache,
             timeout_s=self.timeout_s,
             retries=self.retries,
-            obs=self.obs,
+            obs=job.obs if job.obs is not None else self.obs,
         )
+        if job.obs is not None:
+            job.trace = suite_trace_document(result, job_id=job.id)
         return suite_to_dict(result)
 
     # --- lifecycle ---------------------------------------------------------
@@ -141,16 +165,18 @@ class ExperimentService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         route = "unparsed"
+        t0_ns = self.obs.tracer.now_ns()
         try:
             method, target, body = await self._read_request(reader)
             route, status, payload, headers = await self._dispatch(
-                method, target, body
+                method, target, body, t0_ns
             )
         except _HttpError as err:
             status, payload, headers = err.status, err.payload(), err.headers
         except (ConnectionError, asyncio.IncompleteReadError):
             writer.close()
             return
+        elapsed_s = (self.obs.tracer.now_ns() - t0_ns) / 1e9
         self.obs.metrics.counter(
             "service.http_requests",
             self._m_http_help,
@@ -158,6 +184,19 @@ class ExperimentService:
             route=route,
             status=str(status),
         ).inc()
+        self.obs.metrics.histogram(
+            "service.http_latency_s",
+            self._m_http_latency_help,
+            "s",
+            route=route,
+            code=str(status),
+        ).observe(elapsed_s)
+        self.obs.log.log(
+            "warning" if status >= 400 else "info",
+            "http.request",
+            route=route,
+            status=status,
+        )
         await self._respond(writer, status, payload, headers)
 
     async def _read_request(
@@ -222,14 +261,17 @@ class ExperimentService:
     # --- routing -----------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes, t0_ns: int = 0
     ) -> tuple[str, int, bytes, dict[str, str]]:
-        """Returns ``(route_template, status, payload, extra_headers)``."""
+        """Returns ``(route_template, status, payload, extra_headers)``.
+
+        ``t0_ns`` is the request arrival time on the service tracer's
+        epoch — the start of a traced job's ``http.accept`` span."""
         url = urlsplit(target)
         path = url.path.rstrip("/") or "/"
         if path == "/v1/jobs":
             if method == "POST":
-                return await self._post_job(body)
+                return await self._post_job(body, t0_ns)
             if method == "GET":
                 doc = {"jobs": self.queue.job_ids()}
                 return "/v1/jobs", 200, _json_bytes(doc), {}
@@ -240,6 +282,10 @@ class ExperimentService:
                 raise _HttpError(405, f"{method} not supported on {path}")
             if rest.endswith("/result"):
                 return self._get_result(rest[: -len("/result")])
+            if rest.endswith("/trace"):
+                return self._get_trace(rest[: -len("/trace")])
+            if rest.endswith("/diagnostics"):
+                return self._get_diagnostics(rest[: -len("/diagnostics")])
             return await self._get_job(rest, url.query)
         if method != "GET":
             raise _HttpError(405, f"{method} not supported on {path}")
@@ -259,7 +305,7 @@ class ExperimentService:
         raise _HttpError(404, f"no route for {path}")
 
     async def _post_job(
-        self, body: bytes
+        self, body: bytes, t0_ns: int = 0
     ) -> tuple[str, int, bytes, dict[str, str]]:
         try:
             doc = json.loads(body or b"{}")
@@ -276,6 +322,18 @@ class ExperimentService:
             raise _HttpError(503, str(err)) from err
         except ReproError as err:
             raise _HttpError(400, str(err)) from err
+        if not joined and job.obs is not None:
+            # HTTP accept: request arrival -> admission.  Closed at
+            # exactly t_accept so it touches queue.wait without overlap
+            # (sequential siblings on the host lane).
+            job.obs.tracer.complete(
+                "http.accept",
+                cat="service",
+                t0_wall_ns=t0_ns,
+                t1_wall_ns=job.t_accept_ns,
+                job_id=job.id,
+                tenant=spec.tenant,
+            )
         status = 200 if joined else 202
         return "/v1/jobs", status, _json_bytes(job_document(job)), {}
 
@@ -311,6 +369,37 @@ class ExperimentService:
             json.dumps(job.result, indent=2, sort_keys=True) + "\n"
         ).encode()
         return "/v1/jobs/{id}/result", 200, payload, {}
+
+    def _get_trace(
+        self, job_id: str
+    ) -> tuple[str, int, bytes, dict[str, str]]:
+        job = self._lookup(job_id)
+        if job.trace_id is None:
+            raise _HttpError(
+                404, f"job {job_id} was not traced; submit with \"trace\": true"
+            )
+        if job.trace is None:
+            raise _HttpError(
+                409, f"job {job_id} is {job.state}; trace not ready"
+            )
+        return "/v1/jobs/{id}/trace", 200, _json_bytes(job.trace), {}
+
+    def _get_diagnostics(
+        self, job_id: str
+    ) -> tuple[str, int, bytes, dict[str, str]]:
+        job = self._lookup(job_id)
+        if job.diagnostics is None:
+            raise _HttpError(
+                404,
+                f"job {job_id} has no diagnostics bundle (only failed "
+                "jobs carry one)",
+            )
+        return (
+            "/v1/jobs/{id}/diagnostics",
+            200,
+            _json_bytes(job.diagnostics),
+            {},
+        )
 
     def _lookup(self, job_id: str) -> Job:
         job = self.queue.get(job_id)

@@ -10,6 +10,15 @@ Asserts the whole contract in one pass:
   in-process ``run_suite`` + ``dump_json`` of the same configuration;
 * ``/metrics`` exposes the ``service.*`` series and ``/metrics.json``
   validates as a ``repro.obs/metrics`` v1 document;
+* one traced request (``"trace": true``, a fresh seed) yields a merged
+  cross-process timeline on ``/v1/jobs/<id>/trace`` — HTTP accept,
+  queue wait, pool gang and worker-side experiment spans under one
+  trace id — while its result stays byte-identical to an untraced
+  direct run (tracing observes, never perturbs);
+* a forced worker crash leaves a ``repro.obs/flightrec`` bundle that
+  the shipped ``repro-zen2 obs validate`` / ``obs report`` CLI accepts
+  (both artifacts land in ``$REPRO_SMOKE_ARTIFACT_DIR`` when set, so
+  CI can upload them);
 * SIGTERM drains gracefully: the process exits 0 on its own.
 
 Run it via ``make service-smoke`` or ``python -m repro.service smoke``.
@@ -29,13 +38,14 @@ import urllib.request
 
 from repro.core.experiment import ExperimentConfig
 from repro.core.suite import run_suite, suite_to_dict
-from repro.obs import validate_metrics_document
+from repro.obs import validate_metrics_document, validate_trace_document
 
 #: Two fast registry entries keep the smoke under a CI minute.
 ENTRIES = ["sec5a_idle_sibling", "sec7_rapl_update_rate"]
 SCALE = 0.02
 SEEDS = [0, 1, 2, 3]  # 4 unique configs
 CLIENTS = 8  # each config submitted twice
+TRACE_SEED = 4  # the traced request uses its own config (5th execution)
 
 
 def _request(port: int, path: str, body: dict | None = None) -> tuple[int, bytes]:
@@ -71,6 +81,11 @@ def _client(port: int, seed: int, out: dict[int, bytes], lock: threading.Lock):
     assert status == 200, (status, payload)
     with lock:
         out[seed] = payload
+
+
+def _smoke_boom() -> None:
+    """Module-level (picklable) deliberate worker crash."""
+    raise RuntimeError("smoke: deliberate crash")  # EXC001: injected fault, deliberately outside ReproError
 
 
 def _parse_prometheus(text: str) -> dict[str, float]:
@@ -150,6 +165,119 @@ def run_smoke() -> int:
                 f"seed {seed}: service document differs from direct run"
             )
         print("smoke: all 4 result documents byte-identical to direct runs")
+
+        artifact_dir = os.environ.get("REPRO_SMOKE_ARTIFACT_DIR") or (
+            os.path.join(workdir, "artifacts")
+        )
+        os.makedirs(artifact_dir, exist_ok=True)
+
+        # One traced request end to end: same entries, a fresh seed, so
+        # the executions==4 dedup proof above stays untouched.
+        body = {
+            "tenant": "smoke-trace",
+            "entries": ENTRIES,
+            "config": {"seed": TRACE_SEED, "scale": SCALE},
+            "trace": True,
+        }
+        status, payload = _request(port, "/v1/jobs", body)
+        assert status in (200, 202), (status, payload)
+        job_id = json.loads(payload)["id"]
+        while True:
+            status, payload = _request(port, f"/v1/jobs/{job_id}?wait_s=30")
+            assert status == 200, (status, payload)
+            job_doc = json.loads(payload)
+            if job_doc["state"] in ("done", "failed"):
+                break
+        assert job_doc["state"] == "done", job_doc
+        assert job_doc["trace_id"], job_doc
+        assert job_doc["diagnostics_ready"] is False, job_doc
+
+        # Tracing observes, never perturbs: the traced result is still
+        # byte-identical to an *untraced* direct run.
+        status, payload = _request(port, f"/v1/jobs/{job_id}/result")
+        assert status == 200, (status, payload)
+        direct = suite_to_dict(
+            run_suite(
+                ExperimentConfig(seed=TRACE_SEED, scale=SCALE), only=ENTRIES
+            )
+        )
+        expected = (
+            json.dumps(direct, indent=2, sort_keys=True) + "\n"
+        ).encode()
+        assert payload == expected, (
+            "traced result differs from untraced direct run"
+        )
+
+        status, payload = _request(port, f"/v1/jobs/{job_id}/trace")
+        assert status == 200, (status, payload)
+        trace = json.loads(payload)
+        problems = validate_trace_document(trace)
+        assert problems == [], problems
+        assert trace["otherData"]["trace_id"] == job_doc["trace_id"], (
+            trace["otherData"]
+        )
+        spans = {
+            e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"
+        }
+        assert {"http.accept", "queue.wait", "pool.gang", "suite"} <= spans, (
+            sorted(spans)
+        )
+        cats = {
+            e.get("cat") for e in trace["traceEvents"] if e.get("ph") == "X"
+        }
+        assert "experiment" in cats, sorted(c for c in cats if c)
+        trace_path = os.path.join(artifact_dir, "smoke-trace.json")
+        with open(trace_path, "w") as fh:
+            fh.write(json.dumps(trace, indent=2, sort_keys=True) + "\n")
+        print(
+            f"smoke: traced request merged "
+            f"{trace['otherData']['merged']} process timelines under "
+            f"trace_id {job_doc['trace_id']}"
+        )
+
+        # A healthy job has no diagnostics to serve.
+        status, _ = _request(port, f"/v1/jobs/{job_id}/diagnostics")
+        assert status == 404, status
+
+        # Forced worker crash -> flight-recorder bundle on disk.
+        from repro.obs.flightrec import ENV_DIR
+        from repro.parallel import Task, run_tasks
+
+        os.environ[ENV_DIR] = artifact_dir
+        try:
+            outcomes = run_tasks(
+                [Task("boom", _smoke_boom, ())], jobs=1, retries=0
+            )
+        finally:
+            del os.environ[ENV_DIR]
+        assert not outcomes[0].ok, outcomes
+        bundles = sorted(
+            name
+            for name in os.listdir(artifact_dir)
+            if name.startswith("flightrec-") and name.endswith(".json")
+        )
+        assert bundles, "crash left no flight-recorder bundle"
+        bundle_path = os.path.join(artifact_dir, bundles[0])
+
+        # The shipped inspector CLI accepts both artifacts.
+        for argv in (
+            ["validate", trace_path, bundle_path],
+            ["report", artifact_dir],
+        ):
+            inspect = subprocess.run(
+                [sys.executable, "-m", "repro.obs", *argv],
+                capture_output=True,
+                text=True,
+            )
+            assert inspect.returncode == 0, (
+                argv,
+                inspect.stdout,
+                inspect.stderr,
+            )
+        print(
+            f"smoke: crash bundle {bundles[0]} validates via "
+            "obs validate/report"
+        )
 
         proc.send_signal(signal.SIGTERM)
         out, _ = proc.communicate(timeout=60)

@@ -116,3 +116,79 @@ def test_cli_trace_and_metrics_artifacts(tmp_path, monkeypatch, capsys):
 def test_run_suite_only_filter_validation():
     with pytest.raises(KeyError):
         run_suite(CFG, only=["no_such_entry"], obs=Obs())
+
+
+# ---------------------------------------------------------------------------
+# cross-process tracing and crash diagnostics
+# ---------------------------------------------------------------------------
+
+
+def test_worker_traces_merge_into_one_correlated_timeline():
+    from repro.core.suite import suite_trace_document
+    from repro.obs.tracer import mint_trace_id
+
+    obs = Obs()
+    result = run_suite(CFG, only=QUICK, parallel=2, obs=obs)
+    # One shipped trace document per entry, each tagged with the suite's
+    # content-derived trace id.
+    assert len(result.worker_traces) == len(QUICK)
+    # The id is minted from the *resolved* config (backend name filled
+    # in) and the entries in submission order.
+    expected = mint_trace_id(
+        "suite",
+        CFG.seed,
+        CFG.scale,
+        CFG.sku,
+        result.config.backend,
+        *QUICK,
+    )
+    assert obs.tracer.trace_id == expected
+    for worker_doc in result.worker_traces:
+        assert worker_doc["otherData"]["trace_id"] == expected
+
+    merged = suite_trace_document(result, run="test")
+    assert validate_trace_document(merged) == []
+    assert merged["otherData"]["trace_id"] == expected
+    assert merged["otherData"]["merged"] == len(QUICK) + 1
+    process_names = {
+        e["args"]["name"]
+        for e in merged["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "process_name"
+    }
+    # Parent tracks are labelled suite:*, worker tracks by entry name.
+    assert "suite:host" in process_names
+    assert any(name.startswith("sec5a_idle_sibling:") for name in process_names)
+    spans = {e["name"] for e in merged["traceEvents"] if e.get("ph") == "X"}
+    # Parent-side gang orchestration and worker-side experiment internals
+    # land on one timeline.
+    assert "pool.gang" in spans
+    assert "machine.measure" in spans
+    assert "sim.dispatch" in spans
+    assert set(QUICK) <= spans
+
+
+def test_crash_mid_task_dumps_validating_bundle(tmp_path, monkeypatch):
+    from repro.obs.flightrec import recorder
+    from repro.obs.schema import validate_flightrec_document
+    from repro.parallel import Task, run_tasks
+    from tests.unit.test_parallel_pool import _boom, _double
+
+    monkeypatch.setenv("REPRO_FLIGHTREC_DIR", str(tmp_path))
+    recorder().clear()
+    outcomes = run_tasks(
+        [Task("ok", _double, (2,)), Task("bad", _boom, ())],
+        jobs=2,
+        retries=0,
+    )
+    by_name = {o.name: o for o in outcomes}
+    assert by_name["ok"].value == 4
+    assert not by_name["bad"].ok
+    bundles = sorted(tmp_path.glob("flightrec-*.json"))
+    assert bundles, "worker crash must leave a flight-recorder bundle"
+    doc = json.loads(bundles[0].read_text())
+    assert validate_flightrec_document(doc) == []
+    assert doc["reason"] == "task-failure:bad"
+    assert doc["context"].get("task") == "bad"
+    names = [e.get("name") for e in doc["events"] if e.get("kind") == "note"]
+    assert "pool.task.start" in names
+    recorder().clear()

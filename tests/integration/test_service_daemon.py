@@ -137,8 +137,9 @@ def test_concurrent_clients_one_run_per_config_byte_identical(tmp_path):
 def test_quota_rejection_and_draining_status_codes():
     gate = threading.Event()
 
-    def gated_runner(spec):
+    def gated_runner(job):
         assert gate.wait(timeout=30.0)
+        spec = job.spec
         return suite_to_dict(run_suite(spec.config, only=list(spec.entries)))
 
     async def scenario():
@@ -239,8 +240,9 @@ def test_error_routes_and_request_validation():
 def test_result_before_done_is_conflict():
     gate = threading.Event()
 
-    def gated_runner(spec):
+    def gated_runner(job):
         assert gate.wait(timeout=30.0)
+        spec = job.spec
         return suite_to_dict(run_suite(spec.config, only=list(spec.entries)))
 
     async def scenario():

@@ -199,6 +199,76 @@ def test_merge_remaps_pids_and_validates():
     assert merged["otherData"]["merged"] == 2
 
 
+def test_merge_labels_name_processes_and_keep_shared_trace_id():
+    docs = [
+        trace_document(_run_fixed_workload(), entry=name)
+        for name in ("fig3", "sec5a")
+    ]
+    for doc in docs:
+        doc["otherData"]["trace_id"] = "abc123"
+    merged = merge_trace_documents(docs, labels=["fig3", "sec5a"])
+    assert validate_trace_document(merged) == []
+    names = {
+        e["args"]["name"]
+        for e in merged["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "process_name"
+    }
+    assert {"fig3:host", "sec5a:host"} <= names
+    # Every input carried the same trace id, so the merge keeps it.
+    assert merged["otherData"]["trace_id"] == "abc123"
+
+
+def test_merge_drops_trace_id_on_disagreement():
+    docs = [trace_document(_run_fixed_workload()) for _ in range(2)]
+    docs[0]["otherData"]["trace_id"] = "aaa"
+    docs[1]["otherData"]["trace_id"] = "bbb"
+    merged = merge_trace_documents(docs)
+    assert "trace_id" not in merged["otherData"]
+
+
+def test_merge_label_count_must_match():
+    docs = [trace_document(_run_fixed_workload())]
+    with pytest.raises(ConfigurationError):
+        merge_trace_documents(docs, labels=["a", "b"])
+
+
+def test_merge_keeps_span_ids_unique_per_remapped_pid():
+    """Worker-trace round-trip: every worker restarts its span-id counter
+    at 1, so uniqueness is only meaningful per process — pid remapping
+    must preserve it, and strict nesting must survive on every track."""
+    docs = [trace_document(_run_fixed_workload()) for _ in range(3)]
+    merged = merge_trace_documents(docs, labels=["w0", "w1", "w2"])
+    assert validate_trace_document(merged) == []
+    seen: set[tuple[int, int]] = set()
+    spans = [e for e in merged["traceEvents"] if e.get("ph") == "X"]
+    for event in spans:
+        span_id = event["args"].get("span_id")
+        if span_id is None:
+            continue
+        key = (event["pid"], span_id)
+        assert key not in seen, f"duplicate span id {key} after remap"
+        seen.add(key)
+    # Identical inputs: the same per-document ids repeat across pids.
+    assert len({sid for _, sid in seen}) < len(seen)
+    assert merged["otherData"]["records"] == sum(
+        d["otherData"]["records"] for d in docs
+    )
+
+
+def test_trace_id_exported_and_minted_deterministically():
+    from repro.obs.tracer import mint_trace_id
+
+    a = mint_trace_id("suite", 0, 0.02, "EPYC 7502", None, "fig3")
+    b = mint_trace_id("suite", 0, 0.02, "EPYC 7502", None, "fig3")
+    assert a == b and len(a) == 16
+    assert mint_trace_id("suite", 1, 0.02, "EPYC 7502", None, "fig3") != a
+    tr = make_tracer(trace_id=a)
+    with tr.span("suite"):
+        pass
+    assert trace_document(tr)["otherData"]["trace_id"] == a
+    assert "trace_id" not in trace_document(make_tracer())["otherData"]
+
+
 def test_sniff_schema_distinguishes_documents():
     from repro.obs.metrics import MetricsRegistry
 

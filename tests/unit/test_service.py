@@ -109,7 +109,8 @@ class _Gate:
         self.fail = fail
         self._lock = threading.Lock()
 
-    def __call__(self, spec: JobSpec) -> dict:
+    def __call__(self, job) -> dict:
+        spec = job.spec
         with self._lock:
             self.calls.append(spec)
         assert self.event.wait(timeout=30.0)
@@ -344,7 +345,7 @@ class TestJobSchema:
         assert validate_job_document("nope") != []
         for mutation in (
             {"schema": "other/schema"},
-            {"schema_version": 2},
+            {"schema_version": 99},
             {"state": "exploded"},
             {"state": "failed", "error": None},
             {"dedup": "telepathy"},
@@ -355,6 +356,9 @@ class TestJobSchema:
             {"config": None},
             {"result_ready": "yes"},
             {"result_ready": True, "state": "running"},
+            {"trace_id": ""},
+            {"trace_id": 7},
+            {"diagnostics_ready": "no"},
         ):
             doc = {**base, **mutation}
             assert validate_job_document(doc) != [], mutation
@@ -374,9 +378,13 @@ class TestServiceHelpers:
         from repro.core.suite import run_suite, suite_to_dict
         from repro.service.server import ExperimentService
 
+        from repro.service.jobs import Job
+
         service = ExperimentService(pool_jobs=1)
         spec = _spec()
-        via_service = service._execute(spec)
+        via_service = service._execute(
+            Job(id="job-000001", spec=spec, key=job_key(spec))
+        )
         direct = suite_to_dict(
             run_suite(
                 dataclasses.replace(spec.config),
